@@ -1,0 +1,38 @@
+"""Shared reporting helpers for the benchmark suite.
+
+Every experiment prints its paper-style table and also appends it to
+``benchmarks/results/<experiment>.txt`` so runs leave an artifact that
+EXPERIMENTS.md can reference.  Set ``REPRO_BENCH_FULL=1`` to run the
+Table 1 experiment at the paper's full package sizes (several minutes);
+the default uses 1/10-scale stand-ins for the two large packages.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from typing import Iterable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def report(experiment: str, lines: Iterable[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    banner = f"=== {experiment} ==="
+    print(f"\n{banner}\n{text}")
+    path = RESULTS_DIR / f"{experiment}.txt"
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    with path.open("w") as handle:
+        handle.write(f"{banner} ({stamp})\n{text}\n")
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` once, returning (result, elapsed seconds)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,92 @@
+"""E7 — Figs 10/11/12 and §7: type-based flow analysis.
+
+Reproduces:
+
+* the Fig 11/12 flow facts (B flows to V; A does not);
+* the Fig 10 machine-size scaling: the bracket automaton grows with
+  the program's largest type, which is the paper's stated reason a
+  bidirectional solver "is unlikely to scale for this problem";
+* flow-analysis solving time versus program size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import report, timed
+from repro.flow import FlowAnalysis
+
+FIG11 = """
+pair(y : int) : b = (1@A, y@Y)@P;
+main() : int = (pair^i(2@B)).2@V;
+"""
+
+
+def nested_pair_program(depth: int) -> str:
+    """A program whose largest type is a depth-``depth`` pair nest."""
+    expr = "1@A"
+    for level in range(depth):
+        expr = f"({expr}, {level + 2})"
+    projections = ".1" * depth
+    return f"main() : int = {expr}{projections}@V;"
+
+
+def wide_program(n_functions: int) -> str:
+    """A chain of single-pair functions, each instantiated once; a seed
+    value threads through every call and projection."""
+    lines = []
+    for i in range(n_functions):
+        lines.append(f"f{i}(y : int) : b{i} = (y@In{i}, {i})@P{i};")
+    body = "1@Seed"
+    for i in range(n_functions):
+        body = f"(f{i}^s{i}({body})).1"
+    lines.append(f"main() : int = {body}@V;")
+    return "\n".join(lines)
+
+
+def test_fig11_flow_facts():
+    analysis = FlowAnalysis(FIG11)
+    rows = [
+        f"machine states (Fig 10): {analysis.machine_states}",
+        f"monoid size: {analysis.monoid_size}",
+        f"B -> V (paper: yes): {analysis.flows('B', 'V')}",
+        f"A -> V (paper: no):  {analysis.flows('A', 'V')}",
+        f"all flow pairs: {sorted(analysis.flow_pairs())}",
+    ]
+    assert analysis.flows("B", "V")
+    assert not analysis.flows("A", "V")
+    report("E7_fig11_flow_facts", rows)
+
+
+def test_machine_growth_with_type_depth():
+    rows = [
+        f"{'type depth':>11} {'machine states':>15} {'monoid size':>12} "
+        f"{'analysis (s)':>13}"
+    ]
+    for depth in (1, 2, 3, 4, 5):
+        source = nested_pair_program(depth)
+        analysis, elapsed = timed(FlowAnalysis, source)
+        rows.append(
+            f"{depth:11d} {analysis.machine_states:15d} "
+            f"{analysis.monoid_size:12d} {elapsed:13.3f}"
+        )
+        assert analysis.flows("A", "V")
+    report("E7_fig10_machine_growth", rows)
+
+
+def test_program_size_scaling():
+    rows = [f"{'functions':>10} {'labels':>7} {'analysis (s)':>13}"]
+    for size in (2, 4, 8, 16):
+        source = wide_program(size)
+        analysis, elapsed = timed(FlowAnalysis, source)
+        rows.append(f"{size:10d} {len(analysis.labels):7d} {elapsed:13.3f}")
+        # end-to-end matched flow through the whole chain of calls
+        assert analysis.flows("Seed", "V")
+    report("E7_flow_scaling", rows)
+
+
+@pytest.mark.parametrize("depth", [1, 3, 5])
+def test_flow_analysis_speed(benchmark, depth):
+    source = nested_pair_program(depth)
+    benchmark.extra_info["type_depth"] = depth
+    benchmark.pedantic(lambda: FlowAnalysis(source), rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+"""E2 — Fig 1 / §3.3: n-bit gen/kill languages as annotations.
+
+Reproduces two claims:
+
+* the 1-bit monoid has exactly 3 representative functions and the
+  n-bit product has ``3^n`` — but the lazy tuple representation never
+  materializes the ``2^n``-state product machine;
+* annotation-based interprocedural dataflow matches the classic
+  functional approach on results while both scale with program size
+  (the annotated solver additionally exploits order-independence of
+  distinct bits, §4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import report, timed
+from repro.cfg import build_cfg
+from repro.dataflow import AnnotatedBitVectorAnalysis, FunctionalBitVectorAnalysis
+from repro.dataflow.problems import call_tracking_problem
+from repro.dfa.gallery import bit_vector_machine, one_bit_machine
+from repro.dfa.monoid import TransitionMonoid
+from repro.synth import PackageSpec, generate_package
+
+PRIMITIVE_POOLS = {
+    1: ["seteuid"],
+    2: ["seteuid", "execl"],
+    4: ["seteuid", "execl", "setuid", "system"],
+    8: [
+        "seteuid",
+        "execl",
+        "setuid",
+        "system",
+        "log_message",
+        "read_config",
+        "setreuid",
+        "getuid",
+    ],
+}
+
+
+def test_monoid_sizes():
+    rows = [f"{'n bits':>7} {'machine states':>15} {'|F| (=3^n)':>11}"]
+    for n in (1, 2, 3, 4):
+        machine = bit_vector_machine(n)
+        size = TransitionMonoid(machine).size()
+        rows.append(f"{n:7d} {machine.n_states:15d} {size:11d}")
+        assert size == 3**n
+    assert TransitionMonoid(one_bit_machine()).size() == 3
+    report("E2_fig1_monoid_sizes", rows)
+
+
+@pytest.fixture(scope="module")
+def program_cfg():
+    source = generate_package(PackageSpec("dataflow-bench", 3000, 40, seed=19))
+    return build_cfg(source)
+
+
+def test_dataflow_agreement_and_times(program_cfg):
+    rows = [
+        f"{'n bits':>7} {'annotated (s)':>14} {'classic (s)':>12} {'agree':>6}"
+    ]
+    for n, primitives in sorted(PRIMITIVE_POOLS.items()):
+        problem = call_tracking_problem(program_cfg, primitives)
+        annotated, annotated_time = timed(
+            lambda p=problem: AnnotatedBitVectorAnalysis(program_cfg, p).solution()
+        )
+        classic, classic_time = timed(
+            lambda p=problem: FunctionalBitVectorAnalysis(program_cfg, p).solution()
+        )
+        agree = annotated == classic
+        rows.append(
+            f"{n:7d} {annotated_time:14.2f} {classic_time:12.2f} "
+            f"{'yes' if agree else 'NO':>6}"
+        )
+        assert agree
+    report("E2_fig1_dataflow", rows)
+
+
+@pytest.mark.parametrize("n_bits", sorted(PRIMITIVE_POOLS))
+def test_annotated_dataflow_speed(benchmark, program_cfg, n_bits):
+    problem = call_tracking_problem(program_cfg, PRIMITIVE_POOLS[n_bits])
+    benchmark.extra_info["bits"] = n_bits
+    benchmark.pedantic(
+        lambda: AnnotatedBitVectorAnalysis(program_cfg, problem).solution(),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("n_bits", sorted(PRIMITIVE_POOLS))
+def test_classic_dataflow_speed(benchmark, program_cfg, n_bits):
+    problem = call_tracking_problem(program_cfg, PRIMITIVE_POOLS[n_bits])
+    benchmark.extra_info["bits"] = n_bits
+    benchmark.pedantic(
+        lambda: FunctionalBitVectorAnalysis(program_cfg, problem).solution(),
+        rounds=1,
+        iterations=1,
+    )

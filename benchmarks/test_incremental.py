@@ -1,0 +1,173 @@
+"""E14 — §5.1's tradeoff measured: online/separate vs batch solving.
+
+"Bidirectional solving enables separate analysis ... constraints can be
+solved online.  Unidirectional solvers defer most processing until the
+entire constraint graph is built."  We measure exactly that: a library
+is analyzed once, then client batches link against it one at a time.
+The bidirectional solver absorbs each batch incrementally (paying only
+for the delta); the demand forward solver — faster on any single batch
+run — must re-tabulate from scratch every time the constraint set
+changes.  The crossover as batches accumulate is the paper's tradeoff
+in one table.
+
+Backtracking (BANSHEE-style mark/rollback) is measured alongside:
+retracting a speculative batch is O(delta), not a re-solve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import report, timed
+from repro.core.annotations import MonoidAlgebra
+from repro.core.demand import DemandForwardSolver
+from repro.core.solver import Solver
+from repro.core.terms import Constructor, Variable, constant
+from repro.dfa.gallery import full_privilege_machine
+from repro.synth import random_annotated_graph
+
+MACHINE = full_privilege_machine()
+N_VARS = 300
+LIBRARY_EDGES = 900
+BATCH_EDGES = 60
+N_BATCHES = 20
+
+
+def make_batches():
+    library = random_annotated_graph(
+        MACHINE, N_VARS, LIBRARY_EDGES, seed=2, annotated_fraction=0.4
+    )
+    batches = [
+        random_annotated_graph(
+            MACHINE, N_VARS, BATCH_EDGES, seed=100 + i, annotated_fraction=0.4
+        ).edges
+        for i in range(N_BATCHES)
+    ]
+    return library, batches
+
+
+def test_incremental_vs_batch_resolving():
+    library, batches = make_batches()
+    algebra = MonoidAlgebra(MACHINE)
+    variables = [Variable(f"v{i}") for i in range(N_VARS)]
+    source = constant("src")
+
+    # --- bidirectional: one online solver, each batch is a delta -----
+    solver = Solver(algebra)
+
+    def load_library_bidi():
+        for index in library.sources:
+            solver.add(source, variables[index])
+        for u, v, word in library.edges:
+            solver.add(variables[u], variables[v], algebra.word(word))
+
+    _, library_time = timed(load_library_bidi)
+    incremental_times = []
+    for batch in batches:
+        def add_batch(batch=batch):
+            for u, v, word in batch:
+                solver.add(variables[u], variables[v], algebra.word(word))
+
+        _, elapsed = timed(add_batch)
+        incremental_times.append(elapsed)
+
+    # --- demand forward: re-tabulate the whole system per batch ------
+    demand_times = []
+    accumulated = list(library.edges)
+    for batch in batches:
+        accumulated.extend(batch)
+
+        def resolve(edges=tuple(accumulated)):
+            forward = DemandForwardSolver(MACHINE)
+            for index in library.sources:
+                forward.add_source("src", variables[index])
+            for u, v, word in edges:
+                forward.add(variables[u], variables[v], word)
+            return forward.solve("src")
+
+        _, elapsed = timed(resolve)
+        demand_times.append(elapsed)
+
+    rows = [
+        f"library: {LIBRARY_EDGES} constraints, bidirectional initial "
+        f"solve {library_time:.3f}s",
+        f"{'batch':>6} {'bidi delta (s)':>15} {'demand re-solve (s)':>20}",
+    ]
+    for i, (inc, dem) in enumerate(zip(incremental_times, demand_times), 1):
+        rows.append(f"{i:6d} {inc:15.4f} {dem:20.4f}")
+    rows.append(
+        f"{'total':>6} {sum(incremental_times):15.4f} "
+        f"{sum(demand_times):20.4f}"
+    )
+    report("E14_incremental_vs_batch", rows)
+    # The structural claim: incremental deltas stay flat while batch
+    # re-solves grow with the accumulated system, so the totals diverge
+    # (Θ(N) vs Θ(N²) in the number of batches).
+    assert sum(demand_times) > sum(incremental_times)
+
+
+def test_backtracking_cost():
+    """Retracting a speculative batch costs the delta, not a re-solve."""
+    library, batches = make_batches()
+    algebra = MonoidAlgebra(MACHINE)
+    variables = [Variable(f"v{i}") for i in range(N_VARS)]
+    source = constant("src")
+    solver = Solver(algebra)
+    for index in library.sources:
+        solver.add(source, variables[index])
+    for u, v, word in library.edges:
+        solver.add(variables[u], variables[v], algebra.word(word))
+    base_facts = solver.fact_count()
+
+    def speculate_and_retract():
+        solver.mark()
+        for u, v, word in batches[0]:
+            solver.add(variables[u], variables[v], algebra.word(word))
+        solver.rollback()
+
+    _, elapsed = timed(speculate_and_retract)
+    assert solver.fact_count() == base_facts
+    report(
+        "E14_backtracking",
+        [
+            f"library facts: {base_facts}",
+            f"speculate+retract one batch: {elapsed:.4f}s "
+            "(facts restored exactly)",
+        ],
+    )
+
+
+@pytest.mark.parametrize("mode", ["incremental", "batch"])
+def test_linking_speed(benchmark, mode):
+    library, batches = make_batches()
+    algebra = MonoidAlgebra(MACHINE)
+    variables = [Variable(f"v{i}") for i in range(N_VARS)]
+    source = constant("src")
+    benchmark.extra_info["mode"] = mode
+
+    if mode == "incremental":
+        solver = Solver(algebra)
+        for index in library.sources:
+            solver.add(source, variables[index])
+        for u, v, word in library.edges:
+            solver.add(variables[u], variables[v], algebra.word(word))
+
+        def link_all():
+            for batch in batches:
+                for u, v, word in batch:
+                    solver.add(variables[u], variables[v], algebra.word(word))
+
+        benchmark.pedantic(link_all, rounds=1, iterations=1)
+    else:
+        def resolve_each_time():
+            accumulated = list(library.edges)
+            for batch in batches:
+                accumulated.extend(batch)
+                forward = DemandForwardSolver(MACHINE)
+                for index in library.sources:
+                    forward.add_source("src", variables[index])
+                for u, v, word in accumulated:
+                    forward.add(variables[u], variables[v], word)
+                forward.solve("src")
+
+        benchmark.pedantic(resolve_each_time, rounds=1, iterations=1)

@@ -1,0 +1,94 @@
+"""E1 — Table 1: process-privilege checking, BANSHEE-style vs MOPS-style.
+
+The paper checks MOPS "Property 1" (our reconstructed 10-state/9-symbol
+full-privilege machine) on four packages and reports both checkers'
+times.  We regenerate the table over synthetic packages of matching
+sizes (see DESIGN.md §5): by default the two large packages run at
+1/10 scale (set ``REPRO_BENCH_FULL=1`` for the paper's full 222k/229k
+lines).  The claim to reproduce is the *shape*: the generic annotated-
+constraint solver is in the same league as the hand-built pushdown
+model checker on every package, and both scale to the largest ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import FULL_SCALE, report, timed
+from repro.cfg import build_cfg
+from repro.modelcheck import AnnotatedChecker, full_privilege_property
+from repro.mops import MopsChecker
+from repro.synth import TABLE1_PACKAGES, PackageSpec, generate_package
+
+
+def bench_specs() -> list[PackageSpec]:
+    if FULL_SCALE:
+        return list(TABLE1_PACKAGES)
+    scaled = []
+    for spec in TABLE1_PACKAGES:
+        factor = 10 if spec.target_lines > 100_000 else 1
+        scaled.append(
+            PackageSpec(
+                spec.name + ("" if factor == 1 else " (1/10)"),
+                spec.target_lines // factor,
+                max(8, spec.n_functions // factor),
+                seed=spec.seed,
+                violation=spec.violation,
+            )
+        )
+    return scaled
+
+
+@pytest.fixture(scope="module")
+def packages():
+    built = []
+    for spec in bench_specs():
+        source = generate_package(spec)
+        cfg = build_cfg(source)
+        built.append((spec, source.count("\n"), cfg))
+    return built
+
+
+@pytest.fixture(scope="module")
+def prop():
+    return full_privilege_property()
+
+
+def test_table1_rows(packages, prop):
+    """Regenerate Table 1: size, time per checker, agreement."""
+    rows = [
+        f"{'Benchmark':34} {'Lines':>8} {'Nodes':>8} "
+        f"{'Annotated (s)':>14} {'MOPS (s)':>10} {'Verdicts':>9}"
+    ]
+    for spec, lines, cfg in packages:
+        annotated_result, annotated_time = timed(
+            lambda c=cfg: AnnotatedChecker(c, prop).check()
+        )
+        mops_result, mops_time = timed(lambda c=cfg: MopsChecker(c, prop).check())
+        agree = annotated_result.has_violation == mops_result.has_violation
+        rows.append(
+            f"{spec.name:34} {lines:8d} {cfg.node_count():8d} "
+            f"{annotated_time:14.2f} {mops_time:10.2f} "
+            f"{'agree' if agree else 'DISAGREE':>9}"
+        )
+        assert agree
+        assert annotated_result.has_violation == spec.violation
+    report("E1_table1_privilege", rows)
+
+
+@pytest.mark.parametrize("index", range(len(bench_specs())))
+def test_annotated_checker_speed(benchmark, packages, prop, index):
+    spec, _lines, cfg = packages[index]
+    benchmark.extra_info["package"] = spec.name
+    benchmark.pedantic(
+        lambda: AnnotatedChecker(cfg, prop).check(), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("index", range(len(bench_specs())))
+def test_mops_checker_speed(benchmark, packages, prop, index):
+    spec, _lines, cfg = packages[index]
+    benchmark.extra_info["package"] = spec.name
+    benchmark.pedantic(
+        lambda: MopsChecker(cfg, prop).check(), rounds=1, iterations=1
+    )

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Type-based flow analysis with polymorphic recursion + non-structural
+subtyping (Section 7) — the paper's open-problem application.
+
+Reproduces the Fig 11/12 walkthrough, demonstrates context sensitivity
+across instantiation sites, and runs the dual analysis (§7.6) on the
+same program for comparison.
+
+Run:  python examples/flow_analysis.py
+"""
+
+from repro.flow import DualFlowAnalysis, FlowAnalysis
+
+FIG11 = """
+pair(y : int) : b = (1@A, y@Y)@P;
+main() : int = (pair^i(2@B)).2@V;
+"""
+
+TWO_CALLS = """
+id(y : int) : int = y@Y;
+main() : int = (id^i(1@A)@RA, id^j(2@B)@RB)@P;
+"""
+
+RECURSIVE = """
+wrap(y : int) : int * int = (y@Here, (wrap^r(y)).1@Deep)@P;
+main() : int = (wrap^c(5@S)).1@R;
+"""
+
+
+def show(title: str, analysis: FlowAnalysis | DualFlowAnalysis, pairs) -> None:
+    print(f"--- {title} ---")
+    for source, target, expected in pairs:
+        got = analysis.flows(source, target)
+        marker = "OK " if got == expected else "BUG"
+        print(f"  [{marker}] {source} -> {target}: {got} (expected {expected})")
+        assert got == expected
+    print()
+
+
+def main() -> None:
+    fig11 = FlowAnalysis(FIG11)
+    print(f"Fig 10 bracket machine: {fig11.machine_states} states, "
+          f"monoid {fig11.monoid_size}")
+    show(
+        "Fig 11/12: non-structural subtyping",
+        fig11,
+        [
+            ("B", "V", True),   # the paper's derived fact B ⊆ V
+            ("A", "V", False),  # field sensitivity: .2 rejects comp 1
+            ("B", "Y", False),  # matched-only: B sits in a pending call
+        ],
+    )
+
+    show(
+        "PN queries (partially matched paths)",
+        FlowAnalysis(FIG11, pn=True),
+        [
+            ("B", "Y", True),   # B visible inside the unreturned call
+            ("A", "V", False),  # field sensitivity is kept
+        ],
+    )
+
+    show(
+        "context sensitivity across instantiation sites",
+        FlowAnalysis(TWO_CALLS),
+        [
+            ("A", "RA", True),
+            ("B", "RB", True),
+            ("A", "RB", False),  # no cross-site smearing
+            ("B", "RA", False),
+        ],
+    )
+
+    show(
+        "polymorphic recursion (terminates, stays precise)",
+        FlowAnalysis(RECURSIVE),
+        [
+            ("S", "R", True),    # y returned through the 2nd component
+        ],
+    )
+
+    show(
+        "the dual analysis (§7.6) agrees on matched flow",
+        DualFlowAnalysis(FIG11),
+        [
+            ("B", "V", True),
+            ("A", "V", False),
+        ],
+    )
+    print("All flow facts reproduced.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Inclusion-based points-to analysis as set constraints.
+
+Andersen's analysis is the original large-scale application of the
+cubic set-constraint fragment the paper builds on; here it runs on
+mini-C via the ``ref(get, set)`` constructor encoding (contravariant
+write field), cross-checked against a textbook worklist solver.
+
+Run:  python examples/points_to.py
+"""
+
+from repro.cfg.parser import parse_program
+from repro.pointsto import AndersenAnalysis, NaiveAndersen, extract_pointer_ops
+
+PROGRAM = """
+void store(int **slot, int *value) {
+  *slot = value;
+}
+
+int *pick(int *a, int *b) {
+  if (c) { return a; }
+  return b;
+}
+
+int main() {
+  int x;
+  int y;
+  int *p = &x;
+  int *q = &y;
+  int *chosen = pick(p, q);
+  int *buffer = malloc(64);
+  store(&p, buffer);          // p now may point into the heap
+  int *mirror = p;
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(PROGRAM)
+    analysis = AndersenAnalysis(program)
+
+    interesting = [
+        "main::p",
+        "main::q",
+        "main::chosen",
+        "main::buffer",
+        "main::mirror",
+    ]
+    print("points-to sets (set-constraint solver):")
+    for location in interesting:
+        targets = ", ".join(sorted(analysis.points_to(location))) or "∅"
+        print(f"  pt({location:14}) = {{ {targets} }}")
+
+    print()
+    print("alias queries:")
+    for left, right in [
+        ("main::p", "main::mirror"),
+        ("main::chosen", "main::q"),
+        ("main::buffer", "main::q"),
+    ]:
+        verdict = analysis.may_alias(left, right)
+        print(f"  may-alias({left}, {right}) = {verdict}")
+
+    ops, locations = extract_pointer_ops(program)
+    naive = NaiveAndersen(ops, locations)
+    agreement = analysis.solution() == naive.solution()
+    print()
+    print(f"agrees with the textbook worklist solver on all "
+          f"{len(locations)} locations: {agreement}")
+    assert agreement
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Stack-aware alias queries (Section 7.5).
+
+Points-to sets computed with annotated constraints are *terms* whose
+constructor spines encode the call stack.  Intersecting term solutions
+instead of flat location sets refutes spurious aliases — including the
+classic malloc-wrapper precision loss — at essentially no extra cost.
+
+Run:  python examples/stack_aware_alias.py
+"""
+
+from repro.flow import StackAwareAliasAnalysis
+
+
+def paper_example() -> None:
+    print("--- the §7.5 example ---")
+    print("void main() { foo<1>(&a, &b); foo<2>(&b, &a); }")
+    analysis = StackAwareAliasAnalysis()
+    analysis.call_addresses(1, {"x": "a", "y": "b"})
+    analysis.call_addresses(2, {"x": "b", "y": "a"})
+
+    print(f"flat pt(x) = {sorted(analysis.flat_points_to('x'))}")
+    print(f"flat pt(y) = {sorted(analysis.flat_points_to('y'))}")
+    print(f"naive may-alias(x, y):       {analysis.may_alias_naive('x', 'y')}")
+    print("term solutions:")
+    print(f"  X = {{ {', '.join(sorted(str(t) for t in analysis.terms('x')))} }}")
+    print(f"  Y = {{ {', '.join(sorted(str(t) for t in analysis.terms('y')))} }}")
+    print(f"stack-aware may-alias(x, y): {analysis.may_alias('x', 'y')}")
+    assert analysis.may_alias_naive("x", "y")
+    assert not analysis.may_alias("x", "y")
+    print()
+
+
+def malloc_wrapper() -> None:
+    print("--- the malloc-wrapper problem ---")
+    print("xalloc() wraps one allocation site; p and q call it separately.")
+    analysis = StackAwareAliasAnalysis()
+    analysis.points_to("xalloc_ret", "heap@xalloc")
+    analysis.call(1, {"p": "xalloc_ret"})
+    analysis.call(2, {"q": "xalloc_ret"})
+    print(f"naive may-alias(p, q):       {analysis.may_alias_naive('p', 'q')}")
+    print(f"stack-aware may-alias(p, q): {analysis.may_alias('p', 'q')}")
+    assert analysis.may_alias_naive("p", "q")
+    assert not analysis.may_alias("p", "q")
+    print("the call stack disambiguates the shared allocation site.")
+    print()
+
+
+def genuine_alias() -> None:
+    print("--- a genuine alias is still reported ---")
+    analysis = StackAwareAliasAnalysis()
+    analysis.call_addresses(1, {"x": "shared", "y": "shared"})
+    print(f"stack-aware may-alias(x, y): {analysis.may_alias('x', 'y')}")
+    assert analysis.may_alias("x", "y")
+
+
+def main() -> None:
+    paper_example()
+    malloc_wrapper()
+    genuine_alias()
+
+
+if __name__ == "__main__":
+    main()

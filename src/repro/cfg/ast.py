@@ -1,0 +1,165 @@
+"""AST for the mini-C subset.
+
+Only the control structure and call expressions matter to the analyses;
+arithmetic is parsed but carried opaquely.  All nodes record the source
+line for witness reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Expr:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class String(Expr):
+    value: str = ""
+
+
+@dataclass(frozen=True)
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Assign(Expr):
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    callee: str = ""
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Stmt:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Decl(Stmt):
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    body: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    orelse: Stmt | None = None
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass(frozen=True)
+class Case:
+    """One ``case N:`` (or ``default:`` when value is None) arm."""
+
+    value: int | None
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Switch(Stmt):
+    cond: Expr | None = None
+    cases: tuple[Case, ...] = ()
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    params: tuple[str, ...]
+    body: Block
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    functions: tuple[Function, ...] = ()
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    @property
+    def function_names(self) -> set[str]:
+        return {fn.name for fn in self.functions}
+
+
+def calls_in(expr: Expr | None) -> Iterator[Call]:
+    """All call expressions inside ``expr``, in evaluation order.
+
+    Arguments are visited left to right before the call itself (C's
+    unspecified order pinned down deterministically); for assignments
+    the value is visited before the target.
+    """
+    if expr is None:
+        return
+    if isinstance(expr, Call):
+        for arg in expr.args:
+            yield from calls_in(arg)
+        yield expr
+    elif isinstance(expr, Unary):
+        yield from calls_in(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from calls_in(expr.left)
+        yield from calls_in(expr.right)
+    elif isinstance(expr, Assign):
+        yield from calls_in(expr.value)
+        yield from calls_in(expr.target)

@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``check FILE.c --property NAME`` — model-check a mini-C program
+  against a temporal safety property (``simple-privilege``,
+  ``full-privilege``, ``file-state``, ``chroot-jail``) with either
+  engine;
+* ``dataflow FILE.c --track PRIM ...`` — interprocedural "has PRIM been
+  called" facts at every exec point;
+* ``flow FILE.flow --query SRC DST`` — the Section 7 label-flow
+  analysis on a flow-language program;
+* ``machine NAME --dot`` — print a gallery machine (or its monoid
+  size / DOT rendering);
+* ``spec FILE.spec`` — compile a Section 8 automaton specification and
+  report its states, symbols, and representative-function count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.cfg import build_cfg
+from repro.dfa.gallery import (
+    adversarial_machine,
+    file_state_machine,
+    full_privilege_machine,
+    one_bit_machine,
+    pair_machine,
+    privilege_machine,
+)
+from repro.dfa.monoid import TransitionMonoid
+from repro.dfa.spec import parse_spec
+from repro.modelcheck import (
+    AnnotatedChecker,
+    chroot_property,
+    file_state_property,
+    full_privilege_property,
+    simple_privilege_property,
+)
+from repro.mops import MopsChecker
+
+PROPERTIES: dict[str, Callable] = {
+    "simple-privilege": simple_privilege_property,
+    "full-privilege": full_privilege_property,
+    "file-state": file_state_property,
+    "chroot-jail": chroot_property,
+}
+
+MACHINES: dict[str, Callable] = {
+    "one-bit": one_bit_machine,
+    "privilege": privilege_machine,
+    "full-privilege": full_privilege_machine,
+    "file-state": file_state_machine,
+    "pair": pair_machine,
+    "adversarial-4": lambda: adversarial_machine(4),
+}
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    cfg = build_cfg(source)
+    prop = PROPERTIES[args.property]()
+    if args.engine in ("annotated", "both"):
+        checker = AnnotatedChecker(cfg, prop, collapse_cycles=args.collapse_cycles)
+        result = checker.check(traces=args.traces)
+        print(f"[annotated] {'VIOLATION' if result.has_violation else 'clean'} "
+              f"({len(result.violations)} finding(s), "
+              f"{result.facts} solved-form facts)")
+        shown = 0
+        for violation in result.violations:
+            if shown >= args.max_findings:
+                remaining = len(result.violations) - shown
+                print(f"  ... and {remaining} more")
+                break
+            print(f"  {violation.describe()}")
+            if args.traces:
+                for step in violation.trace:
+                    print(f"      {step.describe()}")
+            shown += 1
+    if args.engine == "demand":
+        from repro.modelcheck import DemandChecker
+
+        checker = DemandChecker(cfg, prop)
+        result_has = checker.has_violation()
+        print(f"[demand]    {'VIOLATION' if result_has else 'clean'} "
+              f"({len(checker.violation_nodes())} error node(s))")
+        for node in checker.violation_nodes()[: args.max_findings]:
+            print(f"  error reachable at {node.describe()}")
+        return 1 if result_has else 0
+    if args.engine in ("mops", "both"):
+        result = MopsChecker(cfg, prop).check()
+        print(f"[mops]      {'VIOLATION' if result.has_violation else 'clean'} "
+              f"({len(result.error_nodes)} error node(s))")
+        for node in result.error_nodes[: args.max_findings]:
+            print(f"  error reachable at {node.describe()}")
+    has = (
+        AnnotatedChecker(cfg, prop).has_violation()
+        if args.engine == "mops"
+        else result.has_violation
+    )
+    return 1 if has else 0
+
+
+def _cmd_dataflow(args: argparse.Namespace) -> int:
+    from repro.dataflow import AnnotatedBitVectorAnalysis
+    from repro.dataflow.problems import call_tracking_problem
+
+    with open(args.file) as handle:
+        source = handle.read()
+    cfg = build_cfg(source)
+    problem = call_tracking_problem(cfg, args.track)
+    analysis = AnnotatedBitVectorAnalysis(cfg, problem)
+    print(f"facts: {', '.join(problem.facts)}")
+    for node in cfg.all_nodes():
+        if node.call is None:
+            continue
+        held = analysis.may_hold(node)
+        if held:
+            names = ", ".join(problem.facts[i] for i in sorted(held))
+            print(f"  {node.describe():40} may-hold: {names}")
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.flow import FlowAnalysis
+
+    with open(args.file) as handle:
+        source = handle.read()
+    analysis = FlowAnalysis(source, pn=args.pn)
+    print(f"labels: {', '.join(sorted(analysis.labels))}")
+    print(f"bracket machine: {analysis.machine_states} states, "
+          f"monoid {analysis.monoid_size}")
+    if args.query:
+        src, dst = args.query
+        verdict = analysis.flows(src, dst)
+        print(f"{src} -> {dst}: {verdict}")
+        return 0 if verdict else 1
+    for src, dst in sorted(analysis.flow_pairs()):
+        print(f"  {src} -> {dst}")
+    return 0
+
+
+def _cmd_machine(args: argparse.Namespace) -> int:
+    machine = MACHINES[args.name]()
+    monoid = TransitionMonoid(machine, max_size=100_000)
+    print(f"machine {args.name}: {machine.n_states} states, "
+          f"{len(machine.alphabet)} symbols, |F_M| = {monoid.size()}")
+    if args.dot:
+        from repro.render import dfa_to_dot
+
+        print(dfa_to_dot(machine, title=args.name))
+    return 0
+
+
+def _cmd_specialize(args: argparse.Namespace) -> int:
+    import json
+
+    with open(args.file) as handle:
+        spec = parse_spec(handle.read())
+    machine = spec.to_dfa()
+    monoid = TransitionMonoid(machine, max_size=args.max_size)
+    elements, table = monoid.composition_table()
+    payload = {
+        "states": spec.states,
+        "start": spec.start,
+        "accepting": sorted(spec.accepting),
+        "alphabet": sorted(spec.symbols),
+        "functions": [list(fn.mapping) for fn in elements],
+        "accepting_functions": [
+            i for i, fn in enumerate(elements) if monoid.is_accepting(fn)
+        ],
+        "compose": table,
+    }
+    text = json.dumps(payload, indent=None if args.compact else 2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"specialized {len(elements)} representative functions "
+              f"-> {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        spec = parse_spec(handle.read())
+    machine = spec.to_dfa()
+    monoid = TransitionMonoid(machine, max_size=200_000)
+    print(f"states: {', '.join(spec.states)} (start {spec.start}, "
+          f"accept {sorted(spec.accepting)})")
+    print(f"symbols: {', '.join(sorted(spec.symbols))}")
+    if spec.parametric_symbols:
+        print(f"parametric: {', '.join(sorted(spec.parametric_symbols))}")
+    print(f"|F_M| = {monoid.size()}")
+    if args.dot:
+        from repro.render import dfa_to_dot
+
+        names = {i: name for i, name in enumerate(spec.states)}
+        print(dfa_to_dot(machine, state_names=names, title="spec"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regularly annotated set constraints (PLDI 2007)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="model-check a mini-C program")
+    check.add_argument("file")
+    check.add_argument("--property", choices=sorted(PROPERTIES), required=True)
+    check.add_argument(
+        "--engine",
+        choices=["annotated", "mops", "demand", "both"],
+        default="annotated",
+    )
+    check.add_argument("--traces", action="store_true", help="print witnesses")
+    check.add_argument("--collapse-cycles", action="store_true")
+    check.add_argument("--max-findings", type=int, default=10)
+    check.set_defaults(handler=_cmd_check)
+
+    dataflow = commands.add_parser("dataflow", help="interprocedural gen/kill")
+    dataflow.add_argument("file")
+    dataflow.add_argument("--track", nargs="+", required=True)
+    dataflow.set_defaults(handler=_cmd_dataflow)
+
+    flow = commands.add_parser("flow", help="Section 7 label-flow analysis")
+    flow.add_argument("file")
+    flow.add_argument("--query", nargs=2, metavar=("SRC", "DST"))
+    flow.add_argument("--pn", action="store_true", help="partially matched paths")
+    flow.set_defaults(handler=_cmd_flow)
+
+    machine = commands.add_parser("machine", help="inspect a gallery machine")
+    machine.add_argument("name", choices=sorted(MACHINES))
+    machine.add_argument("--dot", action="store_true")
+    machine.set_defaults(handler=_cmd_machine)
+
+    spec = commands.add_parser("spec", help="compile a §8 automaton spec")
+    spec.add_argument("file")
+    spec.add_argument("--dot", action="store_true")
+    spec.set_defaults(handler=_cmd_spec)
+
+    specialize = commands.add_parser(
+        "specialize",
+        help="emit the §8 specializer output: F_M and its ∘ lookup table",
+    )
+    specialize.add_argument("file")
+    specialize.add_argument("-o", "--output")
+    specialize.add_argument("--compact", action="store_true")
+    specialize.add_argument("--max-size", type=int, default=100_000)
+    specialize.set_defaults(handler=_cmd_specialize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Annotation algebras — what the solver composes during closure.
+
+The constraint solver is generic over the annotation domain.  It needs
+exactly the operations the transitive-closure rule of Section 3.1 uses:
+
+* an identity element (``f_ε``),
+* an associative composition (``then`` in word order — the paper's
+  ``g ∘ f`` is ``then(f, g)``),
+* a *liveness* test used to drop annotations that are "necessarily
+  non-accepting" (the paper's minimality-based pruning), and
+* hashability, so derived constraints deduplicate — the termination
+  argument of Lemma 3.1 is precisely that annotations range over a
+  finite set.
+
+Three algebras are provided:
+
+* :class:`MonoidAlgebra` — representative functions of a property DFA,
+  the paper's main construction (Section 2.4);
+* :class:`ProductAlgebra` — component-wise products, used for n-bit
+  gen/kill languages without building the ``2^n``-state product machine
+  (Sections 3.3, 4);
+* :class:`repro.core.parametric.ParametricAlgebra` — substitution
+  environments for parametric annotations (Section 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Protocol, Sequence
+
+from repro.dfa.automaton import DFA, Symbol
+from repro.dfa.monoid import RepresentativeFunction, TransitionMonoid
+
+Annotation = Hashable
+
+
+class AnnotationAlgebra(Protocol):
+    """The operations the solver requires of an annotation domain."""
+
+    identity: Annotation
+
+    def then(self, first: Annotation, second: Annotation) -> Annotation:
+        """Composition in word order: ``first``'s word, then ``second``'s."""
+        ...
+
+    def is_live(self, annotation: Annotation) -> bool:
+        """May words of this class still extend to a word of interest?"""
+        ...
+
+
+class MonoidAlgebra:
+    """Annotations are representative functions of a property machine.
+
+    This is the paper's bidirectional-solver domain: each annotation is
+    an element of ``F_M^≡`` and composition is function composition
+    (constant-time table lookup once memoized).
+    """
+
+    def __init__(self, machine: DFA, eager: bool = True, max_size: int = 500_000):
+        self.machine = machine
+        self.monoid = TransitionMonoid(machine, eager=eager, max_size=max_size)
+        self.identity = self.monoid.identity
+        self._live_memo: dict[RepresentativeFunction, bool] = {}
+
+    def symbol(self, symbol: Symbol) -> RepresentativeFunction:
+        """The annotation ``f_σ`` of a single alphabet symbol."""
+        return self.monoid.generator(symbol)
+
+    def word(self, word: Iterable[Symbol]) -> RepresentativeFunction:
+        """The annotation of an arbitrary word over the alphabet."""
+        return self.monoid.of_word(word)
+
+    def then(
+        self, first: RepresentativeFunction, second: RepresentativeFunction
+    ) -> RepresentativeFunction:
+        return self.monoid.then(first, second)
+
+    def is_live(self, annotation: RepresentativeFunction) -> bool:
+        cached = self._live_memo.get(annotation)
+        if cached is None:
+            cached = self.monoid.is_live(annotation)
+            self._live_memo[annotation] = cached
+        return cached
+
+    def is_accepting(self, annotation: RepresentativeFunction) -> bool:
+        """Does the annotation represent full words of ``L(M)``?"""
+        return self.monoid.is_accepting(annotation)
+
+    def state_after(self, annotation: RepresentativeFunction) -> int:
+        """The machine state reached from the start by the annotation."""
+        return annotation(self.machine.start)
+
+
+class UnannotatedAlgebra:
+    """The trivial one-element algebra — ordinary set constraints.
+
+    Solving with this algebra is exactly the classical cubic fragment;
+    it exists so the solver can serve as its own unannotated baseline in
+    the complexity benchmarks (Section 4's ``O(n^3)`` reference point).
+    """
+
+    identity = ()
+
+    def then(self, first: tuple, second: tuple) -> tuple:
+        return ()
+
+    def is_live(self, annotation: tuple) -> bool:
+        return True
+
+    def is_accepting(self, annotation: tuple) -> bool:
+        return True
+
+
+class ProductAlgebra:
+    """Component-wise product of annotation algebras.
+
+    An n-bit gen/kill language (Section 3.3) is the product of n one-bit
+    machines; representing annotations as tuples of one-bit functions
+    keeps composition ``O(n)`` instead of materializing the exponential
+    product machine.  Deadness is approximated component-wise (a product
+    annotation is dead if *any* component is dead — necessary, not
+    sufficient, hence sound for pruning).
+    """
+
+    def __init__(self, components: Sequence[Any]):
+        if not components:
+            raise ValueError("ProductAlgebra needs at least one component")
+        self.components = tuple(components)
+        self.identity = tuple(c.identity for c in self.components)
+
+    def then(self, first: tuple, second: tuple) -> tuple:
+        return tuple(
+            algebra.then(f, s)
+            for algebra, f, s in zip(self.components, first, second)
+        )
+
+    def is_live(self, annotation: tuple) -> bool:
+        return all(
+            algebra.is_live(component)
+            for algebra, component in zip(self.components, annotation)
+        )
+
+    def accepting_bits(self, annotation: tuple) -> tuple[bool, ...]:
+        """Per-component acceptance — e.g. which dataflow facts hold."""
+        return tuple(
+            algebra.is_accepting(component)
+            for algebra, component in zip(self.components, annotation)
+        )
+
+    def is_accepting(self, annotation: tuple) -> bool:
+        """Accepting in the product language (all components accept)."""
+        return all(self.accepting_bits(annotation))

@@ -1,0 +1,33 @@
+"""Exception types and inconsistency records for the constraint solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class ConstraintError(ValueError):
+    """Raised for malformed constraints (e.g. a projection on the right)."""
+
+
+class NoSolutionError(RuntimeError):
+    """Raised when an operation requires a consistent system but the
+    resolution rules discovered a manifest contradiction."""
+
+
+@dataclass(frozen=True)
+class Inconsistency:
+    """A manifestly inconsistent constraint ``c^α(...) ⊆^f d^β(...)``.
+
+    The resolution rules (Section 3.1) mark such meets as having no
+    solution.  Real implementations keep solving and report all
+    inconsistencies; we do the same, recording the offending source,
+    sink, and the annotation of the connecting path.
+    """
+
+    source: Any
+    sink: Any
+    annotation: Any
+
+    def __str__(self) -> str:
+        return f"inconsistent constraint: {self.source} ⊆^{self.annotation} {self.sink}"

@@ -1,0 +1,279 @@
+"""Parametric annotations via substitution environments (Section 6.4).
+
+Some properties correlate events on the *same datum* — ``open(x)`` must
+be matched by ``close(x)`` for the same descriptor ``x``.  The property
+automaton is written once with parameters, and each concrete label
+(``fd1``, ``fd2``, ...) conceptually instantiates a fresh copy; the
+product of all copies is the real property machine.  Because the solver
+is specialized before the program (and hence the set of labels) is
+known, instantiation happens *lazily* through substitution environments:
+
+    [(x: fd1) -> f;  (x: fd2) -> g  |  r]
+
+maps instantiated parameter bindings to representative functions of the
+single-copy machine, with a *residual* function ``r`` recording the
+non-parametric transitions seen so far.  In any environment the residual
+has already been incorporated into every existing entry; entries only
+consult the residual when a *new* instantiation appears during
+composition.  Composition is pointwise: ``(φ1 ∘ φ2)(i) = φ1(i) ∘ φ2(i)``
+where ``φ(i)`` is the largest entry compatible with ``i``, falling back
+to the residual.
+
+Multiple parameters (Section 6.4.2) are supported: entry keys are sets
+of ``(parameter, label)`` pairs; compatible entries merge to the union
+of their bindings during composition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.dfa.automaton import DFA, Symbol
+from repro.dfa.monoid import RepresentativeFunction
+from repro.core.annotations import MonoidAlgebra
+
+Binding = tuple[str, str]
+EntryKey = frozenset[Binding]
+
+
+def _consistent(left: EntryKey, right: EntryKey) -> bool:
+    """No parameter bound to two different labels across the two keys."""
+    bindings = dict(left)
+    return all(bindings.get(param, label) == label for param, label in right)
+
+
+def _canonical(key: EntryKey) -> tuple[Binding, ...]:
+    return tuple(sorted(key))
+
+
+class SubstitutionEnvironment:
+    """An immutable, hashable substitution environment.
+
+    ``entries`` maps instantiation keys (frozensets of parameter/label
+    bindings) to representative functions; ``residual`` is the function
+    of the non-parametric transitions.
+    """
+
+    __slots__ = ("entries", "residual", "_hash")
+
+    def __init__(
+        self,
+        entries: Mapping[EntryKey, RepresentativeFunction] | Iterable[
+            tuple[EntryKey, RepresentativeFunction]
+        ],
+        residual: RepresentativeFunction,
+    ):
+        items = dict(entries)
+        normalized = _normalize(items, residual)
+        object.__setattr__(
+            self,
+            "entries",
+            tuple(
+                sorted(
+                    normalized.items(),
+                    key=lambda kv: (len(kv[0]), _canonical(kv[0])),
+                )
+            ),
+        )
+        object.__setattr__(self, "residual", residual)
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    tuple((_canonical(k), fn) for k, fn in self.entries),
+                    residual,
+                )
+            ),
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SubstitutionEnvironment is immutable")
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, key: EntryKey) -> RepresentativeFunction:
+        """``φ(i)``: the largest entry ``i`` is compatible with, else the
+        residual.  Ties are broken canonically (they are behaviourally
+        irrelevant after normalization)."""
+        best: tuple[int, tuple[Binding, ...]] | None = None
+        best_fn = self.residual
+        for entry_key, fn in self.entries:
+            if len(entry_key) > len(key):
+                continue
+            if not _consistent(entry_key, key):
+                continue
+            rank = (len(entry_key), _canonical(entry_key))
+            if best is None or rank > best:
+                best = rank
+                best_fn = fn
+        return best_fn
+
+    def domain(self) -> tuple[EntryKey, ...]:
+        return tuple(k for k, _fn in self.entries)
+
+    # -- algebra -------------------------------------------------------------
+
+    def then(self, other: "SubstitutionEnvironment") -> "SubstitutionEnvironment":
+        """Composition in word order (the paper's ``other ∘ self``).
+
+        The result's domain is every consistent merge of an entry key
+        from each side (including the empty key for either side), and
+        each merged instantiation composes the two sides' lookups.
+        """
+        keys: set[EntryKey] = set()
+        left_keys = [k for k, _ in self.entries] + [frozenset()]
+        right_keys = [k for k, _ in other.entries] + [frozenset()]
+        for k1 in left_keys:
+            for k2 in right_keys:
+                if _consistent(k1, k2):
+                    merged = k1 | k2
+                    if merged:
+                        keys.add(merged)
+        entries = {
+            key: self.lookup(key).then(other.lookup(key)) for key in keys
+        }
+        return SubstitutionEnvironment(entries, self.residual.then(other.residual))
+
+    def is_identity(self) -> bool:
+        return not self.entries and self.residual.is_identity()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SubstitutionEnvironment)
+            and self.entries == other.entries
+            and self.residual == other.residual
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = [
+            f"({', '.join(f'{p}: {label}' for p, label in _canonical(key))}) -> {fn!r}"
+            for key, fn in self.entries
+        ]
+        return f"[{'; '.join(parts)} | {self.residual!r}]"
+
+
+def _normalize(
+    entries: dict[EntryKey, RepresentativeFunction],
+    residual: RepresentativeFunction,
+) -> dict[EntryKey, RepresentativeFunction]:
+    """Drop entries that lookup would reconstruct anyway.
+
+    An entry is redundant when its function equals the lookup result
+    computed from the *remaining* entries and the residual.  Pruning
+    keeps environments canonical, so behaviourally equal environments
+    compare (and hash) equal — which is what bounds the annotation
+    domain and preserves the termination argument of Lemma 3.1.
+    """
+    kept = dict(entries)
+    changed = True
+    while changed:
+        changed = False
+        for key in sorted(kept, key=lambda k: (-len(k), _canonical(k))):
+            fn = kept[key]
+            trial = dict(kept)
+            del trial[key]
+            probe = SubstitutionEnvironment.__new__(SubstitutionEnvironment)
+            object.__setattr__(
+                probe,
+                "entries",
+                tuple(
+                    sorted(
+                        trial.items(), key=lambda kv: (len(kv[0]), _canonical(kv[0]))
+                    )
+                ),
+            )
+            object.__setattr__(probe, "residual", residual)
+            if probe.lookup(key) == fn:
+                del kept[key]
+                changed = True
+    return kept
+
+
+class ParametricAlgebra:
+    """Annotation algebra of substitution environments over one machine.
+
+    ``machine`` is the single-copy property DFA (e.g. Fig 5's file-state
+    machine); ``parametric_symbols`` names the alphabet symbols that
+    carry parameters, with their parameter name lists.
+    """
+
+    def __init__(
+        self,
+        machine: DFA,
+        parametric_symbols: Mapping[str, tuple[str, ...]] | None = None,
+        eager: bool = True,
+    ):
+        self.base = MonoidAlgebra(machine, eager=eager)
+        self.machine = machine
+        self.parametric_symbols = dict(parametric_symbols or {})
+        self.identity = SubstitutionEnvironment({}, self.base.identity)
+        self._memo: dict[
+            tuple[SubstitutionEnvironment, SubstitutionEnvironment],
+            SubstitutionEnvironment,
+        ] = {}
+
+    def symbol(
+        self, symbol: Symbol, labels: Iterable[str] | None = None
+    ) -> SubstitutionEnvironment:
+        """The annotation of one program event.
+
+        For a parametric symbol, ``labels`` supplies the concrete labels
+        for its parameters (e.g. the descriptor name for ``open(x)``)
+        and the result is a single-entry environment with an identity
+        residual.  For a plain symbol the result is an empty environment
+        whose residual is the symbol's representative function.
+        """
+        fn = self.base.symbol(symbol)
+        params = self.parametric_symbols.get(symbol)
+        if params is None:
+            if labels is not None:
+                raise ValueError(f"symbol {symbol!r} is not parametric")
+            return SubstitutionEnvironment({}, fn)
+        labels = tuple(labels or ())
+        if len(labels) != len(params):
+            raise ValueError(
+                f"symbol {symbol!r} expects {len(params)} label(s), got {len(labels)}"
+            )
+        key: EntryKey = frozenset(zip(params, labels))
+        return SubstitutionEnvironment({key: fn}, self.base.identity)
+
+    def then(
+        self, first: SubstitutionEnvironment, second: SubstitutionEnvironment
+    ) -> SubstitutionEnvironment:
+        memo_key = (first, second)
+        cached = self._memo.get(memo_key)
+        if cached is None:
+            cached = first.then(second)
+            self._memo[memo_key] = cached
+        return cached
+
+    def is_live(self, annotation: SubstitutionEnvironment) -> bool:
+        if self.base.is_live(annotation.residual):
+            return True
+        return any(self.base.is_live(fn) for _key, fn in annotation.entries)
+
+    def accepting_instantiations(
+        self, annotation: SubstitutionEnvironment
+    ) -> list[EntryKey]:
+        """Instantiations whose function reaches the accept set."""
+        return [
+            key for key, fn in annotation.entries if self.base.is_accepting(fn)
+        ]
+
+    def is_accepting(self, annotation: SubstitutionEnvironment) -> bool:
+        """Accepting for some instantiation, or via the residual alone."""
+        if self.base.is_accepting(annotation.residual):
+            return True
+        return bool(self.accepting_instantiations(annotation))
+
+    def states_of(
+        self, annotation: SubstitutionEnvironment
+    ) -> dict[EntryKey, int]:
+        """Machine state reached from the start, per instantiation."""
+        return {
+            key: fn(self.machine.start) for key, fn in annotation.entries
+        }

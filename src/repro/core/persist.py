@@ -1,0 +1,233 @@
+"""Serialization of machines and solved constraint systems.
+
+The BANSHEE toolkit's headline engineering features beyond solving were
+persistence and backtracking — serialize a solved constraint graph once
+(e.g. for a library), reload it into later analyses, and retract
+speculative constraints.  Backtracking lives on the solver
+(:meth:`repro.core.solver.Solver.mark` / ``rollback``); this module
+provides the persistence half as plain JSON:
+
+* :func:`dfa_to_dict` / :func:`dfa_from_dict` — property machines
+  (alphabet symbols must be JSON-representable: strings, or nested
+  lists/tuples of strings — tuples round-trip as tagged lists);
+* :func:`dump_solver` / :func:`load_solver` — a solved system's facts
+  (lower/upper bounds, edges, projection sinks) with representative-
+  function annotations.  Loading restores the *solved form* directly —
+  no re-closure — and the system remains open: adding constraints
+  afterwards resumes online solving on top of the loaded facts.
+
+Only :class:`~repro.core.annotations.MonoidAlgebra` and
+:class:`~repro.core.annotations.UnannotatedAlgebra` systems are
+supported (parametric substitution environments would need their own
+encoding; nothing in the applications serializes those).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.annotations import MonoidAlgebra, UnannotatedAlgebra
+from repro.core.solver import Reason, Solver
+from repro.core.terms import Constructed, Constructor, Variable
+from repro.dfa.automaton import DFA
+from repro.dfa.monoid import RepresentativeFunction
+
+FORMAT_VERSION = 1
+
+
+# -- symbols: JSON-safe encoding of hashable alphabet symbols -----------------
+
+
+def _encode_symbol(symbol: Any) -> Any:
+    if isinstance(symbol, str):
+        return symbol
+    if isinstance(symbol, tuple):
+        return {"t": [_encode_symbol(part) for part in symbol]}
+    if isinstance(symbol, (int, bool)) or symbol is None:
+        return {"v": symbol}
+    raise TypeError(f"cannot serialize alphabet symbol {symbol!r}")
+
+
+def _decode_symbol(data: Any) -> Any:
+    if isinstance(data, str):
+        return data
+    if isinstance(data, dict) and "t" in data:
+        return tuple(_decode_symbol(part) for part in data["t"])
+    if isinstance(data, dict) and "v" in data:
+        return data["v"]
+    raise TypeError(f"cannot deserialize alphabet symbol {data!r}")
+
+
+# -- machines -------------------------------------------------------------------
+
+
+def dfa_to_dict(machine: DFA) -> dict:
+    """A JSON-representable description of a DFA."""
+    symbols = sorted(machine.alphabet, key=repr)
+    return {
+        "version": FORMAT_VERSION,
+        "n_states": machine.n_states,
+        "start": machine.start,
+        "accepting": sorted(machine.accepting),
+        "alphabet": [_encode_symbol(s) for s in symbols],
+        "delta": [
+            [machine.delta[(state, symbol)] for symbol in symbols]
+            for state in range(machine.n_states)
+        ],
+    }
+
+
+def dfa_from_dict(data: dict) -> DFA:
+    symbols = [_decode_symbol(s) for s in data["alphabet"]]
+    delta = {
+        (state, symbol): row[index]
+        for state, row in enumerate(data["delta"])
+        for index, symbol in enumerate(symbols)
+    }
+    return DFA(
+        n_states=data["n_states"],
+        alphabet=frozenset(symbols),
+        start=data["start"],
+        accepting=frozenset(data["accepting"]),
+        delta=delta,
+    )
+
+
+# -- solved systems ----------------------------------------------------------------
+
+
+def _encode_annotation(ann: Any) -> Any:
+    if isinstance(ann, RepresentativeFunction):
+        return list(ann.mapping)
+    if ann == ():
+        return None  # the unannotated algebra's identity
+    raise TypeError(f"cannot serialize annotation {ann!r}")
+
+
+def _decode_annotation(data: Any) -> Any:
+    if data is None:
+        return ()
+    return RepresentativeFunction(tuple(data))
+
+
+def _encode_constructed(expr: Constructed) -> dict:
+    ctor = expr.constructor
+    return {
+        "name": ctor.name,
+        "arity": ctor.arity,
+        "variance": list(ctor.variance) if ctor.variance is not None else None,
+        "args": [arg.name for arg in expr.args],
+    }
+
+
+def _decode_constructed(data: dict) -> Constructed:
+    variance = tuple(data["variance"]) if data["variance"] is not None else None
+    ctor = Constructor(data["name"], data["arity"], variance)
+    return Constructed(ctor, tuple(Variable(n) for n in data["args"]))
+
+
+def dump_solver(solver: Solver) -> str:
+    """Serialize a solver's solved form (and its machine, if any)."""
+    algebra = solver.algebra
+    if isinstance(algebra, MonoidAlgebra):
+        machine_data: dict | None = dfa_to_dict(algebra.machine)
+    elif isinstance(algebra, UnannotatedAlgebra):
+        machine_data = None
+    else:
+        raise TypeError(
+            f"cannot serialize systems over {type(algebra).__name__}"
+        )
+    lowers = []
+    uppers = []
+    edges = []
+    projections = []
+    for var in sorted(solver.variables(), key=lambda v: v.name):
+        for src, ann in solver.lower_bounds(var):
+            lowers.append(
+                [var.name, _encode_constructed(src), _encode_annotation(ann)]
+            )
+        for snk, ann in solver.upper_bounds(var):
+            uppers.append(
+                [var.name, _encode_constructed(snk), _encode_annotation(ann)]
+            )
+        for dst, ann in solver.edges_from(var):
+            edges.append([var.name, dst.name, _encode_annotation(ann)])
+        for ctor, index, target, ann in solver.projection_sinks(var):
+            projections.append(
+                [
+                    var.name,
+                    {
+                        "name": ctor.name,
+                        "arity": ctor.arity,
+                        "variance": list(ctor.variance)
+                        if ctor.variance is not None
+                        else None,
+                    },
+                    index,
+                    target.name,
+                    _encode_annotation(ann),
+                ]
+            )
+    return json.dumps(
+        {
+            "version": FORMAT_VERSION,
+            "machine": machine_data,
+            "pn_projections": solver.pn_projections,
+            "prune_dead": solver.prune_dead,
+            "lowers": lowers,
+            "uppers": uppers,
+            "edges": edges,
+            "projections": projections,
+        }
+    )
+
+
+def load_solver(text: str) -> Solver:
+    """Reconstruct a solver holding an already-closed solved form.
+
+    Facts are installed directly (the dump was closed, so re-closing is
+    unnecessary work the loader skips); further ``add`` calls resume
+    online solving from this state.
+    """
+    data = json.loads(text)
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported dump version {data.get('version')!r}")
+    if data["machine"] is not None:
+        algebra: Any = MonoidAlgebra(dfa_from_dict(data["machine"]))
+    else:
+        algebra = UnannotatedAlgebra()
+    solver = Solver(
+        algebra,
+        pn_projections=data.get("pn_projections", False),
+        prune_dead=data.get("prune_dead", True),
+    )
+    loaded = Reason("loaded")
+    for var_name, src_data, ann_data in data["lowers"]:
+        var = Variable(var_name)
+        key = (_decode_constructed(src_data), _decode_annotation(ann_data))
+        solver._lower.setdefault(var, {})[key] = None
+        solver._reasons.setdefault(("lower", var, *key), loaded)
+    for var_name, snk_data, ann_data in data["uppers"]:
+        var = Variable(var_name)
+        key = (_decode_constructed(snk_data), _decode_annotation(ann_data))
+        solver._upper.setdefault(var, {})[key] = None
+        solver._reasons.setdefault(("upper", var, *key), loaded)
+    for src_name, dst_name, ann_data in data["edges"]:
+        src, dst = Variable(src_name), Variable(dst_name)
+        ann = _decode_annotation(ann_data)
+        solver._succ.setdefault(src, {})[(dst, ann)] = None
+        solver._pred.setdefault(dst, {})[(src, ann)] = None
+        solver._reasons.setdefault(("edge", src, dst, ann), loaded)
+    for var_name, ctor_data, index, target_name, ann_data in data["projections"]:
+        var = Variable(var_name)
+        variance = (
+            tuple(ctor_data["variance"])
+            if ctor_data["variance"] is not None
+            else None
+        )
+        ctor = Constructor(ctor_data["name"], ctor_data["arity"], variance)
+        key = (ctor, index, Variable(target_name), _decode_annotation(ann_data))
+        solver._proj.setdefault(var, {})[key] = None
+        solver._reasons.setdefault(("proj", var, *key), loaded)
+    return solver

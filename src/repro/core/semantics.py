@@ -1,0 +1,196 @@
+"""A reference implementation of the Section 2 denotational semantics.
+
+This module exists for validation, not performance: it computes least
+solutions of (lower-bound) annotated constraint systems directly over
+ground annotated terms with explicit *words*, exactly as Section 2
+defines them —
+
+* an assignment maps set variables to sets of annotated terms;
+* ``ρ`` is a solution of ``se1 ⊆^w se2`` iff ``ρ(se1)·w ⊆ ρ(se2)``,
+  where ``t·w`` appends the word at every constructor level;
+* constructed expressions build terms whose fresh constructor carries
+  the empty word (the query convention ``f_ε ⊆ α`` of Section 3.2);
+* projections select components.
+
+The test suite compares the solver's representative-function facts
+against this word-level model via the ``≡_M`` congruence (a term with
+word ``w`` matches a solver fact with annotation ``f`` iff
+``f = δ(w, ·)``, Theorem 2.1).
+
+Only constraints without constructed *upper* bounds are supported —
+upper bounds restrict rather than generate, so they have no place in a
+least-solution generator (the solver's decomposition of them is
+validated separately by unit tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ConstraintError
+from repro.core.terms import (
+    Constructed,
+    Constructor,
+    GroundTerm,
+    Projection,
+    SetExpression,
+    Variable,
+)
+from repro.dfa.automaton import DFA, Symbol
+
+#: The undefined term ⊥ of the Section 2.1 domain.  Constructors are
+#: non-strict, so ``c(t, ⊥)`` is a term; ``⊥ · w = ⊥``; every
+#: (non-empty) downward-closed set contains ⊥, which we model by always
+#: offering ⊥ as a constructor argument.
+BOTTOM = GroundTerm(Constructor("__bottom__", 0), ())
+
+
+def is_bottom(term: GroundTerm) -> bool:
+    return term.constructor.name == "__bottom__"
+
+
+def append_word(term: GroundTerm, word: tuple) -> GroundTerm:
+    """``t · w`` respecting ``⊥ · w = ⊥``."""
+    if is_bottom(term):
+        return term
+    return GroundTerm(
+        term.constructor,
+        term.annotation + tuple(word),
+        tuple(append_word(child, word) for child in term.children),
+    )
+
+
+@dataclass(frozen=True)
+class WordConstraint:
+    """A surface constraint ``lhs ⊆^word rhs`` with an explicit word."""
+
+    lhs: SetExpression
+    rhs: Variable
+    word: tuple[Symbol, ...] = ()
+
+
+class ReferenceSemantics:
+    """Word-level least solutions for lower-bound constraint systems."""
+
+    def __init__(
+        self,
+        machine: DFA,
+        constraints: Iterable[WordConstraint],
+        max_depth: int = 4,
+        max_word: int = 8,
+        max_iterations: int = 50,
+    ):
+        self.machine = machine
+        self.constraints = list(constraints)
+        self.max_depth = max_depth
+        self.max_word = max_word
+        self.max_iterations = max_iterations
+        for constraint in self.constraints:
+            if not isinstance(constraint.rhs, Variable):
+                raise ConstraintError(
+                    "reference semantics supports variable right-hand sides only"
+                )
+        self.solution = self._least_solution()
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _admissible(self, term: GroundTerm) -> bool:
+        """Cut off terms beyond the depth/word bounds (approximation)."""
+        if term.depth() > self.max_depth or len(term.annotation) > self.max_word:
+            return False
+        return all(self._admissible(child) for child in term.children)
+
+    def _evaluate(
+        self,
+        expr: SetExpression,
+        rho: dict[Variable, set[GroundTerm]],
+    ) -> set[GroundTerm]:
+        if isinstance(expr, Variable):
+            return rho.get(expr, set())
+        if isinstance(expr, Constructed):
+            child_sets = []
+            for arg in expr.args:
+                if not isinstance(arg, Variable):
+                    raise ConstraintError(
+                        "reference semantics needs variable constructor arguments"
+                    )
+                # Non-strict constructors: ⊥ is always available as a
+                # component (the downward-closure of any solution).
+                child_sets.append(rho.get(arg, set()) | {BOTTOM})
+            if expr.is_constant:
+                return {GroundTerm(expr.constructor, ())}
+            results: set[GroundTerm] = set()
+            for children in itertools.product(*child_sets):
+                results.add(GroundTerm(expr.constructor, (), tuple(children)))
+            return results
+        if isinstance(expr, Projection):
+            results = set()
+            for term in rho.get(expr.operand, set()):
+                if (
+                    term.constructor == expr.constructor
+                    and len(term.children) >= expr.index
+                ):
+                    results.add(term.children[expr.index - 1])
+            return results
+        raise ConstraintError(f"unsupported expression {expr!r}")
+
+    def _least_solution(self) -> dict[Variable, set[GroundTerm]]:
+        rho: dict[Variable, set[GroundTerm]] = {}
+        for _ in range(self.max_iterations):
+            changed = False
+            for constraint in self.constraints:
+                produced = self._evaluate(constraint.lhs, rho)
+                target = rho.setdefault(constraint.rhs, set())
+                for term in produced:
+                    appended = append_word(term, constraint.word)
+                    if is_bottom(appended):
+                        continue  # ⊥ is implicitly everywhere
+                    if self._admissible(appended) and appended not in target:
+                        target.add(appended)
+                        changed = True
+            if not changed:
+                return rho
+        return rho  # bounded approximation for recursive systems
+
+    # -- queries -------------------------------------------------------------
+
+    def terms_of(self, var: Variable) -> set[GroundTerm]:
+        return set(self.solution.get(var, set()))
+
+    def constants_with_words(
+        self, var: Variable
+    ) -> set[tuple[str, tuple[Symbol, ...]]]:
+        """All (constant name, accumulated word) pairs in ``var``'s
+        least solution, descending through constructors.
+
+        The word a nested constant has seen is simply its own
+        annotation — ``·`` already appended every enclosing journey to
+        it — so this is the word-level mirror of the query engine's
+        PN reachability table.
+        """
+        found: set[tuple[str, tuple[Symbol, ...]]] = set()
+
+        def walk(term: GroundTerm) -> None:
+            if is_bottom(term):
+                return
+            if not term.children:
+                found.add((term.constructor.name, term.annotation))
+            for child in term.children:
+                walk(child)
+
+        for term in self.solution.get(var, set()):
+            walk(term)
+        return found
+
+    def entails_constant(
+        self, var: Variable, name: str, accepting_only: bool = True
+    ) -> bool:
+        """The Section 3.2 simple query, decided at the word level."""
+        for const_name, word in self.constants_with_words(var):
+            if const_name != name:
+                continue
+            if not accepting_only or self.machine.accepts(word):
+                return True
+        return False

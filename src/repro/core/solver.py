@@ -1,0 +1,482 @@
+"""The bidirectional annotated-constraint solver (Section 3).
+
+The solver maintains the constraint graph in *standard form*:
+
+* ``lower``  — constructed lower bounds ``c(...) ⊆^f X`` per variable,
+* ``upper``  — constructed upper bounds ``X ⊆^g c(...)`` per variable,
+* ``succ``   — annotated variable-variable edges ``X ⊆^g Y``,
+* ``proj``   — projection sinks ``c^{-i}(X) ⊆^g Z`` attached to ``X``,
+
+and closes it under the resolution rules of Section 3.1 with a worklist:
+
+* **transitive closure** — a lower bound reaching ``X`` with annotation
+  ``f`` crosses an edge ``X ⊆^g Y`` as ``then(f, g)`` (the paper's
+  ``g ∘ f``, a constant-time monoid operation);
+* **constructor meet** — when a lower bound ``c^α(X⃗)`` and an upper
+  bound ``c^β(Y⃗)`` meet at a variable with combined annotation ``f``,
+  component constraints ``X_i ⊆^f Y_i`` are added; mismatched
+  constructors are recorded as :class:`~repro.core.errors.Inconsistency`
+  (the paper's "no solution");
+* **projection** — a lower bound ``c^α(..., X_i, ...)`` meeting a
+  projection sink ``c^{-i}(·) ⊆^g Z`` adds the edge ``X_i ⊆ Z`` with the
+  composed annotation.
+
+Annotations that are *dead* — provably never part of a word of ``L(M)``
+again (``algebra.is_live`` is false) — are dropped at creation, the
+pruning Section 3.1 justifies by minimality of ``M``.
+
+Following the paper's implementation (Section 8), constructor-annotation
+variables are never materialized during solving; the query engine
+(:mod:`repro.core.queries`) reconstructs them on demand.
+
+Solving is *online*: every :meth:`Solver.add` drains the worklist, so
+constraints may be intermixed freely with queries — the property the
+paper highlights as the advantage of bidirectional solving.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.core.annotations import Annotation, UnannotatedAlgebra
+from repro.core.errors import ConstraintError, Inconsistency, NoSolutionError
+from repro.core.terms import (
+    Constructed,
+    Projection,
+    SetExpression,
+    Variable,
+    VariableFactory,
+)
+
+FactKey = tuple
+
+
+@dataclass(frozen=True)
+class Reason:
+    """Provenance of a derived fact: the rule and its antecedent facts.
+
+    ``info`` carries application payload for given constraints (the
+    model checker stores the program statement an edge came from, which
+    witness extraction turns into an error trace).
+    """
+
+    rule: str
+    antecedents: tuple[FactKey, ...] = ()
+    info: Any = None
+
+
+class Solver:
+    """Online bidirectional solver for regularly annotated set constraints."""
+
+    def __init__(
+        self,
+        algebra: Any | None = None,
+        pn_projections: bool = False,
+        prune_dead: bool = True,
+    ):
+        self.algebra = algebra if algebra is not None else UnannotatedAlgebra()
+        #: Drop facts whose annotation is necessarily non-accepting (the
+        #: Section 3.1 pruning justified by minimality of M).  Disabled
+        #: only by the ablation benchmark.
+        self.prune_dead = prune_dead
+        #: When true, *bare constants* also flow through projections
+        #: (``c ⊆ Y`` and ``d^{-i}(Y) ⊆ Z`` give ``c ⊆ Z``).  This is the
+        #: "unmatched return" half of PN reachability (Section 6.2): a
+        #: value created inside a callee escapes to any caller.  Matched
+        #: solving (the default) only extracts properly wrapped terms.
+        self.pn_projections = pn_projections
+        self._fresh = VariableFactory("tmp")
+        # var -> {(source Constructed, annotation)} and so on; values are
+        # insertion-ordered dicts so iteration is deterministic.
+        self._lower: dict[Variable, dict[tuple[Constructed, Annotation], None]] = {}
+        self._upper: dict[Variable, dict[tuple[Constructed, Annotation], None]] = {}
+        self._succ: dict[Variable, dict[tuple[Variable, Annotation], None]] = {}
+        self._pred: dict[Variable, dict[tuple[Variable, Annotation], None]] = {}
+        self._proj: dict[
+            Variable, dict[tuple[Any, int, Variable, Annotation], None]
+        ] = {}
+        self._met: set[tuple[Constructed, Constructed, Annotation]] = set()
+        self._reasons: dict[FactKey, Reason] = {}
+        self._work: deque[FactKey] = deque()
+        self.inconsistencies: list[Inconsistency] = []
+        self.facts_processed = 0
+        # Backtracking journal (BANSHEE's toolkit supported constraint
+        # retraction): each mark() opens an epoch; every fact recorded
+        # while an epoch is open is undone by rollback().  Sound because
+        # closure is monotone: facts derivable without the retracted
+        # constraints were already present before the mark.
+        self._journal: list[list[tuple]] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def fresh(self, hint: str | None = None) -> Variable:
+        """A fresh set variable (used by normalization and callers alike)."""
+        return self._fresh.fresh(hint)
+
+    def add(
+        self,
+        lhs: SetExpression,
+        rhs: SetExpression,
+        annotation: Annotation | None = None,
+        info: Any = None,
+    ) -> None:
+        """Add the constraint ``lhs ⊆^annotation rhs`` and solve online.
+
+        ``annotation`` defaults to the algebra's identity (an
+        unannotated constraint).  ``info`` is attached to the
+        constraint's provenance for witness extraction.
+        """
+        ann = self.algebra.identity if annotation is None else annotation
+        reason = Reason("given", (), info)
+        lhs = self._normalize_lower(lhs, reason)
+        rhs = self._normalize_upper(rhs, reason)
+        self._dispatch(lhs, rhs, ann, reason)
+        self._drain()
+
+    @property
+    def is_consistent(self) -> bool:
+        return not self.inconsistencies
+
+    def check(self) -> None:
+        """Raise :class:`NoSolutionError` if a contradiction was found."""
+        if self.inconsistencies:
+            raise NoSolutionError(str(self.inconsistencies[0]))
+
+    def variables(self) -> set[Variable]:
+        keys: set[Variable] = set()
+        for table in (self._lower, self._upper, self._succ, self._pred, self._proj):
+            for var, bucket in table.items():
+                if bucket:
+                    keys.add(var)
+        return keys
+
+    def lower_bounds(
+        self, var: Variable
+    ) -> Iterator[tuple[Constructed, Annotation]]:
+        """All derived lower bounds ``src ⊆^f var`` (the solved form)."""
+        yield from self._lower.get(var, ())
+
+    def upper_bounds(
+        self, var: Variable
+    ) -> Iterator[tuple[Constructed, Annotation]]:
+        yield from self._upper.get(var, ())
+
+    def edges_from(self, var: Variable) -> Iterator[tuple[Variable, Annotation]]:
+        yield from self._succ.get(var, ())
+
+    def projection_sinks(
+        self, var: Variable
+    ) -> Iterator[tuple[Any, int, Variable, Annotation]]:
+        yield from self._proj.get(var, ())
+
+    def has_lower(
+        self, var: Variable, source: Constructed, annotation: Annotation
+    ) -> bool:
+        """Is ``source ⊆^annotation var`` present in the solved form?"""
+        return (source, annotation) in self._lower.get(var, {})
+
+    def reason(self, fact: FactKey) -> Reason | None:
+        """Provenance of a recorded fact, for witness reconstruction."""
+        return self._reasons.get(fact)
+
+    # -- backtracking ----------------------------------------------------------
+
+    def mark(self) -> int:
+        """Open a retraction epoch; returns its depth (for sanity checks).
+
+        Constraints added after a mark can be undone wholesale with
+        :meth:`rollback` — the online analog of re-running without them.
+        """
+        self._journal.append([])
+        return len(self._journal)
+
+    def rollback(self) -> None:
+        """Retract everything added since the most recent :meth:`mark`."""
+        if not self._journal:
+            raise RuntimeError("rollback() without a matching mark()")
+        epoch = self._journal.pop()
+        for record in reversed(epoch):
+            tag = record[0]
+            if tag == "lower":
+                _t, var, key = record
+                self._lower.get(var, {}).pop(key, None)
+                self._reasons.pop(("lower", var, *key), None)
+            elif tag == "upper":
+                _t, var, key = record
+                self._upper.get(var, {}).pop(key, None)
+                self._reasons.pop(("upper", var, *key), None)
+            elif tag == "edge":
+                _t, src_var, key = record
+                self._succ.get(src_var, {}).pop(key, None)
+                dst_var, ann = key
+                self._pred.get(dst_var, {}).pop((src_var, ann), None)
+                self._reasons.pop(("edge", src_var, dst_var, ann), None)
+            elif tag == "proj":
+                _t, var, key = record
+                self._proj.get(var, {}).pop(key, None)
+                self._reasons.pop(("proj", var, *key), None)
+            elif tag == "met":
+                self._met.discard(record[1])
+            elif tag == "inconsistency":
+                if self.inconsistencies:
+                    self.inconsistencies.pop()
+
+    def _record(self, entry: tuple) -> None:
+        if self._journal:
+            self._journal[-1].append(entry)
+
+    def fact_count(self) -> int:
+        """Number of distinct facts in the solved form (for benchmarks)."""
+        return (
+            sum(len(v) for v in self._lower.values())
+            + sum(len(v) for v in self._upper.values())
+            + sum(len(v) for v in self._succ.values())
+            + sum(len(v) for v in self._proj.values())
+        )
+
+    # -- normalization ---------------------------------------------------------
+
+    def _normalize_lower(
+        self, expr: SetExpression, reason: Reason
+    ) -> SetExpression:
+        """Reduce a left-hand side to the paper's grammar.
+
+        Constructor arguments that are not variables are replaced by
+        fresh variables bounded from below (covariance makes this
+        solution-preserving)."""
+        if isinstance(expr, (Variable, Projection)):
+            return expr
+        if isinstance(expr, Constructed):
+            args = []
+            for arg in expr.args:
+                if isinstance(arg, Variable):
+                    args.append(arg)
+                else:
+                    var = self.fresh("arg")
+                    inner = self._normalize_lower(arg, reason)
+                    self._dispatch(inner, var, self.algebra.identity, reason)
+                    args.append(var)
+            return Constructed(expr.constructor, tuple(args))
+        raise ConstraintError(f"unsupported left-hand side: {expr!r}")
+
+    def _normalize_upper(
+        self, expr: SetExpression, reason: Reason
+    ) -> SetExpression:
+        """Reduce a right-hand side; projections are rejected (Section 2.1)."""
+        if isinstance(expr, Variable):
+            return expr
+        if isinstance(expr, Projection):
+            raise ConstraintError("projections may not appear on the right-hand side")
+        if isinstance(expr, Constructed):
+            args = []
+            for arg in expr.args:
+                if isinstance(arg, Variable):
+                    args.append(arg)
+                else:
+                    var = self.fresh("arg")
+                    inner = self._normalize_upper(arg, reason)
+                    self._dispatch(var, inner, self.algebra.identity, reason)
+                    args.append(var)
+            return Constructed(expr.constructor, tuple(args))
+        raise ConstraintError(f"unsupported right-hand side: {expr!r}")
+
+    def _dispatch(
+        self,
+        lhs: SetExpression,
+        rhs: SetExpression,
+        ann: Annotation,
+        reason: Reason,
+    ) -> None:
+        if isinstance(lhs, Variable) and isinstance(rhs, Variable):
+            self._enqueue(("edge", lhs, rhs, ann), reason)
+        elif isinstance(lhs, Constructed) and isinstance(rhs, Variable):
+            self._enqueue(("lower", rhs, lhs, ann), reason)
+        elif isinstance(lhs, Variable) and isinstance(rhs, Constructed):
+            self._enqueue(("upper", lhs, rhs, ann), reason)
+        elif isinstance(lhs, Constructed) and isinstance(rhs, Constructed):
+            self._meet(lhs, rhs, ann, reason.info)
+        elif isinstance(lhs, Projection):
+            if isinstance(rhs, Constructed):
+                bridge = self.fresh("proj")
+                self._enqueue(
+                    ("proj", lhs.operand, lhs.constructor, lhs.index, bridge, ann),
+                    reason,
+                )
+                self._enqueue(("upper", bridge, rhs, self.algebra.identity), reason)
+            else:
+                self._enqueue(
+                    ("proj", lhs.operand, lhs.constructor, lhs.index, rhs, ann),
+                    reason,
+                )
+        else:
+            raise ConstraintError(f"unsupported constraint {lhs!r} ⊆ {rhs!r}")
+
+    # -- worklist machinery -----------------------------------------------------
+
+    def _enqueue(self, fact: FactKey, reason: Reason) -> None:
+        kind = fact[0]
+        ann = fact[-1]
+        if self.prune_dead and not self.algebra.is_live(ann):
+            return  # necessarily non-accepting annotation: prune
+        if kind == "edge":
+            _tag, src_var, dst_var, ann = fact
+            if src_var == dst_var:
+                # A reflexive edge adds nothing for idempotent-free
+                # annotations only when the annotation is the identity.
+                if self._is_identity(ann):
+                    return
+            table = self._succ.setdefault(src_var, {})
+            key = (dst_var, ann)
+            if key in table:
+                return
+            table[key] = None
+            self._pred.setdefault(dst_var, {})[(src_var, ann)] = None
+            self._record(("edge", src_var, key))
+        elif kind == "lower":
+            _tag, var, src, ann = fact
+            table = self._lower.setdefault(var, {})
+            key = (src, ann)
+            if key in table:
+                return
+            table[key] = None
+            self._record(("lower", var, key))
+        elif kind == "upper":
+            _tag, var, snk, ann = fact
+            table = self._upper.setdefault(var, {})
+            key = (snk, ann)
+            if key in table:
+                return
+            table[key] = None
+            self._record(("upper", var, key))
+        elif kind == "proj":
+            _tag, var, ctor, index, target, ann = fact
+            table = self._proj.setdefault(var, {})
+            key = (ctor, index, target, ann)
+            if key in table:
+                return
+            table[key] = None
+            self._record(("proj", var, key))
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown fact kind {kind!r}")
+        self._reasons.setdefault(fact, reason)
+        self._work.append(fact)
+
+    def _is_identity(self, ann: Annotation) -> bool:
+        return ann == self.algebra.identity
+
+    def _drain(self) -> None:
+        then = self.algebra.then
+        while self._work:
+            fact = self._work.popleft()
+            self.facts_processed += 1
+            kind = fact[0]
+            if kind == "edge":
+                _tag, src_var, dst_var, g = fact
+                for lower_src, f in list(self._lower.get(src_var, {})):
+                    self._enqueue(
+                        ("lower", dst_var, lower_src, then(f, g)),
+                        Reason(
+                            "trans",
+                            (("lower", src_var, lower_src, f), fact),
+                        ),
+                    )
+            elif kind == "lower":
+                _tag, var, src, f = fact
+                for dst_var, g in list(self._succ.get(var, {})):
+                    self._enqueue(
+                        ("lower", dst_var, src, then(f, g)),
+                        Reason("trans", (fact, ("edge", var, dst_var, g))),
+                    )
+                for snk, g in list(self._upper.get(var, {})):
+                    self._meet(
+                        src,
+                        snk,
+                        then(f, g),
+                        None,
+                        antecedents=(fact, ("upper", var, snk, g)),
+                    )
+                if isinstance(src, Constructed) and src.args:
+                    for ctor, index, target, g in list(self._proj.get(var, {})):
+                        if ctor == src.constructor:
+                            self._enqueue(
+                                (
+                                    "edge",
+                                    src.args[index - 1],
+                                    target,
+                                    then(f, g),
+                                ),
+                                Reason(
+                                    "project",
+                                    (fact, ("proj", var, ctor, index, target, g)),
+                                ),
+                            )
+                elif self.pn_projections and isinstance(src, Constructed):
+                    for ctor, index, target, g in list(self._proj.get(var, {})):
+                        self._enqueue(
+                            ("lower", target, src, then(f, g)),
+                            Reason(
+                                "pn-project",
+                                (fact, ("proj", var, ctor, index, target, g)),
+                            ),
+                        )
+            elif kind == "upper":
+                _tag, var, snk, g = fact
+                for src, f in list(self._lower.get(var, {})):
+                    self._meet(
+                        src,
+                        snk,
+                        then(f, g),
+                        None,
+                        antecedents=(("lower", var, src, f), fact),
+                    )
+            elif kind == "proj":
+                _tag, var, ctor, index, target, g = fact
+                for src, f in list(self._lower.get(var, {})):
+                    if isinstance(src, Constructed) and src.constructor == ctor and src.args:
+                        self._enqueue(
+                            ("edge", src.args[index - 1], target, then(f, g)),
+                            Reason("project", (("lower", var, src, f), fact)),
+                        )
+                    elif self.pn_projections and src.is_constant:
+                        self._enqueue(
+                            ("lower", target, src, then(f, g)),
+                            Reason("pn-project", (("lower", var, src, f), fact)),
+                        )
+
+    def _meet(
+        self,
+        src: Constructed,
+        snk: Constructed,
+        ann: Annotation,
+        info: Any,
+        antecedents: tuple[FactKey, ...] = (),
+    ) -> None:
+        """Resolve ``c^α(X⃗) ⊆^ann d^β(Y⃗)`` (the first two rules of §3.1)."""
+        key = (src, snk, ann)
+        if key in self._met:
+            return
+        self._met.add(key)
+        self._record(("met", key))
+        if src.constructor != snk.constructor:
+            self.inconsistencies.append(Inconsistency(src, snk, ann))
+            self._record(("inconsistency",))
+            return
+        reason = Reason("decompose", antecedents, info)
+        ctor = src.constructor
+        for index, (arg_src, arg_snk) in enumerate(
+            zip(src.args, snk.args), start=1
+        ):
+            if ctor.covariant(index):
+                self._dispatch(arg_src, arg_snk, ann, reason)
+            else:
+                # Contravariant position: the component flow reverses.
+                # Only defined for the identity annotation (a reversed
+                # annotated flow would need the reversed word).
+                if not self._is_identity(ann):
+                    raise ConstraintError(
+                        f"contravariant argument {index} of {ctor.name!r} "
+                        "met under a non-identity annotation"
+                    )
+                self._dispatch(arg_snk, arg_src, ann, reason)

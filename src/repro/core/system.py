@@ -1,0 +1,132 @@
+"""Surface-syntax convenience layer over the solver.
+
+The paper's surface syntax annotates constraints with alphabet symbols
+(or ε); internally these are translated to representative functions.
+:class:`AnnotatedConstraintSystem` performs that translation and couples
+a solver with its query engine, so applications and examples read like
+the paper::
+
+    system = AnnotatedConstraintSystem(one_bit_machine())
+    X, Y = system.var("X"), system.var("Y")
+    system.add(c, X, "g")          # c ⊆^g X
+    system.add(X, Y)               # X ⊆ Y
+    system.reaches(Y, c)           # is c in Y along a word of L(M)?
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.annotations import MonoidAlgebra
+from repro.core.queries import Reachability, least_solution_terms
+from repro.core.solver import Solver
+from repro.core.terms import (
+    Constructed,
+    Constructor,
+    Projection,
+    SetExpression,
+    Variable,
+)
+from repro.dfa.automaton import DFA, Symbol
+from repro.dfa.monoid import RepresentativeFunction
+
+
+class AnnotatedConstraintSystem:
+    """An annotated constraint system over a property machine ``M``."""
+
+    def __init__(self, machine: DFA, eager: bool = True):
+        self.machine = machine
+        self.algebra = MonoidAlgebra(machine, eager=eager)
+        self.solver = Solver(self.algebra)
+        self._vars: dict[str, Variable] = {}
+        self._reachability: Reachability | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    def var(self, name: str) -> Variable:
+        """An interned set variable with the given name."""
+        existing = self._vars.get(name)
+        if existing is None:
+            existing = Variable(name)
+            self._vars[name] = existing
+        return existing
+
+    def constant(self, name: str) -> Constructed:
+        return Constructor(name, 0)()
+
+    def constructor(self, name: str, arity: int) -> Constructor:
+        return Constructor(name, arity)
+
+    def annotation(self, word: Symbol | Iterable[Symbol] | None) -> RepresentativeFunction:
+        """Translate a surface annotation (symbol, word, or None for ε)."""
+        if word is None:
+            return self.algebra.identity
+        if isinstance(word, (str, bytes)):
+            # Strings are single alphabet symbols, not character words.
+            return self.algebra.symbol(word)
+        try:
+            if word in self.machine.alphabet:
+                return self.algebra.symbol(word)
+        except TypeError:
+            pass  # unhashable: must be a word (e.g. a list of symbols)
+        return self.algebra.word(word)
+
+    def add(
+        self,
+        lhs: SetExpression,
+        rhs: SetExpression,
+        word: Symbol | Iterable[Symbol] | None = None,
+        info: Any = None,
+    ) -> None:
+        """Add ``lhs ⊆^word rhs``; ``word`` is a symbol, a word, or None."""
+        self.solver.add(lhs, rhs, self.annotation(word), info=info)
+        self._reachability = None
+
+    # -- queries ----------------------------------------------------------------
+
+    def reachability(self, through_constructors: bool = True) -> Reachability:
+        if self._reachability is None:
+            self._reachability = Reachability(
+                self.solver, through_constructors=through_constructors
+            )
+        return self._reachability
+
+    def reaches(
+        self,
+        var: Variable,
+        const: Constructed,
+        target_states: Iterable[int] | None = None,
+    ) -> bool:
+        """Entailment query: is ``const`` in ``var`` along a full word?
+
+        ``target_states`` overrides the machine's accept set (the
+        general query of Section 3.2, used e.g. to ask whether a file is
+        left in the *Opened* state rather than the error state).
+        """
+        if target_states is None:
+            accepting = None
+        else:
+            targets = set(target_states)
+            start = self.machine.start
+
+            def accepting(ann: RepresentativeFunction) -> bool:
+                return ann(start) in targets
+
+        return self.reachability().reaches(var, const, accepting)
+
+    def annotations_of(
+        self, var: Variable, const: Constructed
+    ) -> set[RepresentativeFunction]:
+        return self.reachability().annotations_of(var, const)
+
+    def witness(
+        self, var: Variable, const: Constructed, annotation: RepresentativeFunction
+    ) -> list[Any]:
+        return self.reachability().witness(var, const, annotation)
+
+    def terms_of(self, var: Variable, max_depth: int = 3):
+        return least_solution_terms(self.solver, var, max_depth=max_depth)
+
+    @property
+    def is_consistent(self) -> bool:
+        return self.solver.is_consistent

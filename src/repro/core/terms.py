@@ -1,0 +1,238 @@
+"""Constructors, set expressions, and annotated ground terms (Section 2).
+
+The set-expression grammar of the paper is::
+
+    se ::= X | c(X_1, ..., X_{a(c)}) | c^{-i}(X)
+
+— variables, constructors applied to variables, and projections.  For
+usability the public API also accepts nested expressions in constructor
+arguments; :meth:`repro.core.solver.Solver.add` normalizes them to the
+paper's grammar by introducing fresh variables.
+
+Ground *annotated terms* (:class:`GroundTerm`) carry a word annotation at
+every constructor level and implement the ``t · w`` append operation of
+Section 2.3, which distributes over all levels.  They are used by the
+denotational-semantics reference checker in the test suite and by
+least-solution enumeration (stack-aware alias queries, Section 7.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.core.errors import ConstraintError
+
+
+@dataclass(frozen=True)
+class Constructor:
+    """A set constructor ``c`` with arity ``a(c)``.
+
+    Constants are constructors of arity zero.  Constructors are
+    non-strict (Section 3 explains why strict constructors are
+    avoided).  Arguments are covariant by default, as in the paper;
+    ``variance`` may mark positions contravariant (``False``), which
+    BANSHEE also supports and which the classic ``ref(get, set)``
+    points-to encoding needs.  Contravariant decomposition is only
+    defined for identity annotations (reversing an annotated flow would
+    need the reversed word, which the bidirectional domain does not
+    track) — the solver enforces this.
+    """
+
+    name: str
+    arity: int = 0
+    variance: tuple[bool, ...] | None = None  # True = covariant
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise ConstraintError(f"constructor {self.name!r} has negative arity")
+        if self.variance is not None and len(self.variance) != self.arity:
+            raise ConstraintError(
+                f"constructor {self.name!r}: variance length "
+                f"{len(self.variance)} != arity {self.arity}"
+            )
+        object.__setattr__(
+            self, "_hash", hash((self.name, self.arity, self.variance))
+        )
+
+    def covariant(self, index: int) -> bool:
+        """Is the 1-based argument position covariant?"""
+        if self.variance is None:
+            return True
+        return self.variance[index - 1]
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __call__(self, *args: "SetExpression") -> "Constructed":
+        return Constructed(self, tuple(args))
+
+    def proj(self, index: int, operand: "Variable") -> "Projection":
+        """The projection expression ``c^{-index}(operand)`` (1-based).
+
+        Only covariant positions may be projected — extracting a
+        contravariant (write) field would reverse the flow direction.
+        """
+        if not self.covariant(index):
+            raise ConstraintError(
+                f"cannot project contravariant argument {index} of {self.name!r}"
+            )
+        return Projection(self, index, operand)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A set variable.  Create via :class:`VariableFactory` or directly."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("var", self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class VariableFactory:
+    """Generates fresh, distinct set variables with a common prefix."""
+
+    def __init__(self, prefix: str = "v"):
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def fresh(self, hint: str | None = None) -> Variable:
+        label = hint if hint is not None else self._prefix
+        return Variable(f"{label}#{next(self._counter)}")
+
+
+@dataclass(frozen=True)
+class Constructed:
+    """A constructor application ``c(e_1, ..., e_k)``.
+
+    Arguments may be arbitrary set expressions; the solver normalizes
+    non-variable arguments away.  A zero-arity application is a constant.
+    """
+
+    constructor: Constructor
+    args: tuple["SetExpression", ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.constructor.arity:
+            raise ConstraintError(
+                f"constructor {self.constructor.name!r} has arity "
+                f"{self.constructor.arity}, applied to {len(self.args)} arguments"
+            )
+        object.__setattr__(self, "_hash", hash((self.constructor, self.args)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.args
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.constructor.name
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.constructor.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Projection:
+    """A projection ``c^{-index}(operand)`` selecting the index-th field.
+
+    ``index`` is 1-based, following the paper.  Projections may only
+    appear on the left-hand side of constraints.
+    """
+
+    constructor: Constructor
+    index: int
+    operand: "Variable"
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.index <= self.constructor.arity):
+            raise ConstraintError(
+                f"projection index {self.index} out of range for "
+                f"{self.constructor.name!r} (arity {self.constructor.arity})"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.constructor.name}^-{self.index}({self.operand})"
+
+
+SetExpression = Variable | Constructed | Projection
+
+
+def constant(name: str) -> Constructed:
+    """Convenience: a constant (zero-ary constructor application)."""
+    return Constructor(name, 0)()
+
+
+# ---------------------------------------------------------------------------
+# Annotated ground terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GroundTerm:
+    """An annotated ground term ``c^w(t_1, ..., t_k)``.
+
+    ``annotation`` is the word ``w`` — a tuple of alphabet symbols for
+    the reference semantics, or any annotation-algebra element when
+    produced by least-solution enumeration.
+    """
+
+    constructor: Constructor
+    annotation: Any
+    children: tuple["GroundTerm", ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.children) != self.constructor.arity:
+            raise ConstraintError(
+                f"ground term for {self.constructor.name!r} has "
+                f"{len(self.children)} children, arity is {self.constructor.arity}"
+            )
+
+    def append(self, word: tuple) -> "GroundTerm":
+        """The ``t · w`` operation: append ``word`` at every level."""
+        return GroundTerm(
+            constructor=self.constructor,
+            annotation=self.annotation + tuple(word),
+            children=tuple(child.append(word) for child in self.children),
+        )
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def erase(self) -> tuple:
+        """The underlying unannotated term, as a nested tuple."""
+        return (self.constructor.name, tuple(c.erase() for c in self.children))
+
+    def __str__(self) -> str:
+        word = "".join(str(s) for s in self.annotation) or "ε"
+        if not self.children:
+            return f"{self.constructor.name}^{word}"
+        inner = ", ".join(str(c) for c in self.children)
+        return f"{self.constructor.name}^{word}({inner})"
+
+
+def ground(name: str, word: Iterable = (), *children: GroundTerm) -> GroundTerm:
+    """Convenience builder for annotated ground terms."""
+    return GroundTerm(Constructor(name, len(children)), tuple(word), children)
+
+
+def subterms(term: GroundTerm) -> Iterator[GroundTerm]:
+    """All subterms of ``term``, including itself (pre-order)."""
+    yield term
+    for child in term.children:
+        yield from subterms(child)

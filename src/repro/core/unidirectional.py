@@ -1,0 +1,165 @@
+"""Forward and backward solving strategies (Section 5).
+
+Bidirectional solving must keep full representative functions —
+elements of ``F_M^≡``, of which there may be ``|S|^|S|`` — because a
+derived constraint can later be extended on *either* side.  A forward
+solver only ever extends words on the right, so it may collapse
+annotations under the coarser **right congruence**::
+
+    w ≡_r w'  ⟺  ∀x. wx ∈ L(M) iff w'x ∈ L(M)
+
+whose classes (for reachability from the start state) are simply the
+machine states ``δ(w, s0)`` — at most ``|S|`` derived annotations.
+Symmetrically, a backward solver uses the **left congruence**, whose
+classes are the accepting preimages ``{ s | δ(w, s) ∈ S_accept }``.
+
+The tradeoff (Section 5.1): unidirectional solvers are batch/demand
+driven — they need all sources (resp. sinks) up front — while the
+bidirectional solver is online and supports separate analysis.  The
+original BANSHEE implementation shipped only the bidirectional solver
+(the paper notes no forward/backward set-constraint solver was publicly
+available); accordingly these solvers implement the annotated
+*reachability* fragment (variables and annotated edges, the domain of
+the complexity comparison in Sections 4–5), not the full constructor
+language.
+
+Both solvers demonstrate the paper's headline complexity claim: the
+number of derived annotations per variable is bounded by ``|S|``
+(forward) or by the reversed machine's state count (backward), versus
+``|F_M^≡|`` for the bidirectional strategy — see
+``benchmarks/bench_complexity.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Sequence
+
+from repro.dfa.automaton import DFA, Symbol
+
+Node = Hashable
+
+
+class AnnotatedGraph:
+    """A directed graph with edges labeled by words over a machine's
+    alphabet — the constraint-graph fragment the unidirectional solvers
+    operate on (an edge ``X ⊆^w Y`` is ``add_edge(X, Y, w)``)."""
+
+    def __init__(self, machine: DFA):
+        self.machine = machine
+        self._succ: dict[Node, list[tuple[Node, tuple[Symbol, ...]]]] = {}
+        self._pred: dict[Node, list[tuple[Node, tuple[Symbol, ...]]]] = {}
+        self.nodes: set[Node] = set()
+
+    def add_edge(
+        self, src: Node, dst: Node, word: Iterable[Symbol] = ()
+    ) -> None:
+        word = tuple(word)
+        for sym in word:
+            if sym not in self.machine.alphabet:
+                raise ValueError(f"symbol {sym!r} not in the machine's alphabet")
+        self._succ.setdefault(src, []).append((dst, word))
+        self._pred.setdefault(dst, []).append((src, word))
+        self.nodes.add(src)
+        self.nodes.add(dst)
+
+    def successors(self, node: Node) -> Sequence[tuple[Node, tuple[Symbol, ...]]]:
+        return self._succ.get(node, ())
+
+    def predecessors(self, node: Node) -> Sequence[tuple[Node, tuple[Symbol, ...]]]:
+        return self._pred.get(node, ())
+
+
+class ForwardSolver:
+    """Push sources forward; derived annotations are machine states.
+
+    ``solve(sources)`` computes, for every node, the set of states
+    ``δ(w, s0)`` over all words ``w`` spelled by paths from any source.
+    Dead states (no accepting continuation) are pruned, mirroring the
+    prefix-language domain ``T^{M^pre}``.
+    """
+
+    def __init__(self, graph: AnnotatedGraph):
+        self.graph = graph
+        self.machine = graph.machine
+        self._live = self.machine.coreachable_states()
+        self.states: dict[Node, set[int]] = {}
+        self.facts_processed = 0
+
+    def solve(self, sources: Iterable[Node]) -> None:
+        machine = self.machine
+        work: deque[tuple[Node, int]] = deque()
+        for src in sources:
+            if machine.start in self._live and machine.start not in self.states.setdefault(src, set()):
+                self.states[src].add(machine.start)
+                work.append((src, machine.start))
+        while work:
+            node, state = work.popleft()
+            self.facts_processed += 1
+            for succ, word in self.graph.successors(node):
+                nxt = machine.run(word, state)
+                if nxt not in self._live:
+                    continue
+                bucket = self.states.setdefault(succ, set())
+                if nxt not in bucket:
+                    bucket.add(nxt)
+                    work.append((succ, nxt))
+
+    def states_of(self, node: Node) -> set[int]:
+        return set(self.states.get(node, set()))
+
+    def reachable_accepting(self, node: Node) -> bool:
+        """Is ``node`` reached by some path spelling a word of ``L(M)``?"""
+        return bool(self.states.get(node, set()) & self.machine.accepting)
+
+
+class BackwardSolver:
+    """Push sinks backward; derived annotations are accepting preimages.
+
+    ``solve(sinks)`` computes, for every node, the set of left-congruence
+    classes ``{ s | δ(w, s) ∈ S_accept }`` of words ``w`` spelled by
+    paths to any sink.  A node carries an accepting class iff some path
+    from it to a sink spells a word of ``L(M)`` starting at ``s0``
+    (checked with :meth:`reaches_accepting`).
+    """
+
+    def __init__(self, graph: AnnotatedGraph):
+        self.graph = graph
+        self.machine = graph.machine
+        self._reachable = self.machine.reachable_states()
+        self.classes: dict[Node, set[frozenset[int]]] = {}
+        self.facts_processed = 0
+
+    def solve(self, sinks: Iterable[Node]) -> None:
+        machine = self.machine
+        everything = frozenset(machine.accepting)
+        work: deque[tuple[Node, frozenset[int]]] = deque()
+        for sink in sinks:
+            bucket = self.classes.setdefault(sink, set())
+            if everything not in bucket:
+                bucket.add(everything)
+                work.append((sink, everything))
+        while work:
+            node, cls = work.popleft()
+            self.facts_processed += 1
+            for pred, word in self.graph.predecessors(node):
+                prepended = frozenset(
+                    s
+                    for s in range(machine.n_states)
+                    if machine.run(word, s) in cls
+                )
+                if not (prepended & self._reachable):
+                    continue  # no live way to begin such a word
+                bucket = self.classes.setdefault(pred, set())
+                if prepended not in bucket:
+                    bucket.add(prepended)
+                    work.append((pred, prepended))
+
+    def classes_of(self, node: Node) -> set[frozenset[int]]:
+        return set(self.classes.get(node, set()))
+
+    def reaches_accepting(self, node: Node) -> bool:
+        """Can ``node`` reach a sink along a word of ``L(M)``?"""
+        return any(
+            self.machine.start in cls for cls in self.classes.get(node, set())
+        )

@@ -1,0 +1,37 @@
+"""Interprocedural bit-vector dataflow analysis (Sections 3.3 and 6).
+
+Two solvers over the same problem definition:
+
+* :mod:`repro.dataflow.bitvector` — the paper's approach: gen/kill
+  effects become regular annotations (a product of 1-bit machines,
+  Fig 1) on the Section 6 constraint encoding of the CFG; a fact may
+  hold at a node iff some path class reaching the node accepts on that
+  bit.
+* :mod:`repro.dataflow.classic` — the Sharir–Pnueli functional approach
+  (procedure summaries as gen/kill pairs), which is exact for
+  distributive bit-vector frameworks and serves as the correctness
+  baseline and performance comparator.
+
+:mod:`repro.dataflow.problems` defines concrete problems (which program
+events gen/kill which facts) over the mini-C CFGs.
+"""
+
+from repro.dataflow.bitvector import AnnotatedBitVectorAnalysis
+from repro.dataflow.classic import FunctionalBitVectorAnalysis
+from repro.dataflow.problems import (
+    BitVectorProblem,
+    call_tracking_problem,
+    live_variable_problem,
+    privilege_fact_problem,
+    variable_def_problem,
+)
+
+__all__ = [
+    "AnnotatedBitVectorAnalysis",
+    "BitVectorProblem",
+    "FunctionalBitVectorAnalysis",
+    "call_tracking_problem",
+    "live_variable_problem",
+    "privilege_fact_problem",
+    "variable_def_problem",
+]

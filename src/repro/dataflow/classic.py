@@ -1,0 +1,171 @@
+"""Classic interprocedural bit-vector dataflow: the functional approach.
+
+The Sharir–Pnueli functional approach computes, per procedure, a
+*summary* of its effect on the fact vector and then propagates concrete
+fact sets top-down.  For gen/kill (distributive) frameworks the
+summaries have a closed form — a (gen, kill) pair — under both
+composition and union-join, so the method is exact for the
+meet-over-realizable-paths solution.  That makes it the ideal
+cross-validation baseline for the annotation-based solver: both must
+produce identical may-hold sets at every node (a hypothesis property
+test in the suite), while their algorithms share nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cfg.graph import CFGNode, ProgramCFG
+from repro.dataflow.problems import BitVectorProblem, GenKill
+
+#: The identity transfer function (no gens, no kills).
+IDENTITY: GenKill = (frozenset(), frozenset())
+
+
+def compose(first: GenKill, second: GenKill) -> GenKill:
+    """Transfer function of ``first`` followed by ``second``."""
+    gen1, kill1 = first
+    gen2, kill2 = second
+    return ((gen1 - kill2) | gen2, kill1 | kill2)
+
+
+def join(left: GenKill | None, right: GenKill | None) -> GenKill | None:
+    """Union-join (may analysis): combine path functions.
+
+    ``None`` is bottom — "no path".  ``join(f, g)(X) = f(X) ∪ g(X)``,
+    which for gen/kill pairs is (gen union, kill intersection).
+    """
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return (left[0] | right[0], left[1] & right[1])
+
+
+def apply(fn: GenKill, facts: frozenset[int]) -> frozenset[int]:
+    gen, kill = fn
+    return gen | (facts - kill)
+
+
+class FunctionalBitVectorAnalysis:
+    """Exact interprocedural may-analysis via procedure summaries."""
+
+    def __init__(self, cfg: ProgramCFG, problem: BitVectorProblem):
+        self.cfg = cfg
+        self.problem = problem
+        self._callers: dict[str, set[str]] = {}
+        self._call_nodes: dict[str, list[CFGNode]] = {}
+        for node in cfg.all_nodes():
+            if node.kind == "call":
+                callee = node.call.callee
+                self._callers.setdefault(callee, set()).add(node.function)
+                self._call_nodes.setdefault(callee, []).append(node)
+        #: per-function summaries (entry → exit path function)
+        self.summaries: dict[str, GenKill | None] = {
+            name: None for name in cfg.functions
+        }
+        #: per-node path functions from the enclosing function's entry
+        self.path_functions: dict[int, GenKill | None] = {}
+        self._compute_summaries()
+        #: concrete fact sets at each function's entry
+        self.entry_facts: dict[str, frozenset[int] | None] = {}
+        self._propagate_entries()
+
+    # -- phase 1: summaries ------------------------------------------------------
+
+    def _transfer_of(self, node: CFGNode) -> GenKill | None:
+        """Effect of *executing* ``node`` (None = callee has no summary yet)."""
+        if node.kind == "call":
+            return self.summaries[node.call.callee]
+        if node.kind in ("entry", "exit"):
+            return IDENTITY
+        gen, kill = self.problem.effect_of(node)
+        return (gen, kill)
+
+    def _intra_fixpoint(self, function: str) -> GenKill | None:
+        """Path functions entry → node within one function; returns the
+        function's summary (the exit node's path function)."""
+        fcfg = self.cfg.functions[function]
+        values: dict[int, GenKill | None] = {
+            node.id: None for node in fcfg.nodes
+        }
+        values[fcfg.entry.id] = IDENTITY
+        work = deque([fcfg.entry])
+        while work:
+            node = work.popleft()
+            current = values[node.id]
+            if current is None:
+                continue
+            transfer = self._transfer_of(node)
+            if transfer is None:
+                continue  # call to a function with no terminating path yet
+            outgoing = compose(current, transfer)
+            for succ in self.cfg.successors(node):
+                merged = join(values[succ.id], outgoing)
+                if merged != values[succ.id]:
+                    values[succ.id] = merged
+                    work.append(succ)
+        for node in fcfg.nodes:
+            self.path_functions[node.id] = values[node.id]
+        return values[fcfg.exit.id]
+
+    def _compute_summaries(self) -> None:
+        work = deque(self.cfg.functions)
+        queued = set(work)
+        while work:
+            function = work.popleft()
+            queued.discard(function)
+            summary = self._intra_fixpoint(function)
+            if summary != self.summaries[function]:
+                self.summaries[function] = summary
+                for caller in self._callers.get(function, ()):
+                    if caller not in queued:
+                        queued.add(caller)
+                        work.append(caller)
+        # Path functions were computed per-function possibly before all
+        # callee summaries stabilized; one final intra pass fixes them.
+        for function in self.cfg.functions:
+            self._intra_fixpoint(function)
+
+    # -- phase 2: top-down propagation ----------------------------------------------
+
+    def _propagate_entries(self) -> None:
+        self.entry_facts = {name: None for name in self.cfg.functions}
+        if "main" in self.cfg.functions:
+            self.entry_facts["main"] = frozenset()
+        work = deque(["main"]) if "main" in self.cfg.functions else deque()
+        queued = set(work)
+        while work:
+            function = work.popleft()
+            queued.discard(function)
+            entry = self.entry_facts[function]
+            if entry is None:
+                continue
+            for node in self.cfg.functions[function].nodes:
+                if node.kind != "call":
+                    continue
+                path = self.path_functions.get(node.id)
+                if path is None:
+                    continue  # call site unreachable within the function
+                at_call = apply(path, entry)
+                callee = node.call.callee
+                previous = self.entry_facts[callee]
+                merged = at_call if previous is None else (previous | at_call)
+                if merged != previous:
+                    self.entry_facts[callee] = merged
+                    if callee not in queued:
+                        queued.add(callee)
+                        work.append(callee)
+
+    # -- queries ------------------------------------------------------------------
+
+    def may_hold(self, node: CFGNode) -> frozenset[int]:
+        """Facts that may hold at ``node`` over some realizable path."""
+        entry = self.entry_facts.get(node.function)
+        path = self.path_functions.get(node.id)
+        if entry is None or path is None:
+            return frozenset()
+        return apply(path, entry)
+
+    def solution(self) -> dict[int, frozenset[int]]:
+        return {node.id: self.may_hold(node) for node in self.cfg.all_nodes()}

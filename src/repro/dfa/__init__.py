@@ -1,0 +1,32 @@
+"""Finite automaton toolkit.
+
+This subpackage implements everything the paper needs from automata
+theory: NFAs and DFAs with determinization, Hopcroft minimization,
+products, reversal and completion (:mod:`repro.dfa.automaton`); a small
+regular-expression front end (:mod:`repro.dfa.regex`); transition monoids
+and the representative-function machinery of Section 2.4
+(:mod:`repro.dfa.monoid`); substring/prefix/suffix language constructions
+used by the bidirectional/forward/backward solvers
+(:mod:`repro.dfa.substrings`); the annotation specification language of
+Section 8 (:mod:`repro.dfa.spec`); and the paper's gallery of concrete
+machines (:mod:`repro.dfa.gallery`).
+"""
+
+from repro.dfa.automaton import DFA, NFA, EPSILON
+from repro.dfa.monoid import TransitionMonoid, RepresentativeFunction
+from repro.dfa.regex import regex_to_dfa
+from repro.dfa.spec import parse_spec
+from repro.dfa.substrings import prefix_dfa, substring_dfa, suffix_dfa
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "EPSILON",
+    "TransitionMonoid",
+    "RepresentativeFunction",
+    "regex_to_dfa",
+    "parse_spec",
+    "prefix_dfa",
+    "substring_dfa",
+    "suffix_dfa",
+]

@@ -1,0 +1,518 @@
+"""Deterministic and nondeterministic finite automata.
+
+The paper (Section 2.2) works with a *minimized deterministic* finite
+automaton ``M = (Sigma, S, s0, delta, S_accept)`` whose transition
+function is total.  This module provides:
+
+* :class:`NFA` — nondeterministic automata with epsilon moves, the
+  convenient intermediate representation for regex compilation, reversal
+  and the substring constructions.
+* :class:`DFA` — deterministic automata over integer states ``0..n-1``
+  with a total transition function (a *dead* non-accepting sink is added
+  on completion).  DFAs support Hopcroft minimization, products,
+  complement, reversal, and language queries.
+
+States are always plain integers; symbols may be any hashable value
+(strings in all of the paper's applications).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+
+Symbol = Hashable
+
+#: Sentinel used as the label of epsilon transitions in :class:`NFA`.
+EPSILON = object()
+
+
+class AutomatonError(ValueError):
+    """Raised for malformed automaton constructions."""
+
+
+# ---------------------------------------------------------------------------
+# NFA
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NFA:
+    """A nondeterministic finite automaton with epsilon transitions.
+
+    ``transitions`` maps ``(state, symbol)`` to a set of successor states;
+    ``symbol`` may be :data:`EPSILON`.  States are integers but need not
+    be contiguous.
+    """
+
+    n_states: int
+    alphabet: frozenset[Symbol]
+    start: frozenset[int]
+    accepting: frozenset[int]
+    transitions: dict[tuple[int, Symbol], frozenset[int]] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        n_states: int,
+        alphabet: Iterable[Symbol],
+        start: Iterable[int],
+        accepting: Iterable[int],
+        edges: Iterable[tuple[int, Symbol, int]],
+    ) -> "NFA":
+        """Construct an NFA from an edge list ``(src, symbol, dst)``."""
+        table: dict[tuple[int, Symbol], set[int]] = {}
+        for src, sym, dst in edges:
+            table.setdefault((src, sym), set()).add(dst)
+        return cls(
+            n_states=n_states,
+            alphabet=frozenset(alphabet),
+            start=frozenset(start),
+            accepting=frozenset(accepting),
+            transitions={key: frozenset(v) for key, v in table.items()},
+        )
+
+    def successors(self, state: int, symbol: Symbol) -> frozenset[int]:
+        return self.transitions.get((state, symbol), frozenset())
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """All states reachable from ``states`` via epsilon moves."""
+        seen = set(states)
+        work = deque(seen)
+        while work:
+            state = work.popleft()
+            for nxt in self.successors(state, EPSILON):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    work.append(nxt)
+        return frozenset(seen)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        current = self.epsilon_closure(self.start)
+        for sym in word:
+            moved = set()
+            for state in current:
+                moved.update(self.successors(state, sym))
+            current = self.epsilon_closure(moved)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def determinize(self) -> "DFA":
+        """Subset construction; the result is complete but not minimal."""
+        alphabet = tuple(sorted(self.alphabet, key=repr))
+        start_set = self.epsilon_closure(self.start)
+        index: dict[frozenset[int], int] = {start_set: 0}
+        order: list[frozenset[int]] = [start_set]
+        delta: dict[tuple[int, Symbol], int] = {}
+        work = deque([start_set])
+        while work:
+            current = work.popleft()
+            src = index[current]
+            for sym in alphabet:
+                moved: set[int] = set()
+                for state in current:
+                    moved.update(self.successors(state, sym))
+                closure = self.epsilon_closure(moved)
+                if closure not in index:
+                    index[closure] = len(order)
+                    order.append(closure)
+                    work.append(closure)
+                delta[(src, sym)] = index[closure]
+        accepting = frozenset(
+            i for i, subset in enumerate(order) if subset & self.accepting
+        )
+        return DFA(
+            n_states=len(order),
+            alphabet=frozenset(alphabet),
+            start=0,
+            accepting=accepting,
+            delta=delta,
+        )
+
+    def reverse(self) -> "NFA":
+        """NFA for the reversal of this automaton's language."""
+        table: dict[tuple[int, Symbol], set[int]] = {}
+        for (src, sym), dsts in self.transitions.items():
+            for dst in dsts:
+                table.setdefault((dst, sym), set()).add(src)
+        return NFA(
+            n_states=self.n_states,
+            alphabet=self.alphabet,
+            start=self.accepting,
+            accepting=self.start,
+            transitions={key: frozenset(v) for key, v in table.items()},
+        )
+
+
+# ---------------------------------------------------------------------------
+# DFA
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A deterministic finite automaton with a **total** transition map.
+
+    States are ``0 .. n_states - 1``.  ``delta`` must define a successor
+    for every ``(state, symbol)`` pair; use :meth:`from_partial` to build
+    from a partial description (a dead sink is added as needed).
+    """
+
+    n_states: int
+    alphabet: frozenset[Symbol]
+    start: int
+    accepting: frozenset[int]
+    delta: Mapping[tuple[int, Symbol], int]
+
+    def __post_init__(self) -> None:
+        for state in range(self.n_states):
+            for sym in self.alphabet:
+                if (state, sym) not in self.delta:
+                    raise AutomatonError(
+                        f"transition function is partial: missing delta({state}, {sym!r})"
+                    )
+        if not (0 <= self.start < self.n_states):
+            raise AutomatonError(f"start state {self.start} out of range")
+        for state in self.accepting:
+            if not (0 <= state < self.n_states):
+                raise AutomatonError(f"accepting state {state} out of range")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_partial(
+        cls,
+        n_states: int,
+        alphabet: Iterable[Symbol],
+        start: int,
+        accepting: Iterable[int],
+        edges: Iterable[tuple[int, Symbol, int]],
+    ) -> "DFA":
+        """Build a DFA from a partial edge list, completing with a dead sink.
+
+        If every ``(state, symbol)`` pair is covered by ``edges`` no sink
+        is added.
+        """
+        alphabet = frozenset(alphabet)
+        delta: dict[tuple[int, Symbol], int] = {}
+        for src, sym, dst in edges:
+            if sym not in alphabet:
+                raise AutomatonError(f"edge symbol {sym!r} not in alphabet")
+            if (src, sym) in delta and delta[(src, sym)] != dst:
+                raise AutomatonError(f"nondeterministic edge from ({src}, {sym!r})")
+            delta[(src, sym)] = dst
+        missing = [
+            (state, sym)
+            for state in range(n_states)
+            for sym in alphabet
+            if (state, sym) not in delta
+        ]
+        total_states = n_states
+        if missing:
+            dead = n_states
+            total_states = n_states + 1
+            for key in missing:
+                delta[key] = dead
+            for sym in alphabet:
+                delta[(dead, sym)] = dead
+        return cls(
+            n_states=total_states,
+            alphabet=alphabet,
+            start=start,
+            accepting=frozenset(accepting),
+            delta=dict(delta),
+        )
+
+    # -- basic queries ------------------------------------------------------
+
+    def step(self, state: int, symbol: Symbol) -> int:
+        """``delta(state, symbol)`` for a single input symbol."""
+        return self.delta[(state, symbol)]
+
+    def run(self, word: Sequence[Symbol], state: int | None = None) -> int:
+        """Extended transition function ``delta(word, state)``."""
+        current = self.start if state is None else state
+        for sym in word:
+            current = self.delta[(current, sym)]
+        return current
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Language membership; symbols outside the alphabet reject."""
+        current = self.start
+        for sym in word:
+            nxt = self.delta.get((current, sym))
+            if nxt is None:
+                return False
+            current = nxt
+        return current in self.accepting
+
+    def is_empty(self) -> bool:
+        """True iff the accepted language is empty."""
+        return not (self.reachable_states() & self.accepting)
+
+    def reachable_states(self) -> frozenset[int]:
+        """States reachable from the start state."""
+        seen = {self.start}
+        work = deque(seen)
+        while work:
+            state = work.popleft()
+            for sym in self.alphabet:
+                nxt = self.delta[(state, sym)]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    work.append(nxt)
+        return frozenset(seen)
+
+    def coreachable_states(self) -> frozenset[int]:
+        """States from which some accepting state is reachable."""
+        inverse: dict[int, set[int]] = {s: set() for s in range(self.n_states)}
+        for (src, _sym), dst in self.delta.items():
+            inverse[dst].add(src)
+        seen = set(self.accepting)
+        work = deque(seen)
+        while work:
+            state = work.popleft()
+            for prev in inverse[state]:
+                if prev not in seen:
+                    seen.add(prev)
+                    work.append(prev)
+        return frozenset(seen)
+
+    def live_states(self) -> frozenset[int]:
+        """States both reachable and coreachable (on some accepting path)."""
+        return self.reachable_states() & self.coreachable_states()
+
+    # -- transformations ----------------------------------------------------
+
+    def map_states(self, rename: Mapping[int, int], n_states: int, start: int) -> "DFA":
+        """Quotient/relabel this DFA through the ``rename`` map."""
+        delta: dict[tuple[int, Symbol], int] = {}
+        for (src, sym), dst in self.delta.items():
+            if src in rename:
+                delta[(rename[src], sym)] = rename[dst]
+        accepting = frozenset(rename[s] for s in self.accepting if s in rename)
+        return DFA(
+            n_states=n_states,
+            alphabet=self.alphabet,
+            start=start,
+            accepting=accepting,
+            delta=delta,
+        )
+
+    def minimize(self) -> "DFA":
+        """Hopcroft minimization (restricted to reachable states).
+
+        The result is the canonical minimal complete DFA for the
+        language; state ``0`` is its start state.
+        """
+        reachable = sorted(self.reachable_states())
+        index = {s: i for i, s in enumerate(reachable)}
+        n = len(reachable)
+        alphabet = tuple(sorted(self.alphabet, key=repr))
+        delta = [
+            [index[self.delta[(s, sym)]] for sym in alphabet] for s in reachable
+        ]
+        accepting = {index[s] for s in self.accepting if s in index}
+
+        inverse: list[list[set[int]]] = [
+            [set() for _ in alphabet] for _ in range(n)
+        ]
+        for state in range(n):
+            for k in range(len(alphabet)):
+                inverse[delta[state][k]][k].add(state)
+
+        non_accepting = set(range(n)) - accepting
+        partition: list[set[int]] = [b for b in (accepting, non_accepting) if b]
+        block_of = [0] * n
+        for block_id, block in enumerate(partition):
+            for state in block:
+                block_of[state] = block_id
+        work: deque[tuple[int, int]] = deque(
+            (block_id, k)
+            for block_id in range(len(partition))
+            for k in range(len(alphabet))
+        )
+        while work:
+            block_id, k = work.popleft()
+            splitter = partition[block_id]
+            preimage: set[int] = set()
+            for state in splitter:
+                preimage |= inverse[state][k]
+            touched: dict[int, set[int]] = {}
+            for state in preimage:
+                touched.setdefault(block_of[state], set()).add(state)
+            for victim_id, inside in touched.items():
+                victim = partition[victim_id]
+                if len(inside) == len(victim):
+                    continue
+                outside = victim - inside
+                smaller, larger = (
+                    (inside, outside) if len(inside) <= len(outside) else (outside, inside)
+                )
+                partition[victim_id] = larger
+                new_id = len(partition)
+                partition.append(smaller)
+                for state in smaller:
+                    block_of[state] = new_id
+                for sym_index in range(len(alphabet)):
+                    work.append((new_id, sym_index))
+
+        # Renumber blocks so the start block is state 0 and numbering is
+        # canonical (BFS order over symbols sorted by repr).
+        start_block = block_of[index[self.start]]
+        renumber = {start_block: 0}
+        order = deque([start_block])
+        while order:
+            block = order.popleft()
+            representative = next(iter(partition[block]))
+            for k in range(len(alphabet)):
+                succ = block_of[delta[representative][k]]
+                if succ not in renumber:
+                    renumber[succ] = len(renumber)
+                    order.append(succ)
+        new_n = len(renumber)
+        new_delta: dict[tuple[int, Symbol], int] = {}
+        new_accepting: set[int] = set()
+        for block, new_id in renumber.items():
+            representative = next(iter(partition[block]))
+            for k, sym in enumerate(alphabet):
+                new_delta[(new_id, sym)] = renumber[block_of[delta[representative][k]]]
+            if representative in accepting:
+                new_accepting.add(new_id)
+        return DFA(
+            n_states=new_n,
+            alphabet=self.alphabet,
+            start=0,
+            accepting=frozenset(new_accepting),
+            delta=new_delta,
+        )
+
+    def complement(self) -> "DFA":
+        """DFA for the complement language (same alphabet)."""
+        return DFA(
+            n_states=self.n_states,
+            alphabet=self.alphabet,
+            start=self.start,
+            accepting=frozenset(range(self.n_states)) - self.accepting,
+            delta=dict(self.delta),
+        )
+
+    def product(
+        self, other: "DFA", accept: Callable[[bool, bool], bool]
+    ) -> "DFA":
+        """Product construction; ``accept`` combines the acceptance bits.
+
+        Use ``lambda a, b: a and b`` for intersection, ``or`` for union.
+        Both machines must share an alphabet.
+        """
+        if self.alphabet != other.alphabet:
+            raise AutomatonError("product requires identical alphabets")
+        index: dict[tuple[int, int], int] = {(self.start, other.start): 0}
+        order = [(self.start, other.start)]
+        delta: dict[tuple[int, Symbol], int] = {}
+        work = deque(order)
+        while work:
+            pair = work.popleft()
+            src = index[pair]
+            for sym in self.alphabet:
+                nxt = (self.delta[(pair[0], sym)], other.delta[(pair[1], sym)])
+                if nxt not in index:
+                    index[nxt] = len(order)
+                    order.append(nxt)
+                    work.append(nxt)
+                delta[(src, sym)] = index[nxt]
+        accepting = frozenset(
+            index[pair]
+            for pair in order
+            if accept(pair[0] in self.accepting, pair[1] in other.accepting)
+        )
+        return DFA(
+            n_states=len(order),
+            alphabet=self.alphabet,
+            start=0,
+            accepting=accepting,
+            delta=delta,
+        )
+
+    def intersect(self, other: "DFA") -> "DFA":
+        return self.product(other, lambda a, b: a and b)
+
+    def union(self, other: "DFA") -> "DFA":
+        return self.product(other, lambda a, b: a or b)
+
+    def to_nfa(self) -> NFA:
+        table: dict[tuple[int, Symbol], frozenset[int]] = {
+            key: frozenset({dst}) for key, dst in self.delta.items()
+        }
+        return NFA(
+            n_states=self.n_states,
+            alphabet=self.alphabet,
+            start=frozenset({self.start}),
+            accepting=self.accepting,
+            transitions=table,
+        )
+
+    def reverse(self) -> "DFA":
+        """Minimal DFA for the reversed language (Brzozowski step)."""
+        return self.to_nfa().reverse().determinize().minimize()
+
+    def equivalent(self, other: "DFA") -> bool:
+        """Language equivalence via minimization and isomorphism check."""
+        a = self.minimize()
+        b = other.minimize()
+        if a.alphabet != b.alphabet or a.n_states != b.n_states:
+            return False
+        # Canonical numbering makes minimal DFAs directly comparable.
+        return a.accepting == b.accepting and dict(a.delta) == dict(b.delta)
+
+    # -- enumeration --------------------------------------------------------
+
+    def words(self, max_length: int) -> Iterator[tuple[Symbol, ...]]:
+        """Yield all accepted words of length at most ``max_length``."""
+        alphabet = tuple(sorted(self.alphabet, key=repr))
+        for length in range(max_length + 1):
+            for word in itertools.product(alphabet, repeat=length):
+                if self.accepts(word):
+                    yield word
+
+    def shortest_accepted(self) -> tuple[Symbol, ...] | None:
+        """A shortest accepted word, or ``None`` for the empty language."""
+        if self.start in self.accepting:
+            return ()
+        alphabet = tuple(sorted(self.alphabet, key=repr))
+        parent: dict[int, tuple[int, Symbol]] = {}
+        seen = {self.start}
+        work = deque([self.start])
+        while work:
+            state = work.popleft()
+            for sym in alphabet:
+                nxt = self.delta[(state, sym)]
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                parent[nxt] = (state, sym)
+                if nxt in self.accepting:
+                    word: list[Symbol] = []
+                    cursor = nxt
+                    while cursor != self.start:
+                        prev, via = parent[cursor]
+                        word.append(via)
+                        cursor = prev
+                    return tuple(reversed(word))
+                work.append(nxt)
+        return None
+
+
+def literal_dfa(word: Sequence[Symbol], alphabet: Iterable[Symbol]) -> DFA:
+    """DFA accepting exactly the single word ``word``."""
+    edges = [(i, sym, i + 1) for i, sym in enumerate(word)]
+    return DFA.from_partial(
+        n_states=len(word) + 1,
+        alphabet=alphabet,
+        start=0,
+        accepting=[len(word)],
+        edges=edges,
+    )

@@ -1,0 +1,406 @@
+"""The paper's gallery of concrete property automata.
+
+Every machine that appears in a figure of the paper is constructed here:
+
+* :func:`one_bit_machine` — ``M_1bit`` for a single dataflow fact
+  (Fig 1); :func:`bit_vector_machine` builds the n-bit product.
+* :func:`adversarial_machine` — the rotate/swap/merge machine whose
+  transition monoid is all ``|S|^|S|`` functions (Fig 2, Section 4).
+* :func:`privilege_machine` — the three-state process-privilege property
+  (Fig 3), built from the paper's own Section 8 specification text.
+* :func:`full_privilege_machine` — a reconstruction of MOPS "Property 1"
+  (the paper reports 11 states, 9 alphabet symbols, 58 representative
+  functions); the original automaton was never published, so we model
+  POSIX uid-juggling semantics directly (see DESIGN.md §5).
+* :func:`file_state_machine` — the parametric open/close property
+  (Fig 5, Section 6.4).
+* :func:`bracket_machine` — bounded-depth bracket matching, the
+  annotation language for type-constructor matching in the flow analysis
+  (Fig 10, Section 7.2.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.dfa.automaton import DFA
+from repro.dfa.spec import MachineSpec, parse_spec
+
+# ---------------------------------------------------------------------------
+# Fig 1: the 1-bit gen/kill language
+# ---------------------------------------------------------------------------
+
+
+def one_bit_machine(gen: str = "g", kill: str = "k") -> DFA:
+    """``M_1bit`` (Fig 1): is the dataflow fact live after the word?
+
+    State 0 = fact absent (start), state 1 = fact present (accepting).
+    ``gen`` forces the fact on, ``kill`` forces it off — both idempotent,
+    and the transition monoid is exactly ``{f_eps, f_g, f_k}``.
+    """
+    return DFA.from_partial(
+        n_states=2,
+        alphabet={gen, kill},
+        start=0,
+        accepting={1},
+        edges=[(0, gen, 1), (0, kill, 0), (1, gen, 1), (1, kill, 0)],
+    )
+
+
+def bit_vector_machine(n_bits: int) -> DFA:
+    """Explicit ``2^n``-state product machine for an n-bit language.
+
+    Alphabet symbols are ``("g", i)`` and ``("k", i)`` per bit.  The
+    machine accepts words after which **bit 0** holds (each bit's
+    acceptance is a separate query; see :mod:`repro.dataflow.bitvector`
+    for the lazy product representation used in practice).
+    """
+    if n_bits < 1:
+        raise ValueError("n_bits must be positive")
+    states = list(itertools.product((0, 1), repeat=n_bits))
+    index = {s: i for i, s in enumerate(states)}
+    alphabet = {("g", i) for i in range(n_bits)} | {("k", i) for i in range(n_bits)}
+    edges = []
+    for state in states:
+        for i in range(n_bits):
+            on = list(state)
+            on[i] = 1
+            off = list(state)
+            off[i] = 0
+            edges.append((index[state], ("g", i), index[tuple(on)]))
+            edges.append((index[state], ("k", i), index[tuple(off)]))
+    accepting = {index[s] for s in states if s[0] == 1}
+    return DFA.from_partial(
+        n_states=len(states),
+        alphabet=alphabet,
+        start=index[tuple([0] * n_bits)],
+        accepting=accepting,
+        edges=edges,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 2: the adversarial rotate/swap/merge machine
+# ---------------------------------------------------------------------------
+
+
+def adversarial_machine(n_states: int) -> DFA:
+    """The Fig 2 machine: ``F_M^≡`` contains all ``n^n`` functions.
+
+    * ``rotate`` maps state i to i+1 (with wraparound),
+    * ``swap`` exchanges states 0 and 1,
+    * ``merge`` maps state 1 to state 0 (an information-losing map).
+
+    Rotations and the transposition generate every permutation; adding a
+    single rank-reducing idempotent generates the full transformation
+    monoid, so ``|F_M^≡| = n^n`` for n >= 1 (for n <= 2 some of the three
+    generators coincide, and the monoid is the full ``n^n`` anyway).
+    """
+    if n_states < 1:
+        raise ValueError("n_states must be positive")
+    n = n_states
+    edges = []
+    for s in range(n):
+        edges.append((s, "rotate", (s + 1) % n))
+        if s == 0:
+            swap_to, merge_to = (1 % n), 0
+        elif s == 1:
+            swap_to, merge_to = 0, 0
+        else:
+            swap_to, merge_to = s, s
+        edges.append((s, "swap", swap_to))
+        edges.append((s, "merge", merge_to))
+    return DFA.from_partial(
+        n_states=n,
+        alphabet={"rotate", "swap", "merge"},
+        start=0,
+        accepting={0},
+        edges=edges,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 3: process privilege (teaching version) — built from the paper's
+# own specification-language text (Section 8).
+# ---------------------------------------------------------------------------
+
+PRIVILEGE_SPEC = """
+start state Unpriv :
+    | seteuid_zero -> Priv;
+
+state Priv :
+    | seteuid_nonzero -> Unpriv
+    | execl -> Error;
+
+accept state Error;
+"""
+
+
+def privilege_spec() -> MachineSpec:
+    """Parsed Section 8 specification for the Fig 3 property."""
+    return parse_spec(PRIVILEGE_SPEC)
+
+
+def privilege_machine() -> DFA:
+    """The Fig 3 three-state process-privilege automaton."""
+    return privilege_spec().to_dfa()
+
+
+# ---------------------------------------------------------------------------
+# MOPS "Property 1": full process-privilege model (11 states, 9 symbols)
+# ---------------------------------------------------------------------------
+
+_UID_SYMBOLS: dict[str, Callable[[tuple[str, str, str]], tuple[str, str, str] | str]] = {}
+
+
+def _uid_symbol(name: str):
+    def register(fn):
+        _UID_SYMBOLS[name] = fn
+        return fn
+
+    return register
+
+
+def _apply_setuid(uids: tuple[str, str, str], target: str) -> tuple[str, str, str]:
+    ruid, euid, suid = uids
+    if euid == "0":
+        # Privileged setuid sets all three ids.
+        return (target, target, target)
+    if target in (ruid, suid):
+        return (ruid, target, suid)
+    return uids  # failed call: no effect
+
+
+@_uid_symbol("setuid_zero")
+def _setuid_zero(uids):
+    return _apply_setuid(uids, "0")
+
+
+@_uid_symbol("setuid_user")
+def _setuid_user(uids):
+    return _apply_setuid(uids, "u")
+
+
+def _apply_seteuid(uids: tuple[str, str, str], target: str) -> tuple[str, str, str]:
+    ruid, euid, suid = uids
+    if euid == "0" or target in (ruid, suid):
+        return (ruid, target, suid)
+    return uids
+
+
+@_uid_symbol("seteuid_zero")
+def _seteuid_zero(uids):
+    return _apply_seteuid(uids, "0")
+
+
+@_uid_symbol("seteuid_user")
+def _seteuid_user(uids):
+    return _apply_seteuid(uids, "u")
+
+
+def _apply_setreuid(
+    uids: tuple[str, str, str], new_r: str | None, new_e: str | None
+) -> tuple[str, str, str]:
+    ruid, euid, suid = uids
+    privileged = euid == "0"
+    r = ruid if new_r is None else new_r
+    e = euid if new_e is None else new_e
+    if not privileged:
+        allowed = {ruid, euid, suid}
+        if r not in allowed or e not in allowed:
+            return uids
+    # If the real uid is changed, or the effective uid is set to a value
+    # other than the previous real uid, the saved uid is set to the new
+    # effective uid (POSIX).
+    s = suid
+    if new_r is not None or (new_e is not None and new_e != ruid):
+        s = e
+    return (r, e, s)
+
+
+@_uid_symbol("setreuid_user_user")
+def _setreuid_user_user(uids):
+    return _apply_setreuid(uids, "u", "u")
+
+
+@_uid_symbol("setreuid_zero_zero")
+def _setreuid_zero_zero(uids):
+    return _apply_setreuid(uids, "0", "0")
+
+
+@_uid_symbol("setreuid_user_zero")
+def _setreuid_user_zero(uids):
+    return _apply_setreuid(uids, "u", "0")
+
+
+@_uid_symbol("exec")
+def _exec(uids):
+    _ruid, euid, _suid = uids
+    if euid == "0":
+        # Executing an untrusted program with effective root privilege.
+        return "error"
+    return uids
+
+
+@_uid_symbol("system")
+def _system(uids):
+    _ruid, euid, suid = uids
+    if euid == "0" or suid == "0":
+        # system() runs a shell; privilege recoverable through the saved
+        # uid is also exploitable (the shell can call seteuid(0)).
+        return "error"
+    return uids
+
+
+FULL_PRIVILEGE_SYMBOLS = tuple(sorted(_UID_SYMBOLS))
+
+
+def full_privilege_machine() -> DFA:
+    """Reconstruction of MOPS Property 1 (see DESIGN.md §5).
+
+    States abstract the process's (real, effective, saved) uid triple,
+    each component being root (``0``) or the invoking user (``u``), plus
+    a Start state (uids not yet observed, assumed the setuid-root
+    configuration ``(u, 0, 0)``) and an Error state: 10 states in total.
+    Nine symbols model the uid-setting system calls plus the exec/system
+    sinks.  The paper reports 11 states, 9 symbols and 58 representative
+    functions for the (unpublished) original; this reconstruction has
+    10 states, 9 symbols and 52 representative functions — the same
+    order, demonstrating the same point that ``|F_M^≡|`` stays tiny
+    compared to ``|S|^|S|``.
+
+    The machine is deliberately *not* minimized: state counts reported
+    for property automata refer to the model as specified, and the
+    benchmark that reproduces the paper's monoid-size claim measures
+    this specification-level machine (its language-minimal DFA has only
+    4 states).
+    """
+    uid_values = ("0", "u")
+    triples = list(itertools.product(uid_values, repeat=3))
+    states: list[tuple[str, str, str] | str] = ["start", *triples, "error"]
+    index = {s: i for i, s in enumerate(states)}
+    edges = []
+    for state in states:
+        for name, action in _UID_SYMBOLS.items():
+            if state == "error":
+                target: tuple[str, str, str] | str = "error"
+            elif state == "start":
+                target = action(("u", "0", "0"))
+            else:
+                target = action(state)
+            edges.append((index[state], name, index[target]))
+    return DFA.from_partial(
+        n_states=len(states),
+        alphabet=set(_UID_SYMBOLS),
+        start=index["start"],
+        accepting={index["error"]},
+        edges=edges,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 5: parametric file-state property
+# ---------------------------------------------------------------------------
+
+FILE_STATE_SPEC = """
+start state Closed :
+    | open(x) -> Opened
+    | close(x) -> Error;
+
+state Opened :
+    | close(x) -> Closed
+    | open(x) -> Error;
+
+accept state Error;
+"""
+
+
+def file_state_spec() -> MachineSpec:
+    """Parsed specification of the Fig 5 open/close property.
+
+    Both symbols are parametric in the descriptor ``x``; the accepting
+    Error state flags double-open and double-close.  Queries about a
+    descriptor being *left open* target the ``Opened`` state instead of
+    the accept set (the query machinery allows any target states).
+    """
+    return parse_spec(FILE_STATE_SPEC)
+
+
+def file_state_machine() -> DFA:
+    return file_state_spec().to_dfa()
+
+
+# ---------------------------------------------------------------------------
+# Fig 10: bounded-depth bracket languages for type-constructor matching
+# ---------------------------------------------------------------------------
+
+
+def open_bracket(kind: Hashable) -> tuple[str, Hashable]:
+    """Alphabet symbol for ``[_kind`` (flow *into* a constructor)."""
+    return ("[", kind)
+
+
+def close_bracket(kind: Hashable) -> tuple[str, Hashable]:
+    """Alphabet symbol for ``]_kind`` (flow *out of* a constructor)."""
+    return ("]", kind)
+
+
+def bracket_machine(
+    kinds: Iterable[Hashable],
+    depth: int,
+    can_nest: Callable[[Hashable | None, Hashable], bool] | None = None,
+) -> DFA:
+    """Bounded-depth matched-bracket language (Fig 10 generalized).
+
+    States are stacks of currently-open bracket kinds, up to ``depth``
+    deep; ``[k`` pushes, a matching ``]k`` pops, anything else is dead.
+    The empty stack is both start and accept, so the accepted language is
+    exactly the *matched* flow words.  ``can_nest(top, k)`` restricts
+    which kinds may open in a given context (``top is None`` at the
+    outermost level) — the flow analysis uses the type structure here,
+    which is what keeps the state count linear in practice.
+
+    For the paper's single-level-pair example (Fig 10) use
+    ``bracket_machine([(1, "int"), (2, "int")], depth=1)``.
+    """
+    kinds = list(kinds)
+    alphabet = {open_bracket(k) for k in kinds} | {close_bracket(k) for k in kinds}
+    start: tuple[Hashable, ...] = ()
+    states: dict[tuple[Hashable, ...], int] = {start: 0}
+    order: list[tuple[Hashable, ...]] = [start]
+    edges: list[tuple[int, tuple[str, Hashable], int]] = []
+    work = deque([start])
+    while work:
+        stack = work.popleft()
+        src = states[stack]
+        top = stack[-1] if stack else None
+        for kind in kinds:
+            if len(stack) < depth and (can_nest is None or can_nest(top, kind)):
+                nxt = stack + (kind,)
+                if nxt not in states:
+                    states[nxt] = len(order)
+                    order.append(nxt)
+                    work.append(nxt)
+                edges.append((src, open_bracket(kind), states[nxt]))
+            if top == kind:
+                nxt = stack[:-1]
+                edges.append((src, close_bracket(kind), states[nxt]))
+    return DFA.from_partial(
+        n_states=len(order),
+        alphabet=alphabet,
+        start=0,
+        accepting={0},
+        edges=edges,
+    )
+
+
+def pair_machine(component_types: Sequence[Hashable] = ("int", "int")) -> DFA:
+    """The Fig 10 automaton for single-level pairs.
+
+    ``component_types`` names the type at each pair position, giving the
+    ``τ`` superscripts of the ``[_τ^i`` symbols.
+    """
+    kinds = [(i + 1, tau) for i, tau in enumerate(component_types)]
+    return bracket_machine(kinds, depth=1)

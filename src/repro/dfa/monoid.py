@@ -1,0 +1,282 @@
+"""Transition monoids and representative functions (Section 2.4).
+
+The congruence ``w ≡_M w'`` (two words behave identically in every
+left/right context of ``L(M)``) has one equivalence class per distinct
+*transition function* ``δ(w, ·) : S → S`` of the machine — this is
+Theorem 2.1, a consequence of Myhill–Nerode.  The set of all such
+functions, closed under composition, is the classical **transition
+monoid** of the DFA, written ``F_M^≡`` in the paper.
+
+The constraint solver annotates constraints with elements of this monoid
+(:class:`RepresentativeFunction`) and composes them during transitive
+closure.  The paper's BANSHEE implementation *specializes* the solver for
+a given machine by enumerating ``F_M^≡`` and precomputing a composition
+lookup table; :class:`TransitionMonoid` supports both that eager mode and
+a lazy memoized mode for machines with very large monoids (the Fig 2
+adversarial machine's monoid has ``|S|^|S|`` elements).
+
+The coarser right and left congruences used by the forward and backward
+solvers of Section 5 are exposed as :meth:`TransitionMonoid.forward_class`
+and :meth:`TransitionMonoid.backward_class`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.dfa.automaton import DFA, Symbol
+
+
+class MonoidSizeExceeded(RuntimeError):
+    """Raised when eager enumeration of ``F_M^≡`` exceeds the size bound."""
+
+
+class RepresentativeFunction:
+    """A representative function ``f : S -> S`` for a ``≡_M`` class.
+
+    Immutable and hashable; ``mapping[s]`` is ``f(s)``.  Composition does
+    not need the machine, so it is provided directly: ``f.then(g)`` is
+    the function of the concatenated word ``w_f · w_g`` (i.e. the paper's
+    ``g ∘ f``).
+    """
+
+    __slots__ = ("mapping", "_hash")
+
+    def __init__(self, mapping: Sequence[int]) -> None:
+        object.__setattr__(self, "mapping", tuple(mapping))
+        object.__setattr__(self, "_hash", hash(self.mapping))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("RepresentativeFunction is immutable")
+
+    def __call__(self, state: int) -> int:
+        return self.mapping[state]
+
+    def then(self, other: "RepresentativeFunction") -> "RepresentativeFunction":
+        """Function of ``w_self`` followed by ``w_other`` (``other ∘ self``)."""
+        own = self.mapping
+        return RepresentativeFunction(tuple(other.mapping[s] for s in own))
+
+    def is_identity(self) -> bool:
+        return all(i == s for i, s in enumerate(self.mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RepresentativeFunction)
+            and self.mapping == other.mapping
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        arrows = ", ".join(f"{s}->{t}" for s, t in enumerate(self.mapping))
+        return f"RepFn({arrows})"
+
+
+class TransitionMonoid:
+    """The monoid ``F_M^≡`` of a complete DFA, with composition support.
+
+    Parameters
+    ----------
+    machine:
+        A complete :class:`~repro.dfa.automaton.DFA`.  It should normally
+        be minimized — the paper's results (Theorem 2.1, the pruning of
+        necessarily non-accepting annotations) rely on minimality.
+    eager:
+        When true, :meth:`elements` enumerates the full monoid up front
+        (mirroring BANSHEE's specializer).  When false, composition is
+        memoized lazily and :meth:`elements` enumerates on first use.
+    max_size:
+        Guard against superexponential monoids during eager enumeration.
+    """
+
+    def __init__(self, machine: DFA, eager: bool = True, max_size: int = 500_000):
+        self.machine = machine
+        self.max_size = max_size
+        states = range(machine.n_states)
+        self.identity = RepresentativeFunction(tuple(states))
+        self._generators: dict[Symbol, RepresentativeFunction] = {
+            sym: RepresentativeFunction(
+                tuple(machine.delta[(s, sym)] for s in states)
+            )
+            for sym in machine.alphabet
+        }
+        self._reachable = machine.reachable_states()
+        self._coreachable = machine.coreachable_states()
+        self._elements: frozenset[RepresentativeFunction] | None = None
+        self._compose_memo: dict[
+            tuple[RepresentativeFunction, RepresentativeFunction],
+            RepresentativeFunction,
+        ] = {}
+        if eager:
+            self._enumerate()
+
+    # -- basic algebra ------------------------------------------------------
+
+    def generator(self, symbol: Symbol) -> RepresentativeFunction:
+        """Representative function ``f_σ`` for a single alphabet symbol."""
+        return self._generators[symbol]
+
+    @property
+    def generators(self) -> dict[Symbol, RepresentativeFunction]:
+        return dict(self._generators)
+
+    def of_word(self, word: Iterable[Symbol]) -> RepresentativeFunction:
+        """Representative function of an arbitrary word over the alphabet."""
+        fn = self.identity
+        for sym in word:
+            fn = fn.then(self._generators[sym])
+        return fn
+
+    def then(
+        self, first: RepresentativeFunction, second: RepresentativeFunction
+    ) -> RepresentativeFunction:
+        """Memoized composition in word order (``second ∘ first``)."""
+        key = (first, second)
+        cached = self._compose_memo.get(key)
+        if cached is None:
+            cached = first.then(second)
+            self._compose_memo[key] = cached
+        return cached
+
+    def compose(
+        self, outer: RepresentativeFunction, inner: RepresentativeFunction
+    ) -> RepresentativeFunction:
+        """Paper-notation composition ``outer ∘ inner`` (inner word first)."""
+        return self.then(inner, outer)
+
+    # -- enumeration (the specializer's job) --------------------------------
+
+    def _enumerate(self) -> None:
+        seen: set[RepresentativeFunction] = {self.identity}
+        order: list[RepresentativeFunction] = [self.identity]
+        work = deque(order)
+        gens = list(self._generators.values())
+        while work:
+            fn = work.popleft()
+            for gen in gens:
+                nxt = fn.then(gen)
+                if nxt not in seen:
+                    if len(seen) >= self.max_size:
+                        raise MonoidSizeExceeded(
+                            f"|F_M| exceeds max_size={self.max_size}"
+                        )
+                    seen.add(nxt)
+                    order.append(nxt)
+                    work.append(nxt)
+        self._elements = frozenset(seen)
+
+    def elements(self) -> frozenset[RepresentativeFunction]:
+        """All of ``F_M^≡`` (including the identity ``f_ε``)."""
+        if self._elements is None:
+            self._enumerate()
+        assert self._elements is not None
+        return self._elements
+
+    def size(self) -> int:
+        """``|F_M^≡|`` — the number of distinct representative functions."""
+        return len(self.elements())
+
+    def composition_table(self) -> tuple[list[RepresentativeFunction], list[list[int]]]:
+        """The specializer's output (§8): indexed elements plus a dense
+        ``table[i][j] = index of elements[i] then elements[j]`` lookup.
+
+        This is what BANSHEE compiles from an annotation specification:
+        with the table in hand, the transitive-closure rule's annotation
+        composition is a constant-time array access.
+        """
+        elements = sorted(self.elements(), key=lambda f: f.mapping)
+        index = {fn: i for i, fn in enumerate(elements)}
+        table = [
+            [index[first.then(second)] for second in elements]
+            for first in elements
+        ]
+        return elements, table
+
+    # -- semantic predicates -------------------------------------------------
+
+    def is_accepting(self, fn: RepresentativeFunction) -> bool:
+        """Does ``fn`` represent full words of ``L(M)``?
+
+        ``F_accept = { f | f(s0) ∈ S_accept }`` (Section 3.2).
+        """
+        return fn(self.machine.start) in self.machine.accepting
+
+    def accepting_functions(self) -> frozenset[RepresentativeFunction]:
+        """The set ``F_accept`` used by entailment queries."""
+        return frozenset(f for f in self.elements() if self.is_accepting(f))
+
+    def is_live(self, fn: RepresentativeFunction) -> bool:
+        """Can ``fn``'s words still take part in an accepted word?
+
+        A representative function is *live* when it is the class of some
+        substring of ``L(M)``: there is a reachable state that ``fn``
+        carries into a coreachable state.  Dead annotations are
+        "necessarily non-accepting" and the solver drops them — the
+        paper notes minimality of ``M`` makes this pruning sound.
+        """
+        return any(fn(s) in self._coreachable for s in self._reachable)
+
+    def is_prefix_live(self, fn: RepresentativeFunction) -> bool:
+        """Is ``fn`` the class of some prefix of ``L(M)``?"""
+        return fn(self.machine.start) in self._coreachable
+
+    # -- coarser congruences for unidirectional solving ----------------------
+
+    def forward_class(self, fn: RepresentativeFunction) -> int:
+        """Right-congruence class of ``fn`` — the state ``f(s0)``.
+
+        ``w ≡_r w'`` iff ``δ(w, s0) = δ(w', s0)``; a forward solver only
+        needs this state, giving at most ``|S|`` derived annotations
+        (Section 5.1).
+        """
+        return fn(self.machine.start)
+
+    def backward_class(self, fn: RepresentativeFunction) -> frozenset[int]:
+        """Left-congruence class of ``fn`` — the accepting preimage.
+
+        ``w ≡_l w'`` iff they are interchangeable as suffixes, which is
+        determined by ``{ s | δ(w, s) ∈ S_accept }``.
+        """
+        return frozenset(
+            s
+            for s in range(self.machine.n_states)
+            if fn(s) in self.machine.accepting
+        )
+
+    def forward_classes(self) -> frozenset[int]:
+        """All right-congruence classes realized by the monoid."""
+        return frozenset(self.forward_class(f) for f in self.elements())
+
+    def backward_classes(self) -> frozenset[frozenset[int]]:
+        """All left-congruence classes realized by the monoid."""
+        return frozenset(self.backward_class(f) for f in self.elements())
+
+
+def monoid_size_lower_bound(machine: DFA, budget: int) -> int:
+    """Count monoid elements up to ``budget`` without storing a table.
+
+    Used by benchmarks to probe superexponential monoids (Fig 2) without
+    committing to full enumeration: returns the exact size if it is at
+    most ``budget``, else ``budget``.
+    """
+    states = range(machine.n_states)
+    identity = RepresentativeFunction(tuple(states))
+    gens = [
+        RepresentativeFunction(tuple(machine.delta[(s, sym)] for s in states))
+        for sym in machine.alphabet
+    ]
+    seen = {identity}
+    work = deque([identity])
+    while work:
+        fn = work.popleft()
+        for gen in gens:
+            nxt = fn.then(gen)
+            if nxt not in seen:
+                seen.add(nxt)
+                if len(seen) >= budget:
+                    return budget
+                work.append(nxt)
+    return len(seen)

@@ -1,0 +1,206 @@
+"""A small regular-expression front end.
+
+Annotation languages in the paper are specified either directly as
+automata (Section 8's specification language, :mod:`repro.dfa.spec`) or
+constructed programmatically.  For tests and examples it is convenient to
+also build machines from textual regular expressions; this module
+implements a classic Thompson construction over the grammar::
+
+    regex  ::= term ('|' term)*
+    term   ::= factor*
+    factor ::= atom ('*' | '+' | '?')*
+    atom   ::= symbol | '(' regex ')'
+
+Symbols are single characters, or arbitrary multi-character names written
+in angle brackets, e.g. ``<seteuid_zero>``.  The empty word is written
+``()`` or by an empty alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dfa.automaton import DFA, EPSILON, NFA, Symbol
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when a regular expression fails to parse."""
+
+
+@dataclass
+class _Fragment:
+    """An NFA fragment with a single start and single accept state."""
+
+    start: int
+    accept: int
+
+
+class _Builder:
+    """Accumulates NFA states and epsilon/symbol edges."""
+
+    def __init__(self) -> None:
+        self.n_states = 0
+        self.edges: list[tuple[int, Symbol, int]] = []
+        self.alphabet: set[Symbol] = set()
+
+    def new_state(self) -> int:
+        self.n_states += 1
+        return self.n_states - 1
+
+    def add_edge(self, src: int, sym: Symbol, dst: int) -> None:
+        self.edges.append((src, sym, dst))
+        if sym is not EPSILON:
+            self.alphabet.add(sym)
+
+    def symbol(self, sym: Symbol) -> _Fragment:
+        start, accept = self.new_state(), self.new_state()
+        self.add_edge(start, sym, accept)
+        return _Fragment(start, accept)
+
+    def empty(self) -> _Fragment:
+        start, accept = self.new_state(), self.new_state()
+        self.add_edge(start, EPSILON, accept)
+        return _Fragment(start, accept)
+
+    def concat(self, a: _Fragment, b: _Fragment) -> _Fragment:
+        self.add_edge(a.accept, EPSILON, b.start)
+        return _Fragment(a.start, b.accept)
+
+    def alternate(self, a: _Fragment, b: _Fragment) -> _Fragment:
+        start, accept = self.new_state(), self.new_state()
+        self.add_edge(start, EPSILON, a.start)
+        self.add_edge(start, EPSILON, b.start)
+        self.add_edge(a.accept, EPSILON, accept)
+        self.add_edge(b.accept, EPSILON, accept)
+        return _Fragment(start, accept)
+
+    def star(self, a: _Fragment) -> _Fragment:
+        start, accept = self.new_state(), self.new_state()
+        self.add_edge(start, EPSILON, a.start)
+        self.add_edge(start, EPSILON, accept)
+        self.add_edge(a.accept, EPSILON, a.start)
+        self.add_edge(a.accept, EPSILON, accept)
+        return _Fragment(start, accept)
+
+    def plus(self, a: _Fragment) -> _Fragment:
+        starred = self.star(_Fragment(a.start, a.accept))
+        self.add_edge(a.accept, EPSILON, starred.start)
+        # a then a*: build explicitly to avoid sharing subtleties.
+        return _Fragment(a.start, starred.accept)
+
+    def optional(self, a: _Fragment) -> _Fragment:
+        start, accept = self.new_state(), self.new_state()
+        self.add_edge(start, EPSILON, a.start)
+        self.add_edge(start, EPSILON, accept)
+        self.add_edge(a.accept, EPSILON, accept)
+        return _Fragment(start, accept)
+
+
+class _Parser:
+    def __init__(self, text: str, builder: _Builder) -> None:
+        self.text = text
+        self.pos = 0
+        self.builder = builder
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return None
+
+    def take(self) -> str:
+        char = self.text[self.pos]
+        self.pos += 1
+        return char
+
+    def parse(self) -> _Fragment:
+        fragment = self.parse_alternation()
+        if self.pos != len(self.text):
+            raise RegexSyntaxError(
+                f"unexpected character {self.text[self.pos]!r} at {self.pos}"
+            )
+        return fragment
+
+    def parse_alternation(self) -> _Fragment:
+        fragment = self.parse_term()
+        while self.peek() == "|":
+            self.take()
+            fragment = self.builder.alternate(fragment, self.parse_term())
+        return fragment
+
+    def parse_term(self) -> _Fragment:
+        fragment: _Fragment | None = None
+        while self.peek() not in (None, "|", ")"):
+            factor = self.parse_factor()
+            fragment = (
+                factor if fragment is None else self.builder.concat(fragment, factor)
+            )
+        return fragment if fragment is not None else self.builder.empty()
+
+    def parse_factor(self) -> _Fragment:
+        fragment = self.parse_atom()
+        while self.peek() in ("*", "+", "?"):
+            op = self.take()
+            if op == "*":
+                fragment = self.builder.star(fragment)
+            elif op == "+":
+                fragment = self.builder.plus(fragment)
+            else:
+                fragment = self.builder.optional(fragment)
+        return fragment
+
+    def parse_atom(self) -> _Fragment:
+        char = self.peek()
+        if char is None:
+            raise RegexSyntaxError("unexpected end of pattern")
+        if char == "(":
+            self.take()
+            fragment = self.parse_alternation()
+            if self.peek() != ")":
+                raise RegexSyntaxError("unbalanced parenthesis")
+            self.take()
+            return fragment
+        if char == "<":
+            self.take()
+            name_chars: list[str] = []
+            while self.peek() not in (">", None):
+                name_chars.append(self.take())
+            if self.peek() != ">":
+                raise RegexSyntaxError("unterminated <name> symbol")
+            self.take()
+            if not name_chars:
+                raise RegexSyntaxError("empty <name> symbol")
+            return self.builder.symbol("".join(name_chars))
+        if char in "*+?)|":
+            raise RegexSyntaxError(f"unexpected operator {char!r} at {self.pos}")
+        if char == "\\":
+            self.take()
+            if self.peek() is None:
+                raise RegexSyntaxError("dangling escape")
+            return self.builder.symbol(self.take())
+        return self.builder.symbol(self.take())
+
+
+def regex_to_nfa(pattern: str, alphabet: set[Symbol] | None = None) -> NFA:
+    """Compile ``pattern`` to an :class:`NFA`.
+
+    ``alphabet`` may supply extra symbols not mentioned in the pattern
+    (the machine must still reject words containing them, so they become
+    part of the automaton's alphabet).
+    """
+    builder = _Builder()
+    fragment = _Parser(pattern, builder).parse()
+    symbols = set(builder.alphabet)
+    if alphabet:
+        symbols |= set(alphabet)
+    return NFA.build(
+        n_states=builder.n_states,
+        alphabet=symbols,
+        start=[fragment.start],
+        accepting=[fragment.accept],
+        edges=builder.edges,
+    )
+
+
+def regex_to_dfa(pattern: str, alphabet: set[Symbol] | None = None) -> DFA:
+    """Compile ``pattern`` to a minimal complete :class:`DFA`."""
+    return regex_to_nfa(pattern, alphabet).determinize().minimize()

@@ -1,0 +1,253 @@
+"""The annotation specification language of Section 8.
+
+BANSHEE specializes the solver from a static description of the property
+automaton, written in a small language "loosely based on ML pattern
+matching syntax".  The paper's example::
+
+    start state Unpriv :
+        | seteuid_zero -> Priv;
+
+    state Priv :
+        | seteuid_nonzero -> Unpriv
+        | execl -> Error;
+
+    accept state Error;
+
+We reproduce that language, extended with the *parametric* symbols of
+Section 6.4, written ``open(x)`` / ``close(x)`` where ``x`` is a
+parameter to be matched against concrete labels at analysis time::
+
+    start state Closed :
+        | open(x) -> Opened;
+
+    state Opened :
+        | close(x) -> Closed
+        | open(x) -> Error;
+
+    accept state Error;
+
+Symbols without an explicit transition in a state are self-loops (the
+property automaton monitors the program, ignoring irrelevant events) —
+this makes the compiled machine complete, as the formalism requires.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.dfa.automaton import DFA
+
+
+class SpecSyntaxError(ValueError):
+    """Raised when an automaton specification fails to parse."""
+
+
+@dataclass(frozen=True)
+class SymbolSpec:
+    """An (optionally parametric) alphabet symbol such as ``open(x)``."""
+
+    name: str
+    params: tuple[str, ...] = ()
+
+    @property
+    def is_parametric(self) -> bool:
+        return bool(self.params)
+
+    def __str__(self) -> str:
+        if self.params:
+            return f"{self.name}({', '.join(self.params)})"
+        return self.name
+
+
+@dataclass
+class MachineSpec:
+    """A parsed automaton specification.
+
+    ``transitions`` maps ``(state, symbol name)`` to a successor state;
+    symbols are identified by name (their parameter lists are recorded in
+    ``symbols``).  Compile to a DFA with :meth:`to_dfa`.
+    """
+
+    states: list[str]
+    start: str
+    accepting: set[str]
+    symbols: dict[str, SymbolSpec]
+    transitions: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    def state_index(self, name: str) -> int:
+        return self.states.index(name)
+
+    @property
+    def parametric_symbols(self) -> set[str]:
+        return {name for name, spec in self.symbols.items() if spec.is_parametric}
+
+    def unparse(self) -> str:
+        """Render back to the specification language (round-trippable)."""
+        lines: list[str] = []
+        for state in self.states:
+            keywords = []
+            if state == self.start:
+                keywords.append("start")
+            if state in self.accepting:
+                keywords.append("accept")
+            keywords.append("state")
+            header = f"{' '.join(keywords)} {state}"
+            transitions = [
+                (str(self.symbols[symbol]), target)
+                for (source, symbol), target in sorted(self.transitions.items())
+                if source == state
+            ]
+            if not transitions:
+                lines.append(f"{header};")
+                continue
+            lines.append(f"{header} :")
+            for index, (symbol, target) in enumerate(transitions):
+                terminator = ";" if index == len(transitions) - 1 else ""
+                lines.append(f"    | {symbol} -> {target}{terminator}")
+        return "\n".join(lines) + "\n"
+
+    def to_dfa(self) -> DFA:
+        """Compile to a complete DFA; unspecified transitions self-loop."""
+        index = {name: i for i, name in enumerate(self.states)}
+        edges = []
+        for state in self.states:
+            for sym in self.symbols:
+                target = self.transitions.get((state, sym), state)
+                edges.append((index[state], sym, index[target]))
+        return DFA.from_partial(
+            n_states=len(self.states),
+            alphabet=set(self.symbols),
+            start=index[self.start],
+            accepting={index[s] for s in self.accepting},
+            edges=edges,
+        )
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<kw>start|accept|state)\b"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<arrow>->)"
+    r"|(?P<punct>[:;|(),]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    # Strip comments (``# ...`` and ``// ...`` to end of line).
+    text = re.sub(r"(#|//)[^\n]*", "", text)
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise SpecSyntaxError(f"unexpected input near {remainder[:20]!r}")
+        pos = match.end()
+        for kind in ("kw", "ident", "arrow", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _SpecParser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def take(self, kind: str | None = None, value: str | None = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise SpecSyntaxError("unexpected end of specification")
+        if kind is not None and token[0] != kind:
+            raise SpecSyntaxError(f"expected {kind}, found {token[1]!r}")
+        if value is not None and token[1] != value:
+            raise SpecSyntaxError(f"expected {value!r}, found {token[1]!r}")
+        self.pos += 1
+        return token[1]
+
+    def parse(self) -> MachineSpec:
+        states: list[str] = []
+        start: str | None = None
+        accepting: set[str] = set()
+        symbols: dict[str, SymbolSpec] = {}
+        transitions: dict[tuple[str, str], str] = {}
+        pending: list[tuple[str, str, str]] = []
+
+        while self.peek() is not None:
+            is_start = is_accept = False
+            while self.peek() is not None and self.peek()[1] in ("start", "accept"):
+                flag = self.take("kw")
+                is_start = is_start or flag == "start"
+                is_accept = is_accept or flag == "accept"
+            self.take("kw", "state")
+            name = self.take("ident")
+            if name in states:
+                raise SpecSyntaxError(f"duplicate state {name!r}")
+            states.append(name)
+            if is_start:
+                if start is not None:
+                    raise SpecSyntaxError("multiple start states")
+                start = name
+            if is_accept:
+                accepting.add(name)
+            token = self.peek()
+            if token is not None and token[1] == ":":
+                self.take("punct", ":")
+                while self.peek() is not None and self.peek()[1] == "|":
+                    self.take("punct", "|")
+                    sym = self._parse_symbol(symbols)
+                    self.take("arrow")
+                    target = self.take("ident")
+                    pending.append((name, sym, target))
+            self.take("punct", ";")
+
+        if start is None:
+            raise SpecSyntaxError("no start state declared")
+        for src, sym, dst in pending:
+            if dst not in states:
+                raise SpecSyntaxError(f"transition targets unknown state {dst!r}")
+            if (src, sym) in transitions:
+                raise SpecSyntaxError(f"duplicate transition on {sym!r} from {src!r}")
+            transitions[(src, sym)] = dst
+        return MachineSpec(
+            states=states,
+            start=start,
+            accepting=accepting,
+            symbols=symbols,
+            transitions=transitions,
+        )
+
+    def _parse_symbol(self, symbols: dict[str, SymbolSpec]) -> str:
+        name = self.take("ident")
+        params: tuple[str, ...] = ()
+        token = self.peek()
+        if token is not None and token[1] == "(":
+            self.take("punct", "(")
+            names: list[str] = [self.take("ident")]
+            while self.peek() is not None and self.peek()[1] == ",":
+                self.take("punct", ",")
+                names.append(self.take("ident"))
+            self.take("punct", ")")
+            params = tuple(names)
+        spec = SymbolSpec(name, params)
+        existing = symbols.get(name)
+        if existing is not None and existing != spec:
+            raise SpecSyntaxError(
+                f"symbol {name!r} used with inconsistent parameters"
+            )
+        symbols[name] = spec
+        return name
+
+
+def parse_spec(text: str) -> MachineSpec:
+    """Parse a Section 8 automaton specification into a :class:`MachineSpec`."""
+    return _SpecParser(_tokenize(text)).parse()

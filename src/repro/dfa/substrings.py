@@ -1,0 +1,63 @@
+"""Prefix, suffix and substring language constructions.
+
+Section 2.3 of the paper solves bidirectional constraint systems over the
+domain ``T^{M^sub}``, where ``M^sub`` is the minimal DFA accepting all
+substrings of ``L(M)``; forward solving uses the prefix language
+``M^pre`` and backward solving the suffix language ``M^suf`` (Section 5).
+All three languages are regular and the constructions are standard:
+
+* ``w`` is a **prefix** of ``L(M)`` iff ``delta(w, s0)`` can still reach
+  an accepting state;
+* ``w`` is a **suffix** iff some state reachable from ``s0`` is carried
+  by ``w`` into an accepting state;
+* ``w`` is a **substring** iff some reachable state is carried by ``w``
+  into a coreachable state.
+"""
+
+from __future__ import annotations
+
+from repro.dfa.automaton import DFA, NFA
+
+
+def prefix_dfa(machine: DFA) -> DFA:
+    """Minimal DFA accepting all prefixes of words in ``L(machine)``."""
+    coreachable = machine.coreachable_states()
+    widened = DFA(
+        n_states=machine.n_states,
+        alphabet=machine.alphabet,
+        start=machine.start,
+        accepting=coreachable,
+        delta=dict(machine.delta),
+    )
+    return widened.minimize()
+
+
+def suffix_dfa(machine: DFA) -> DFA:
+    """Minimal DFA accepting all suffixes of words in ``L(machine)``."""
+    reachable = machine.reachable_states()
+    nfa = NFA(
+        n_states=machine.n_states,
+        alphabet=machine.alphabet,
+        start=frozenset(reachable),
+        accepting=machine.accepting,
+        transitions={
+            key: frozenset({dst}) for key, dst in machine.delta.items()
+        },
+    )
+    return nfa.determinize().minimize()
+
+
+def substring_dfa(machine: DFA) -> DFA:
+    """Minimal DFA accepting all substrings of words in ``L(machine)``."""
+    reachable = machine.reachable_states()
+    coreachable = machine.coreachable_states()
+    nfa = NFA(
+        n_states=machine.n_states,
+        alphabet=machine.alphabet,
+        start=frozenset(reachable),
+        accepting=frozenset(coreachable),
+        transitions={
+            key: frozenset({dst}) for key, dst in machine.delta.items()
+        },
+    )
+    return nfa.determinize().minimize()

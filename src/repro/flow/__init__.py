@@ -1,0 +1,32 @@
+"""Type-based flow analysis (Section 7).
+
+The paper's novel application: context-sensitive (polymorphically
+recursive), field-sensitive label-flow analysis with non-structural
+subtyping.  Function call/return matching is the *context-free* side,
+encoded with ``o_i`` constructors (the set-constraint/CFL-reachability
+reduction of Kodumal & Aiken 2004); type-constructor matching is the
+*regular* side, encoded as bounded-depth bracket annotations (Fig 10).
+
+* :mod:`repro.flow.lang` — the Section 7.1 source language with a parser
+  (labels are written ``expr@Name``);
+* :mod:`repro.flow.types` — labeled types and the ``spread`` operator;
+* :mod:`repro.flow.infer` — the Fig 8/9 type rules and constraint
+  generation, including the well-labeledness (WL) bracket constraints;
+* :mod:`repro.flow.analysis` — the user-facing :class:`FlowAnalysis`
+  with ``flows(A, B)`` queries;
+* :mod:`repro.flow.dual` — the Section 7.6 dual encoding (terms for
+  fields, annotations for monomorphic-recursion call contexts);
+* :mod:`repro.flow.alias` — stack-aware alias queries (Section 7.5).
+"""
+
+from repro.flow.alias import StackAwareAliasAnalysis
+from repro.flow.analysis import FlowAnalysis
+from repro.flow.dual import DualFlowAnalysis
+from repro.flow.lang import parse_flow_program
+
+__all__ = [
+    "DualFlowAnalysis",
+    "FlowAnalysis",
+    "StackAwareAliasAnalysis",
+    "parse_flow_program",
+]

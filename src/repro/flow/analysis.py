@@ -1,0 +1,92 @@
+"""User-facing flow analysis: parse, infer, solve, query (Section 7.3).
+
+Flow queries use the fresh-constant technique of Section 7.3: a marker
+constant is added below each named label, and ``A`` flows to ``B`` iff
+``A``'s marker appears in ``B``'s least solution along a word the
+bracket machine accepts (all type-constructor uses matched).  With
+``pn=True`` partially matched function paths are also admitted (PN
+reachability): values may flow into a function that never returns, and
+callee-created values may escape to any caller.
+"""
+
+from __future__ import annotations
+
+from repro.core.queries import Reachability, least_solution_terms
+from repro.core.terms import Constructed, Constructor, Variable
+from repro.flow import lang
+from repro.flow.infer import GeneratedSystem, generate
+
+
+class FlowAnalysis:
+    """Context- and field-sensitive label flow for a Section 7 program."""
+
+    def __init__(self, program: lang.FlowProgram | str, pn: bool = False):
+        if isinstance(program, str):
+            program = lang.parse_flow_program(program)
+        self.program = program
+        self.pn = pn
+        self.system: GeneratedSystem = generate(program, pn=pn)
+        self._markers: dict[str, Constructed] = {}
+        for name, label in self.system.labels.items():
+            marker = Constructor(f"mk_{name}", 0)()
+            self._markers[name] = marker
+            self.system.solver.add(marker, label)
+        self._reachability = Reachability(
+            self.system.solver, through_constructors=pn
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def labels(self) -> dict[str, Variable]:
+        """The program's ``@Name`` labels, by name."""
+        return dict(self.system.labels)
+
+    def label_var(self, name: str) -> Variable:
+        if name not in self.system.labels:
+            raise KeyError(f"no label named {name!r} in the program")
+        return self.system.labels[name]
+
+    @property
+    def machine_states(self) -> int:
+        """Size of the generated Fig 10 bracket machine."""
+        return self.system.machine.n_states
+
+    @property
+    def monoid_size(self) -> int:
+        return self.system.algebra.monoid.size()
+
+    # -- queries --------------------------------------------------------------------
+
+    def flows(self, source: str, target: str) -> bool:
+        """Does label ``source`` flow to label ``target``?
+
+        True iff the source's marker constant reaches the target label
+        with an annotation whose words the bracket machine accepts
+        (matched type-constructor uses; function call matching is exact
+        via the ``o_i`` constructors)."""
+        if source not in self._markers:
+            raise KeyError(f"no label named {source!r} in the program")
+        marker = self._markers[source]
+        target_var = self.label_var(target)
+        return self._reachability.reaches(target_var, marker)
+
+    def flow_annotations(self, source: str, target: str):
+        """All annotation classes with which ``source`` reaches ``target``."""
+        marker = self._markers[source]
+        return self._reachability.annotations_of(self.label_var(target), marker)
+
+    def flow_pairs(self) -> set[tuple[str, str]]:
+        """All ``(source, target)`` label pairs with flow — the full matrix."""
+        pairs: set[tuple[str, str]] = set()
+        for source in self._markers:
+            for target in self.system.labels:
+                if source != target and self.flows(source, target):
+                    pairs.add((source, target))
+        return pairs
+
+    def terms_of(self, label: str, max_depth: int = 3):
+        """Least-solution terms of a label (annotations are monoid elements)."""
+        return least_solution_terms(
+            self.system.solver, self.label_var(label), max_depth=max_depth
+        )

@@ -1,0 +1,288 @@
+"""The dual analysis (Section 7.6): swap the two matching languages.
+
+Where the primal analysis models call/return matching with ``o_i``
+constructors (context-free, exact — polymorphic recursion) and
+type-constructor matching with bracket annotations (regular), the dual
+does the opposite:
+
+* pairs become a genuine binary ``pair(·, ·)`` constructor with
+  ``pair^{-i}`` projections — field matching is context-free and exact
+  (and, as the paper notes, an n-ary constructor discovers component
+  edges in one step where unary encodings need two);
+* calls and returns become bracket annotations ``[_i`` / ``]_i`` over a
+  *regular* approximation of the call language: call sites whose caller
+  and callee lie in the same call-graph SCC get the empty annotation —
+  exactly "treating mutually recursive functions monomorphically" —
+  and the rest form a bounded-depth bracket language whose nesting
+  follows the SCC condensation DAG.
+
+The Fig 11 system in this encoding is::
+
+    B ⊆^{[i} Y     pair(A, Y) ⊆ H     H ⊆^{]i} T     pair^{-2}(T) ⊆ V
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.annotations import MonoidAlgebra
+from repro.core.queries import Reachability
+from repro.core.solver import Solver
+from repro.core.terms import Constructed, Constructor, Variable, VariableFactory
+from repro.dfa.automaton import DFA
+from repro.dfa.gallery import bracket_machine, close_bracket, open_bracket
+from repro.flow import lang
+
+
+def _call_graph_sccs(program: lang.FlowProgram) -> dict[str, int]:
+    """Tarjan SCC indices of the call graph (callee edges via Inst nodes)."""
+    edges: dict[str, set[str]] = {d.name: set() for d in program.defs}
+
+    def collect(owner: str, expr: lang.Expr) -> None:
+        if isinstance(expr, lang.Inst):
+            edges[owner].add(expr.function)
+            collect(owner, expr.arg)
+        elif isinstance(expr, lang.Pair):
+            collect(owner, expr.left)
+            collect(owner, expr.right)
+        elif isinstance(expr, (lang.Proj, lang.Labeled)):
+            collect(owner, expr.operand)
+
+    for definition in program.defs:
+        collect(definition.name, definition.body)
+
+    index_counter = [0]
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    indices: dict[str, int] = {}
+    lowlinks: dict[str, int] = {}
+    scc_of: dict[str, int] = {}
+    scc_counter = [0]
+
+    def strongconnect(node: str) -> None:
+        indices[node] = lowlinks[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in edges.get(node, ()):
+            if succ not in indices:
+                strongconnect(succ)
+                lowlinks[node] = min(lowlinks[node], lowlinks[succ])
+            elif succ in on_stack:
+                lowlinks[node] = min(lowlinks[node], indices[succ])
+        if lowlinks[node] == indices[node]:
+            scc = scc_counter[0]
+            scc_counter[0] += 1
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                scc_of[member] = scc
+                if member == node:
+                    break
+
+    for name in edges:
+        if name not in indices:
+            strongconnect(name)
+    return scc_of
+
+
+@dataclass
+class _SiteInfo:
+    name: str
+    caller: str
+    callee: str
+    recursive: bool  # same SCC: annotated with ε (monomorphic)
+
+
+class DualFlowAnalysis:
+    """Field-exact, context-regular label flow (the Section 7.6 dual)."""
+
+    def __init__(self, program: lang.FlowProgram | str, pn: bool = False):
+        if isinstance(program, str):
+            program = lang.parse_flow_program(program)
+        self.program = program
+        #: With pn=True, flow queries also accept *prefix* words — open
+        #: call brackets with no matching return, i.e. values sitting in
+        #: a pending call frame (the PN analog for this encoding).
+        self.pn = pn
+        self._fresh = VariableFactory("d")
+        self.pair = Constructor("pair", 2)
+        self._collect_sites()
+        self.machine = self._build_call_machine()
+        self.algebra = MonoidAlgebra(self.machine)
+        self.solver = Solver(self.algebra)
+        self.labels: dict[str, Variable] = {}
+        self._markers: dict[str, Constructed] = {}
+        self._encode()
+        for name, label in self.labels.items():
+            marker = Constructor(f"mk_{name}", 0)()
+            self._markers[name] = marker
+            self.solver.add(marker, label)
+        # Field matching is exact via constructors, so flow queries must
+        # not descend into them — a marker inside pair(...) at H has not
+        # flowed to H itself.
+        self._reachability = Reachability(self.solver, through_constructors=False)
+
+    # -- call-language machine -------------------------------------------------------
+
+    def _collect_sites(self) -> None:
+        scc_of = _call_graph_sccs(self.program)
+        self.sites: dict[str, _SiteInfo] = {}
+
+        def walk(owner: str, expr: lang.Expr) -> None:
+            if isinstance(expr, lang.Inst):
+                recursive = scc_of.get(owner) == scc_of.get(expr.function)
+                existing = self.sites.get(expr.site)
+                if existing is not None and (
+                    existing.caller != owner or existing.callee != expr.function
+                ):
+                    raise lang.FlowSyntaxError(
+                        f"instantiation site {expr.site!r} reused"
+                    )
+                self.sites[expr.site] = _SiteInfo(
+                    expr.site, owner, expr.function, recursive
+                )
+                walk(owner, expr.arg)
+            elif isinstance(expr, lang.Pair):
+                walk(owner, expr.left)
+                walk(owner, expr.right)
+            elif isinstance(expr, (lang.Proj, lang.Labeled)):
+                walk(owner, expr.operand)
+            elif isinstance(expr, lang.Cond):
+                walk(owner, expr.cond)
+                walk(owner, expr.then)
+                walk(owner, expr.orelse)
+            elif isinstance(expr, lang.Let):
+                walk(owner, expr.value)
+                walk(owner, expr.body)
+
+        for definition in self.program.defs:
+            walk(definition.name, definition.body)
+
+    def _build_call_machine(self) -> DFA:
+        kinds = sorted(
+            site.name for site in self.sites.values() if not site.recursive
+        )
+        if not kinds:
+            return DFA.from_partial(1, [], 0, [0], [])
+        # Depth: the longest chain of non-recursive call sites, bounded
+        # by the number of functions (the condensation DAG's height).
+        depth = max(1, len(self.program.defs))
+
+        def can_nest(top: str | None, new: str) -> bool:
+            if top is None:
+                # The empty stack is the *source label's* ambient
+                # context, which is unknown — any site may open first.
+                # Matched words are balanced relative to that context.
+                return True
+            return self.sites[top].callee == self.sites[new].caller
+
+        return bracket_machine(kinds, depth, can_nest)
+
+    # -- constraint generation ----------------------------------------------------------
+
+    def _annotation(self, site: str, direction: str):
+        info = self.sites[site]
+        if info.recursive:
+            return self.algebra.identity
+        symbol = open_bracket if direction == "[" else close_bracket
+        return self.algebra.symbol(symbol(site))
+
+    def _encode(self) -> None:
+        signatures: dict[str, tuple[Variable | None, Variable]] = {}
+        for definition in self.program.defs:
+            param_var = (
+                self._fresh.fresh(f"{definition.name}.param")
+                if definition.param is not None
+                else None
+            )
+            ret_var = self._fresh.fresh(f"{definition.name}.ret")
+            signatures[definition.name] = (param_var, ret_var)
+        for definition in self.program.defs:
+            param_var, ret_var = signatures[definition.name]
+            env: dict[str, Variable] = {}
+            if definition.param is not None:
+                assert param_var is not None
+                env[definition.param] = param_var
+            body_var = self._infer(definition.body, env, signatures)
+            self.solver.add(body_var, ret_var)
+
+    def _infer(
+        self,
+        expr: lang.Expr,
+        env: dict[str, Variable],
+        signatures: dict[str, tuple[Variable | None, Variable]],
+    ) -> Variable:
+        if isinstance(expr, lang.Lit):
+            return self._fresh.fresh("lit")
+        if isinstance(expr, lang.Var):
+            if expr.name not in env:
+                raise lang.FlowSyntaxError(f"unbound variable {expr.name!r}")
+            return env[expr.name]
+        if isinstance(expr, lang.Labeled):
+            var = self._infer(expr.operand, env, signatures)
+            self.labels[expr.label] = var
+            return var
+        if isinstance(expr, lang.Pair):
+            left = self._infer(expr.left, env, signatures)
+            right = self._infer(expr.right, env, signatures)
+            result = self._fresh.fresh("pair")
+            self.solver.add(self.pair(left, right), result)
+            return result
+        if isinstance(expr, lang.Proj):
+            operand = self._infer(expr.operand, env, signatures)
+            result = self._fresh.fresh(f"proj{expr.index}")
+            self.solver.add(self.pair.proj(expr.index, operand), result)
+            return result
+        if isinstance(expr, lang.Let):
+            bound = self._infer(expr.value, env, signatures)
+            inner_env = dict(env)
+            inner_env[expr.name] = bound
+            return self._infer(expr.body, inner_env, signatures)
+        if isinstance(expr, lang.Cond):
+            self._infer(expr.cond, env, signatures)
+            then_var = self._infer(expr.then, env, signatures)
+            else_var = self._infer(expr.orelse, env, signatures)
+            result = self._fresh.fresh("cond")
+            self.solver.add(then_var, result)
+            self.solver.add(else_var, result)
+            return result
+        if isinstance(expr, lang.Inst):
+            param_var, ret_var = signatures[expr.function]
+            if param_var is None:
+                raise lang.FlowSyntaxError(f"{expr.function!r} takes no argument")
+            arg_var = self._infer(expr.arg, env, signatures)
+            self.solver.add(arg_var, param_var, self._annotation(expr.site, "["))
+            result = self._fresh.fresh("ret")
+            self.solver.add(ret_var, result, self._annotation(expr.site, "]"))
+            return result
+        raise TypeError(f"unknown expression {expr!r}")
+
+    # -- queries --------------------------------------------------------------------------
+
+    def flows(self, source: str, target: str) -> bool:
+        """Does label ``source`` flow to label ``target``?
+
+        Matched by default; with ``pn=True`` words that are prefixes of
+        matched words (values inside pending calls) are also accepted.
+        """
+        if source not in self._markers or target not in self.labels:
+            raise KeyError(f"unknown label {source!r} or {target!r}")
+        accepting = None
+        if self.pn:
+            monoid = self.algebra.monoid
+
+            def accepting(annotation):
+                return monoid.is_prefix_live(annotation)
+
+        return self._reachability.reaches(
+            self.labels[target], self._markers[source], accepting
+        )
+
+    def flow_pairs(self) -> set[tuple[str, str]]:
+        return {
+            (source, target)
+            for source in self._markers
+            for target in self.labels
+            if source != target and self.flows(source, target)
+        }

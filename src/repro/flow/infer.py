@@ -1,0 +1,326 @@
+"""Type rules and constraint generation (Figures 8 and 9).
+
+Inference runs in two phases:
+
+* **Phase A** walks the program, assigns labeled types, and collects
+  constraints *symbolically* — annotations are recorded as bracket
+  descriptors ``("[", i, component-shape)`` / ``("]", i, shape)``, and
+  call-site wrapping as ``("wrap"/"unwrap", site, ...)``.  It also
+  collects every pair shape in the program.
+* **Phase B** builds the Fig 10 bracket machine from the collected
+  shapes (nesting restricted by the type structure, depth bounded by
+  the largest type — the paper's observation that makes the matching
+  language regular), then emits everything into a solver.
+
+The generated constraints follow Section 7 exactly:
+
+* every labeled pair type ``σ1 ×^L σ2`` is *well-labeled* (Pair WL):
+  ``tl(σi) ⊆^{[i_τ} L`` and ``L ⊆^{]i_τ} tl(σi)``;
+* subtyping steps are **non-structural** — only top-level labels are
+  related (Sub); component flow is discovered during resolution when
+  brackets cancel;
+* a call ``f^i(e)`` wraps the argument, ``o_i(tl(σ_e)) ⊆ tl(σ_param)``
+  (Neg/Inst), and unwraps the result, ``o_i^{-1}(tl(σ_ret)) ⊆ tl(σ_use)``
+  (Pos) — the CFL-reachability encoding of polymorphic recursion;
+* a function body flows to its declared result by a top-level
+  subtyping step; a type-variable result is *bound* to the body's
+  labeled type (how the Fig 11 example acquires
+  ``β = int^A ×^P int^Y``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.annotations import MonoidAlgebra
+from repro.core.solver import Solver
+from repro.core.terms import Constructor, Variable
+from repro.dfa.automaton import DFA
+from repro.dfa.gallery import bracket_machine, close_bracket, open_bracket
+from repro.flow import lang
+from repro.flow.types import (
+    LabeledType,
+    LFun,
+    LInt,
+    LPair,
+    LVar,
+    Shape,
+    Spreader,
+    shape_depth,
+    tl,
+)
+
+
+class FlowTypeError(TypeError):
+    """Raised on type errors in the flow language (e.g. projecting an int)."""
+
+
+BracketKind = tuple[int, Shape]  # (position, component shape)
+
+
+@dataclass
+class SymbolicConstraint:
+    """A constraint collected during Phase A."""
+
+    kind: str  # "sub" | "wrap" | "unwrap"
+    lhs: Variable
+    rhs: Variable
+    bracket: tuple[str, int, Shape] | None = None  # for "sub"
+    site: str | None = None  # for "wrap"/"unwrap"
+
+
+@dataclass
+class InferenceResult:
+    """Everything Phase A produces."""
+
+    constraints: list[SymbolicConstraint] = field(default_factory=list)
+    labels: dict[str, Variable] = field(default_factory=dict)
+    signatures: dict[str, tuple[LabeledType | None, LabeledType]] = field(
+        default_factory=dict
+    )
+    pair_shapes: set[Shape] = field(default_factory=set)
+    sites: dict[str, str] = field(default_factory=dict)  # site -> callee
+
+
+class Inferencer:
+    """Phase A: the Fig 8/9 rules, collecting symbolic constraints."""
+
+    def __init__(self, program: lang.FlowProgram):
+        self.program = program
+        self.spreader = Spreader()
+        self.result = InferenceResult()
+        self.tvar_bindings: dict[str, LabeledType] = {}
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _register(self, sigma: LabeledType) -> LabeledType:
+        """Emit well-labeledness constraints for every pair node (Pair WL)."""
+        if isinstance(sigma, LPair):
+            self._register(sigma.left)
+            self._register(sigma.right)
+            shape = sigma.shape
+            self.result.pair_shapes.add(shape)
+            for index, component in ((1, sigma.left), (2, sigma.right)):
+                kind = ("[", index, component.shape)
+                self.result.constraints.append(
+                    SymbolicConstraint("sub", tl(component), tl(sigma), kind)
+                )
+                kind_close = ("]", index, component.shape)
+                self.result.constraints.append(
+                    SymbolicConstraint("sub", tl(sigma), tl(component), kind_close)
+                )
+        elif isinstance(sigma, LFun):
+            self._register(sigma.arg)
+            self._register(sigma.result)
+        return sigma
+
+    def _spread(self, tau: lang.Type) -> LabeledType:
+        return self._register(self.spreader.spread(tau))
+
+    def _spread_shape(self, shape: Shape) -> LabeledType:
+        return self._register(self.spreader.spread_shape(shape))
+
+    def _resolve(self, sigma: LabeledType) -> LabeledType:
+        """Chase type-variable bindings (identity on structure otherwise)."""
+        seen: set[str] = set()
+        while isinstance(sigma, LVar) and sigma.name in self.tvar_bindings:
+            if sigma.name in seen:
+                raise FlowTypeError(f"cyclic type variable {sigma.name!r}")
+            seen.add(sigma.name)
+            sigma = self.tvar_bindings[sigma.name]
+        return sigma
+
+    def _sub(self, src: LabeledType | Variable, dst: LabeledType | Variable) -> None:
+        lhs = src if isinstance(src, Variable) else tl(src)
+        rhs = dst if isinstance(dst, Variable) else tl(dst)
+        self.result.constraints.append(SymbolicConstraint("sub", lhs, rhs))
+
+    # -- inference -----------------------------------------------------------------
+
+    def run(self) -> InferenceResult:
+        # Pre-register every signature so recursion and forward calls work.
+        for definition in self.program.defs:
+            param_sigma = (
+                self._spread(definition.param_type)
+                if definition.param_type is not None
+                else None
+            )
+            ret_sigma = self._spread(definition.return_type)
+            self.result.signatures[definition.name] = (param_sigma, ret_sigma)
+        for definition in self.program.defs:
+            self._check_def(definition)
+        return self.result
+
+    def _check_def(self, definition: lang.Def) -> None:
+        param_sigma, ret_sigma = self.result.signatures[definition.name]
+        env: dict[str, LabeledType] = {}
+        if definition.param is not None:
+            assert param_sigma is not None
+            env[definition.param] = param_sigma
+        body_sigma = self._infer(definition.body, env)
+        declared = definition.return_type
+        if isinstance(declared, lang.TVar) and declared.name not in self.tvar_bindings:
+            # Non-structural subtyping binds the variable to the body's
+            # structure (Fig 11: β = int^A ×^P int^Y).
+            self.tvar_bindings[declared.name] = body_sigma
+        self._sub(body_sigma, ret_sigma)
+
+    def _infer(self, expr: lang.Expr, env: dict[str, LabeledType]) -> LabeledType:
+        if isinstance(expr, lang.Lit):
+            return LInt(self.spreader.fresh_label())
+        if isinstance(expr, lang.Var):
+            if expr.name not in env:
+                raise FlowTypeError(f"unbound variable {expr.name!r}")
+            return env[expr.name]
+        if isinstance(expr, lang.Labeled):
+            sigma = self._infer(expr.operand, env)
+            self.result.labels[expr.label] = tl(sigma)
+            return sigma
+        if isinstance(expr, lang.Pair):
+            left = self._infer(expr.left, env)
+            right = self._infer(expr.right, env)
+            pair = LPair(self.spreader.fresh_label(), left, right)
+            return self._register(pair)
+        if isinstance(expr, lang.Proj):
+            operand = self._resolve(self._infer(expr.operand, env))
+            if not isinstance(operand, LPair):
+                raise FlowTypeError(
+                    f"projection .{expr.index} applied to non-pair type"
+                )
+            component = operand.left if expr.index == 1 else operand.right
+            # Fig 8's (Proj) returns σ_i itself; we interpose one (Sub)
+            # step into a fresh spread so the projection's own label is
+            # distinct from the component's (labels denote program
+            # points, not type nodes).  Precision is unchanged — (Sub)
+            # relates top-level labels and WL covers the components.
+            result = self._spread_shape(component.shape)
+            self._sub(component, result)
+            return result
+        if isinstance(expr, lang.Let):
+            bound = self._infer(expr.value, env)
+            inner_env = dict(env)
+            inner_env[expr.name] = bound
+            return self._infer(expr.body, inner_env)
+        if isinstance(expr, lang.Cond):
+            self._infer(expr.cond, env)  # condition value does not flow
+            then_sigma = self._resolve(self._infer(expr.then, env))
+            else_sigma = self._resolve(self._infer(expr.orelse, env))
+            if then_sigma.shape != else_sigma.shape:
+                raise FlowTypeError(
+                    "conditional branches have different type shapes: "
+                    f"{then_sigma.shape} vs {else_sigma.shape}"
+                )
+            # Join by two (Sub) steps into a fresh spread (non-structural
+            # subtyping handles the rest through WL brackets).
+            result = self._spread_shape(then_sigma.shape)
+            self._sub(then_sigma, result)
+            self._sub(else_sigma, result)
+            return result
+        if isinstance(expr, lang.Inst):
+            return self._infer_inst(expr, env)
+        raise TypeError(f"unknown expression {expr!r}")
+
+    def _infer_inst(self, expr: lang.Inst, env: dict[str, LabeledType]) -> LabeledType:
+        if expr.function not in self.result.signatures:
+            raise FlowTypeError(f"call to undefined function {expr.function!r}")
+        known_callee = self.result.sites.get(expr.site)
+        if known_callee is not None and known_callee != expr.function:
+            raise FlowTypeError(f"instantiation site {expr.site!r} reused")
+        self.result.sites[expr.site] = expr.function
+        param_sigma, ret_sigma = self.result.signatures[expr.function]
+        if param_sigma is None:
+            raise FlowTypeError(f"{expr.function!r} takes no argument")
+        arg_sigma = self._infer(expr.arg, env)
+        self.result.constraints.append(
+            SymbolicConstraint(
+                "wrap", tl(arg_sigma), tl(param_sigma), site=expr.site
+            )
+        )
+        resolved = self._resolve(ret_sigma)
+        use_sigma = self._spread_shape(resolved.shape)
+        self.result.constraints.append(
+            SymbolicConstraint(
+                "unwrap", tl(ret_sigma), tl(use_sigma), site=expr.site
+            )
+        )
+        return use_sigma
+
+
+# -- Phase B: machine construction and emission ------------------------------------
+
+
+def build_type_bracket_machine(pair_shapes: set[Shape]) -> DFA:
+    """The Fig 10 machine for the program's pair types.
+
+    Bracket kinds are ``(position, component shape)``; nesting follows
+    the type structure: an open bracket ``[_j^{τ'}`` may sit above
+    ``[_i^{τ}`` only when ``τ'`` is a pair shape whose ``i``-th
+    component is ``τ`` (i.e. the wrapped value's type matches).  Depth
+    is the largest pair-nesting depth, which bounds the stack.
+    """
+    kinds: set[BracketKind] = set()
+    for shape in pair_shapes:
+        kinds.add((1, shape[1]))
+        kinds.add((2, shape[2]))
+    if not kinds:
+        return DFA.from_partial(1, [], 0, [0], [])
+    depth = max(shape_depth(shape) for shape in pair_shapes)
+
+    def can_nest(top: BracketKind | None, new: BracketKind) -> bool:
+        if top is None:
+            return True
+        inner_index, inner_shape = top
+        _new_index, new_shape = new
+        return (
+            new_shape[0] == "pair" and new_shape[inner_index] == inner_shape
+        )
+
+    return bracket_machine(sorted(kinds, key=repr), depth, can_nest)
+
+
+@dataclass
+class GeneratedSystem:
+    """Phase B output: a solver loaded with the program's constraints."""
+
+    solver: Solver
+    algebra: MonoidAlgebra
+    machine: DFA
+    labels: dict[str, Variable]
+    sites: dict[str, str]
+    constraints: int = 0
+
+
+def generate(program: lang.FlowProgram, pn: bool = False) -> GeneratedSystem:
+    """Run both phases: infer, build the machine, emit constraints."""
+    inference = Inferencer(program).run()
+    machine = build_type_bracket_machine(inference.pair_shapes)
+    algebra = MonoidAlgebra(machine)
+    solver = Solver(algebra, pn_projections=pn)
+    for constraint in inference.constraints:
+        if constraint.kind == "sub":
+            if constraint.bracket is None:
+                annotation = algebra.identity
+            else:
+                direction, index, shape = constraint.bracket
+                kind = (index, shape)
+                symbol = (
+                    open_bracket(kind) if direction == "[" else close_bracket(kind)
+                )
+                annotation = algebra.symbol(symbol)
+            solver.add(constraint.lhs, constraint.rhs, annotation)
+        elif constraint.kind == "wrap":
+            wrapper = Constructor(f"o_{constraint.site}", 1)
+            solver.add(wrapper(constraint.lhs), constraint.rhs)
+        elif constraint.kind == "unwrap":
+            wrapper = Constructor(f"o_{constraint.site}", 1)
+            solver.add(wrapper.proj(1, constraint.lhs), constraint.rhs)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(constraint.kind)
+    return GeneratedSystem(
+        solver=solver,
+        algebra=algebra,
+        machine=machine,
+        labels=dict(inference.labels),
+        sites=dict(inference.sites),
+        constraints=len(inference.constraints),
+    )

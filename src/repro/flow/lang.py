@@ -1,0 +1,344 @@
+"""The Section 7.1 source language, with a concrete syntax.
+
+Grammar (the paper's language plus ``@Name`` label annotations, so
+programs can name the labels their flow queries mention)::
+
+    program := def*
+    def     := IDENT '(' (IDENT ':' type)? ')' ':' type '=' expr ';'
+    type    := fun
+    fun     := pair ('->' pair)?
+    pair    := atomt ('*' atomt)*          # left-associative
+    atomt   := 'int' | IDENT | '(' type ')'
+    expr    := postfix
+    postfix := atom (('.' INT) | ('@' IDENT))*
+    atom    := INT | IDENT
+             | 'if' expr 'then' expr 'else' expr
+             | 'let' IDENT '=' expr 'in' expr
+             | IDENT '^' IDENT '(' expr ')'   # instantiation f^i(e)
+             | '(' expr ',' expr ')'          # pair
+             | '(' expr ')'
+
+The Fig 11 program reads::
+
+    pair(y : int) : b = (1@A, y@Y)@P;
+    main() : int = (pair^i(2@B)).2@V;
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class FlowSyntaxError(ValueError):
+    """Raised when a flow-language program fails to parse."""
+
+
+# -- types -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    pass
+
+
+@dataclass(frozen=True)
+class TInt(Type):
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TPair(Type):
+    left: Type
+    right: Type
+
+    def __str__(self) -> str:
+        return f"({self.left} * {self.right})"
+
+
+@dataclass(frozen=True)
+class TFun(Type):
+    arg: Type
+    result: Type
+
+    def __str__(self) -> str:
+        return f"({self.arg} -> {self.result})"
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Pair(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Proj(Expr):
+    operand: Expr
+    index: int  # 1 or 2
+
+
+@dataclass(frozen=True)
+class Inst(Expr):
+    function: str
+    site: str
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class Cond(Expr):
+    """``if e0 then e1 else e2`` — branches join by subtyping.
+
+    The paper omits conditionals "only to simplify the presentation";
+    they are what makes terminating recursion expressible.
+    """
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    """``let x = e1 in e2`` — a local binding (plain sharing, no
+    generalization: only named functions are polymorphic)."""
+
+    name: str
+    value: Expr
+    body: Expr
+
+
+@dataclass(frozen=True)
+class Labeled(Expr):
+    """``e @ Name`` — names the top-level label of ``e`` for queries."""
+
+    operand: Expr
+    label: str
+
+
+@dataclass(frozen=True)
+class Def:
+    name: str
+    param: str | None
+    param_type: Type | None
+    return_type: Type
+    body: Expr
+
+
+@dataclass(frozen=True)
+class FlowProgram:
+    defs: tuple[Def, ...]
+
+    def function(self, name: str) -> Def:
+        for d in self.defs:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+
+# -- parser -----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<int>\d+)"
+    r"|(?P<arrow>->)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_']*)"
+    r"|(?P<punct>[()*,.:;=^@]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    text = re.sub(r"(#|//)[^\n]*", "", text)
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise FlowSyntaxError(f"cannot tokenize near {remainder[:20]!r}")
+        pos = match.end()
+        for kind in ("int", "arrow", "ident", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> tuple[str, str] | None:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def at(self, kind: str, value: str | None = None, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        return (
+            token is not None
+            and token[0] == kind
+            and (value is None or token[1] == value)
+        )
+
+    def take(self, kind: str | None = None, value: str | None = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise FlowSyntaxError("unexpected end of program")
+        if (kind is not None and token[0] != kind) or (
+            value is not None and token[1] != value
+        ):
+            raise FlowSyntaxError(f"unexpected token {token[1]!r}")
+        self.pos += 1
+        return token[1]
+
+    # -- types ------------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        left = self._parse_pair_type()
+        if self.at("arrow"):
+            self.take("arrow")
+            return TFun(left, self._parse_pair_type())
+        return left
+
+    def _parse_pair_type(self) -> Type:
+        left = self._parse_atom_type()
+        while self.at("punct", "*"):
+            self.take("punct", "*")
+            left = TPair(left, self._parse_atom_type())
+        return left
+
+    def _parse_atom_type(self) -> Type:
+        if self.at("punct", "("):
+            self.take("punct", "(")
+            inner = self.parse_type()
+            self.take("punct", ")")
+            return inner
+        name = self.take("ident")
+        if name == "int":
+            return TInt()
+        return TVar(name)
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        expr = self._parse_atom()
+        while True:
+            if self.at("punct", "."):
+                self.take("punct", ".")
+                index = int(self.take("int"))
+                if index not in (1, 2):
+                    raise FlowSyntaxError(f"projection index {index} must be 1 or 2")
+                expr = Proj(expr, index)
+            elif self.at("punct", "@"):
+                self.take("punct", "@")
+                expr = Labeled(expr, self.take("ident"))
+            else:
+                return expr
+
+    def _parse_atom(self) -> Expr:
+        if self.at("int"):
+            return Lit(int(self.take("int")))
+        if self.at("ident", "if"):
+            self.take("ident", "if")
+            cond = self.parse_expr()
+            self.take("ident", "then")
+            then = self.parse_expr()
+            self.take("ident", "else")
+            orelse = self.parse_expr()
+            return Cond(cond, then, orelse)
+        if self.at("ident", "let"):
+            self.take("ident", "let")
+            name = self.take("ident")
+            if name in ("if", "then", "else", "let", "in"):
+                raise FlowSyntaxError(f"{name!r} is a reserved word")
+            self.take("punct", "=")
+            value = self.parse_expr()
+            self.take("ident", "in")
+            body = self.parse_expr()
+            return Let(name, value, body)
+        if self.at("ident"):
+            name = self.take("ident")
+            if name in ("then", "else", "in"):
+                raise FlowSyntaxError(f"{name!r} is a reserved word")
+            if self.at("punct", "^"):
+                self.take("punct", "^")
+                site = self.take("ident")
+                self.take("punct", "(")
+                arg = self.parse_expr()
+                self.take("punct", ")")
+                return Inst(name, site, arg)
+            return Var(name)
+        if self.at("punct", "("):
+            self.take("punct", "(")
+            first = self.parse_expr()
+            if self.at("punct", ","):
+                self.take("punct", ",")
+                second = self.parse_expr()
+                self.take("punct", ")")
+                return Pair(first, second)
+            self.take("punct", ")")
+            return first
+        token = self.peek()
+        raise FlowSyntaxError(f"unexpected token {token[1]!r}" if token else "eof")
+
+    # -- definitions --------------------------------------------------------------
+
+    def parse_program(self) -> FlowProgram:
+        defs: list[Def] = []
+        while self.peek() is not None:
+            defs.append(self._parse_def())
+        names = [d.name for d in defs]
+        if len(set(names)) != len(names):
+            raise FlowSyntaxError("duplicate function definition")
+        return FlowProgram(tuple(defs))
+
+    def _parse_def(self) -> Def:
+        name = self.take("ident")
+        self.take("punct", "(")
+        param: str | None = None
+        param_type: Type | None = None
+        if not self.at("punct", ")"):
+            param = self.take("ident")
+            self.take("punct", ":")
+            param_type = self.parse_type()
+        self.take("punct", ")")
+        self.take("punct", ":")
+        return_type = self.parse_type()
+        self.take("punct", "=")
+        body = self.parse_expr()
+        self.take("punct", ";")
+        return Def(name, param, param_type, return_type, body)
+
+
+def parse_flow_program(source: str) -> FlowProgram:
+    """Parse a Section 7 flow-language program."""
+    return _Parser(_tokenize(source)).parse_program()

@@ -1,0 +1,151 @@
+"""Labeled types and the ``spread`` operator (Section 7.1).
+
+A labeled type ``σ`` mirrors an unlabeled type ``τ`` with a set
+variable (a *label*) at every node; ``spread`` introduces fresh labels
+throughout, and ``tl(σ)`` is the top-level label.  *Shapes* are the
+underlying unlabeled structures, used to name the ``τ`` subscripts of
+bracket annotations (``[_τ^i``), so they must be hashable and
+canonical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.terms import Variable
+from repro.flow.lang import TFun, TInt, TPair, TVar, Type
+
+# Shapes: canonical hashable forms of unlabeled types.
+Shape = tuple
+
+
+def shape_of(tau: Type) -> Shape:
+    if isinstance(tau, TInt):
+        return ("int",)
+    if isinstance(tau, TVar):
+        return ("var", tau.name)
+    if isinstance(tau, TPair):
+        return ("pair", shape_of(tau.left), shape_of(tau.right))
+    if isinstance(tau, TFun):
+        return ("fun", shape_of(tau.arg), shape_of(tau.result))
+    raise TypeError(f"unknown type {tau!r}")
+
+
+def shape_depth(shape: Shape) -> int:
+    """Pair-nesting depth — bounds the bracket machine's stack."""
+    if shape[0] == "pair":
+        return 1 + max(shape_depth(shape[1]), shape_depth(shape[2]))
+    if shape[0] == "fun":
+        return max(shape_depth(shape[1]), shape_depth(shape[2]))
+    return 0
+
+
+def shape_str(shape: Shape) -> str:
+    if shape[0] == "int":
+        return "int"
+    if shape[0] == "var":
+        return shape[1]
+    if shape[0] == "pair":
+        return f"({shape_str(shape[1])}*{shape_str(shape[2])})"
+    return f"({shape_str(shape[1])}->{shape_str(shape[2])})"
+
+
+# -- labeled types --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LabeledType:
+    label: Variable  # tl(σ)
+
+    @property
+    def shape(self) -> Shape:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LInt(LabeledType):
+    @property
+    def shape(self) -> Shape:
+        return ("int",)
+
+
+@dataclass(frozen=True)
+class LVar(LabeledType):
+    name: str = ""
+
+    @property
+    def shape(self) -> Shape:
+        return ("var", self.name)
+
+
+@dataclass(frozen=True)
+class LPair(LabeledType):
+    left: "LabeledType" = None  # type: ignore[assignment]
+    right: "LabeledType" = None  # type: ignore[assignment]
+
+    @property
+    def shape(self) -> Shape:
+        return ("pair", self.left.shape, self.right.shape)
+
+
+@dataclass(frozen=True)
+class LFun(LabeledType):
+    arg: "LabeledType" = None  # type: ignore[assignment]
+    result: "LabeledType" = None  # type: ignore[assignment]
+
+    @property
+    def shape(self) -> Shape:
+        return ("fun", self.arg.shape, self.result.shape)
+
+
+def tl(sigma: LabeledType) -> Variable:
+    """The top-level label of a labeled type."""
+    return sigma.label
+
+
+class Spreader:
+    """Generates spread labeled types with globally fresh labels."""
+
+    def __init__(self, prefix: str = "L"):
+        self._counter = itertools.count()
+        self._prefix = prefix
+
+    def fresh_label(self, hint: str = "") -> Variable:
+        return Variable(f"{self._prefix}{hint}{next(self._counter)}")
+
+    def spread(self, tau: Type) -> LabeledType:
+        """``spread(τ)``: attach a fresh label to every type node."""
+        if isinstance(tau, TInt):
+            return LInt(self.fresh_label())
+        if isinstance(tau, TVar):
+            return LVar(self.fresh_label(), tau.name)
+        if isinstance(tau, TPair):
+            return LPair(
+                self.fresh_label(), self.spread(tau.left), self.spread(tau.right)
+            )
+        if isinstance(tau, TFun):
+            return LFun(
+                self.fresh_label(), self.spread(tau.arg), self.spread(tau.result)
+            )
+        raise TypeError(f"unknown type {tau!r}")
+
+    def spread_shape(self, shape: Shape) -> LabeledType:
+        """Spread directly from a shape (used at instantiation sites)."""
+        if shape[0] == "int":
+            return LInt(self.fresh_label())
+        if shape[0] == "var":
+            return LVar(self.fresh_label(), shape[1])
+        if shape[0] == "pair":
+            return LPair(
+                self.fresh_label(),
+                self.spread_shape(shape[1]),
+                self.spread_shape(shape[2]),
+            )
+        if shape[0] == "fun":
+            return LFun(
+                self.fresh_label(),
+                self.spread_shape(shape[1]),
+                self.spread_shape(shape[2]),
+            )
+        raise TypeError(f"unknown shape {shape!r}")

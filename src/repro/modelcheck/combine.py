@@ -1,0 +1,140 @@
+"""Checking several regular properties in one pass (§2.2's product).
+
+The paper's formalism handles "a combination of a context-free and any
+number of regular reachability properties" by a single machine:
+"Because regular languages are closed under products, it is sufficient
+to deal only with a single machine representing the product of all the
+regular reachability properties for a given application."
+
+:func:`combine_properties` builds that machine.  The product alphabet
+is the set of *joint events* — tuples with one component per property,
+``None`` where a property is indifferent — and the transition function
+steps every component (indifferent components stay put, exactly like
+the per-property self-loop convention of the specification language).
+The combined accept set is the union: an error in *any* component is a
+violation, and :func:`component_errors` recovers which.
+
+Parametric properties are excluded (their product is what substitution
+environments compute lazily; combining them eagerly would defeat the
+point of Section 6.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Sequence
+
+from repro.cfg.graph import CFGNode
+from repro.dfa.automaton import DFA
+from repro.modelcheck.properties import Event, Property
+
+JointSymbol = tuple  # one (symbol | None) per component property
+
+
+def combine_properties(
+    properties: Sequence[Property], name: str | None = None
+) -> Property:
+    """One property whose machine is the product of all the inputs.
+
+    The product is built over the *reachable* joint states only (BFS
+    from the joint start), so combining k small properties does not
+    materialize the full cartesian space unless the program could
+    actually drive it there.
+    """
+    if not properties:
+        raise ValueError("combine_properties needs at least one property")
+    for prop in properties:
+        if prop.parametric_symbols:
+            raise ValueError(
+                f"property {prop.name!r} is parametric; products of "
+                "parametric properties are handled lazily by substitution "
+                "environments, not eagerly"
+            )
+    machines = [prop.machine for prop in properties]
+
+    # Joint alphabet: all combinations of per-property symbols (or None)
+    # that some single program event could plausibly emit.  Statically we
+    # must admit any combination — different mappers may react to the
+    # same statement — so the alphabet is the product of (Σᵢ ∪ {None})
+    # minus the all-None tuple.
+    alphabets = [sorted(m.alphabet, key=repr) + [None] for m in machines]
+    joint_symbols = [
+        combo
+        for combo in itertools.product(*alphabets)
+        if any(part is not None for part in combo)
+    ]
+
+    start = tuple(m.start for m in machines)
+    index: dict[tuple, int] = {start: 0}
+    order = [start]
+    edges = []
+    work = deque([start])
+    while work:
+        state = work.popleft()
+        src = index[state]
+        for joint in joint_symbols:
+            nxt = tuple(
+                m.step(component, part) if part is not None else component
+                for m, component, part in zip(machines, state, joint)
+            )
+            if nxt not in index:
+                index[nxt] = len(order)
+                order.append(nxt)
+                work.append(nxt)
+            edges.append((src, joint, index[nxt]))
+    accepting = {
+        index[state]
+        for state in order
+        if any(
+            component in m.accepting for m, component in zip(machines, state)
+        )
+    }
+    machine = DFA.from_partial(
+        n_states=len(order),
+        alphabet=set(joint_symbols),
+        start=0,
+        accepting=accepting,
+        edges=edges,
+    )
+
+    mappers = [prop.event_of for prop in properties]
+
+    def joint_event(node: CFGNode) -> Event | None:
+        parts = []
+        fired = False
+        for mapper in mappers:
+            event = mapper(node)
+            if event is None:
+                parts.append(None)
+            else:
+                symbol, labels = event
+                if labels is not None:  # pragma: no cover - guarded above
+                    raise ValueError("parametric event in combined property")
+                parts.append(symbol)
+                fired = True
+        if not fired:
+            return None
+        return (tuple(parts), None)
+
+    combined = Property(
+        name=name or "+".join(prop.name for prop in properties),
+        machine=machine,
+        event_of=joint_event,
+    )
+    # Metadata for component_errors: joint state -> per-component states.
+    combined.component_states = {index[s]: s for s in order}  # type: ignore[attr-defined]
+    combined.components = list(properties)  # type: ignore[attr-defined]
+    return combined
+
+
+def component_errors(
+    combined: Property, joint_state: int
+) -> list[str]:
+    """Names of the component properties in error at a joint state."""
+    states = combined.component_states[joint_state]  # type: ignore[attr-defined]
+    return [
+        prop.name
+        for prop, state in zip(combined.components, states)  # type: ignore[attr-defined]
+        if state in prop.machine.accepting
+    ]

@@ -1,0 +1,280 @@
+"""Temporal safety properties: machines plus program-event mappers.
+
+A :class:`Property` packages a property automaton with an *event
+mapper* that decides which CFG nodes are "relevant to the security
+property" (Section 6.1) and which alphabet symbol (and, for parametric
+properties, which concrete labels) they emit.
+
+Three properties from the paper are provided:
+
+* :func:`simple_privilege_property` — the Fig 3 teaching model;
+* :func:`full_privilege_property` — the reconstructed MOPS Property 1
+  (Table 1's experiment);
+* :func:`file_state_property` — the parametric open/close property of
+  Fig 5 / Section 6.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cfg import ast
+from repro.cfg.graph import CFGNode
+from repro.dfa.automaton import DFA
+from repro.dfa.spec import parse_spec
+from repro.dfa.gallery import (
+    FULL_PRIVILEGE_SYMBOLS,
+    file_state_machine,
+    full_privilege_machine,
+    privilege_machine,
+)
+
+#: An event is ``(alphabet symbol, labels)``; labels is ``None`` for
+#: non-parametric symbols and a tuple of concrete labels otherwise.
+Event = tuple[str, tuple[str, ...] | None]
+
+EventMapper = Callable[[CFGNode], Event | None]
+
+
+@dataclass
+class Property:
+    """A checkable temporal safety property."""
+
+    name: str
+    machine: DFA
+    event_of: EventMapper
+    parametric_symbols: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+def _is_zero(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.Number) and expr.value == 0
+
+
+_EXEC_NAMES = {"execl", "execle", "execlp", "execv", "execve", "execvp"}
+
+
+def _simple_privilege_event(node: CFGNode) -> Event | None:
+    call = node.call
+    if call is None:
+        return None
+    if call.callee == "seteuid":
+        if call.args and _is_zero(call.args[0]):
+            return ("seteuid_zero", None)
+        return ("seteuid_nonzero", None)
+    if call.callee in _EXEC_NAMES:
+        return ("execl", None)
+    return None
+
+
+def simple_privilege_property() -> Property:
+    """The three-state Fig 3 property (the Section 6.3 example)."""
+    return Property(
+        name="simple-privilege",
+        machine=privilege_machine(),
+        event_of=_simple_privilege_event,
+    )
+
+
+def _full_privilege_event(node: CFGNode) -> Event | None:
+    call = node.call
+    if call is None:
+        return None
+    name = call.callee
+    zero = bool(call.args) and _is_zero(call.args[0])
+    if name == "setuid":
+        return ("setuid_zero" if zero else "setuid_user", None)
+    if name == "seteuid":
+        return ("seteuid_zero" if zero else "seteuid_user", None)
+    if name == "setreuid":
+        zeros = sum(1 for a in call.args[:2] if _is_zero(a))
+        if zeros == 2:
+            return ("setreuid_zero_zero", None)
+        if zeros == 0:
+            return ("setreuid_user_user", None)
+        return ("setreuid_user_zero", None)
+    if name in _EXEC_NAMES or name == "popen":
+        return ("exec", None)
+    if name == "system":
+        return ("system", None)
+    return None
+
+
+def full_privilege_property() -> Property:
+    """The reconstructed MOPS Property 1 used for the Table 1 benchmark."""
+    machine = full_privilege_machine()
+    assert set(FULL_PRIVILEGE_SYMBOLS) == set(machine.alphabet)
+    return Property(
+        name="full-privilege",
+        machine=machine,
+        event_of=_full_privilege_event,
+    )
+
+
+def _descriptor_label(node: CFGNode) -> str | None:
+    """The descriptor a call refers to.
+
+    For ``close(fd)``/``read(fd, ...)`` it is the first identifier
+    argument; for ``fd = open(...)`` (declaration or assignment) it is
+    the variable the result is stored into.
+    """
+    call = node.call
+    assert call is not None
+    if call.callee == "open":
+        owner = node.owner
+        if isinstance(owner, ast.Decl):
+            return owner.name
+        if isinstance(owner, ast.ExprStmt) and isinstance(owner.expr, ast.Assign):
+            target = owner.expr.target
+            if isinstance(target, ast.Ident):
+                return target.name
+        return None
+    if call.args and isinstance(call.args[0], ast.Ident):
+        return call.args[0].name
+    return None
+
+
+def _file_state_event(node: CFGNode) -> Event | None:
+    call = node.call
+    if call is None or call.callee not in ("open", "close"):
+        return None
+    label = _descriptor_label(node)
+    if label is None:
+        return None
+    return (call.callee, (label,))
+
+
+CHROOT_SPEC = """
+start state Outside :
+    | chroot -> Jailed;
+
+state Jailed :
+    | chdir_root -> Safe
+    | open -> Error
+    | execl -> Error;
+
+state Safe :
+    | chroot -> Jailed;
+
+accept state Error;
+"""
+
+
+def _chroot_event(node: CFGNode) -> Event | None:
+    call = node.call
+    if call is None:
+        return None
+    if call.callee == "chroot":
+        return ("chroot", None)
+    if call.callee == "chdir":
+        if call.args and isinstance(call.args[0], ast.String) and call.args[0].value == "/":
+            return ("chdir_root", None)
+        return None
+    if call.callee == "open":
+        return ("open", None)
+    if call.callee in _EXEC_NAMES:
+        return ("execl", None)
+    return None
+
+
+def chroot_property() -> Property:
+    """The classic MOPS chroot jail property.
+
+    After ``chroot(dir)`` a process must ``chdir("/")`` before touching
+    the filesystem or exec'ing, or relative paths escape the jail.
+    """
+    from repro.dfa.spec import parse_spec
+
+    return Property(
+        name="chroot-jail",
+        machine=parse_spec(CHROOT_SPEC).to_dfa(),
+        event_of=_chroot_event,
+    )
+
+
+HEAP_STATE_SPEC = """
+start state Unallocated :
+    | alloc(p) -> Live
+    | free(p) -> Error
+    | use(p) -> Error;
+
+state Live :
+    | free(p) -> Freed
+    | alloc(p) -> Live;
+
+state Freed :
+    | use(p) -> Error
+    | free(p) -> Error
+    | alloc(p) -> Live;
+
+accept state Error;
+"""
+
+
+def _heap_label(node: CFGNode) -> str | None:
+    call = node.call
+    assert call is not None
+    if call.callee == "malloc":
+        owner = node.owner
+        if isinstance(owner, ast.Decl):
+            return owner.name
+        if isinstance(owner, ast.ExprStmt) and isinstance(owner.expr, ast.Assign):
+            target = owner.expr.target
+            if isinstance(target, ast.Ident):
+                return target.name
+        return None
+    if call.args and isinstance(call.args[0], ast.Ident):
+        return call.args[0].name
+    return None
+
+
+def _heap_event(node: CFGNode) -> Event | None:
+    call = node.call
+    if call is None:
+        return None
+    if call.callee == "malloc":
+        label = _heap_label(node)
+        return ("alloc", (label,)) if label else None
+    if call.callee == "free":
+        label = _heap_label(node)
+        return ("free", (label,)) if label else None
+    if call.callee in ("memcpy", "strcpy", "read_into", "write_from", "deref"):
+        label = _heap_label(node)
+        return ("use", (label,)) if label else None
+    return None
+
+
+def heap_state_property() -> Property:
+    """A parametric heap-safety property: double free and use after free.
+
+    ``p = malloc(...)`` allocates; ``free(p)`` frees; a set of
+    buffer-consuming primitives count as uses.  Freeing or using an
+    unallocated/freed pointer drives that pointer's automaton instance
+    to Error — the same lazy-instantiation machinery as the file-state
+    property (Section 6.4)."""
+    spec = parse_spec(HEAP_STATE_SPEC)
+    return Property(
+        name="heap-state",
+        machine=spec.to_dfa(),
+        event_of=_heap_event,
+        parametric_symbols={
+            "alloc": ("p",),
+            "free": ("p",),
+            "use": ("p",),
+        },
+    )
+
+
+def file_state_property() -> Property:
+    """The Fig 5 parametric property: ``open(x)`` / ``close(x)``.
+
+    The accept (Error) state flags double-open and double-close of the
+    same descriptor; "descriptor left open" queries target the Opened
+    state instead (see :meth:`repro.modelcheck.checker.AnnotatedChecker.states_at`).
+    """
+    return Property(
+        name="file-state",
+        machine=file_state_machine(),
+        event_of=_file_state_event,
+        parametric_symbols={"open": ("x",), "close": ("x",)},
+    )

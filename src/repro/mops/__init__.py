@@ -1,0 +1,23 @@
+"""MOPS-style pushdown model checker — the Table 1 baseline.
+
+MOPS (Chen & Wagner, CCS 2002) checks temporal safety properties by
+composing the program's pushdown automaton with the property FSM and
+deciding reachability of error configurations.  This package implements
+that published algorithm directly: :mod:`repro.mops.pda` builds the
+product PDA from a program CFG and a property, :mod:`repro.mops.poststar`
+computes ``post*`` by P-automaton saturation, and
+:mod:`repro.mops.checker` wraps both as a drop-in comparator for the
+annotated-constraint checker.
+"""
+
+from repro.mops.checker import MopsChecker
+from repro.mops.pda import PushdownSystem, build_product_pda
+from repro.mops.poststar import PAutomaton, post_star
+
+__all__ = [
+    "MopsChecker",
+    "PAutomaton",
+    "PushdownSystem",
+    "build_product_pda",
+    "post_star",
+]

@@ -1,0 +1,73 @@
+"""The MOPS-style checker: PDA product + ``post*`` + error scan.
+
+A drop-in comparator for
+:class:`repro.modelcheck.checker.AnnotatedChecker`: same inputs (a
+program CFG and a :class:`~repro.modelcheck.properties.Property`), same
+verdicts, different algorithm — this is the hand-built pushdown model
+checker the paper benchmarks against in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFGNode, ProgramCFG
+from repro.modelcheck.properties import Property
+from repro.mops.pda import build_product_pda
+from repro.mops.poststar import PAutomaton, post_star
+
+
+@dataclass
+class MopsResult:
+    error_nodes: list[CFGNode] = field(default_factory=list)
+    control_states: int = 0
+    transitions: int = 0
+
+    @property
+    def has_violation(self) -> bool:
+        return bool(self.error_nodes)
+
+    def violation_lines(self) -> set[int]:
+        return {node.line for node in self.error_nodes}
+
+
+class MopsChecker:
+    """Model-check by explicit pushdown reachability (the baseline)."""
+
+    def __init__(self, cfg: ProgramCFG, prop: Property):
+        self.cfg = cfg
+        self.property = prop
+        self.pds = build_product_pda(cfg, prop)
+        self._automaton: PAutomaton | None = None
+
+    def automaton(self) -> PAutomaton:
+        if self._automaton is None:
+            self._automaton = post_star(self.pds)
+        return self._automaton
+
+    def check(self) -> MopsResult:
+        """Scan ``post*`` for configurations in an error control state.
+
+        The top-of-stack symbols of those configurations are the CFG
+        nodes where the property is violated.
+        """
+        automaton = self.automaton()
+        result = MopsResult(
+            control_states=len(self.pds.control_states()),
+            transitions=len(automaton.transitions),
+        )
+        seen: set[int] = set()
+        for control in self.pds.error_states:
+            for top in automaton.tops_for(control):
+                if top not in seen:
+                    seen.add(top)
+                    result.error_nodes.append(self.cfg.nodes[top])
+        result.error_nodes.sort(key=lambda node: node.id)
+        return result
+
+    def has_violation(self) -> bool:
+        automaton = self.automaton()
+        return any(
+            automaton.has_control_state(control)
+            for control in self.pds.error_states
+        )

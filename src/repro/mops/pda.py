@@ -1,0 +1,184 @@
+"""Product pushdown system: program CFG × property FSM.
+
+The program is modeled as a pushdown automaton whose stack records the
+return points of unreturned calls (Section 6); the property FSM runs in
+the control state.  A configuration is ``⟨p, γ₁γ₂...⟩`` with ``p`` a
+property state and ``γᵢ`` CFG nodes — ``γ₁`` the current node, the rest
+pending return points.
+
+Rules (``γ`` ranges over CFG node ids):
+
+* ``⟨p, n⟩ → ⟨δ(p, event(n)), m⟩`` for an intraprocedural edge ``n → m``
+  (``δ(p, ·) = p`` when ``n`` is irrelevant to the property);
+* ``⟨p, n⟩ → ⟨p, entry_f · m⟩`` when ``n`` calls ``f`` and returns to ``m``;
+* ``⟨p, exit_f⟩ → ⟨p, ε⟩``.
+
+Parametric properties are handled the way MOPS did (Section 6.4 cites
+this as the behaviour to reproduce): the property machine is explicitly
+instantiated per concrete label and the control state is the product of
+all instances — built lazily over the labels that actually occur.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.cfg.graph import CFGNode, ProgramCFG
+from repro.dfa.automaton import DFA
+from repro.modelcheck.properties import Property
+
+ControlState = Hashable
+StackSymbol = int
+
+
+@dataclass
+class PushdownSystem:
+    """A pushdown system with rules indexed by (control, top-of-stack)."""
+
+    pop_rules: dict[tuple[ControlState, StackSymbol], set[ControlState]] = field(
+        default_factory=dict
+    )
+    step_rules: dict[
+        tuple[ControlState, StackSymbol], set[tuple[ControlState, StackSymbol]]
+    ] = field(default_factory=dict)
+    push_rules: dict[
+        tuple[ControlState, StackSymbol],
+        set[tuple[ControlState, StackSymbol, StackSymbol]],
+    ] = field(default_factory=dict)
+    initial: tuple[ControlState, StackSymbol] | None = None
+    error_states: set[ControlState] = field(default_factory=set)
+
+    def add_pop(self, p: ControlState, gamma: StackSymbol, q: ControlState) -> None:
+        self.pop_rules.setdefault((p, gamma), set()).add(q)
+
+    def add_step(
+        self, p: ControlState, gamma: StackSymbol, q: ControlState, top: StackSymbol
+    ) -> None:
+        self.step_rules.setdefault((p, gamma), set()).add((q, top))
+
+    def add_push(
+        self,
+        p: ControlState,
+        gamma: StackSymbol,
+        q: ControlState,
+        top: StackSymbol,
+        below: StackSymbol,
+    ) -> None:
+        self.push_rules.setdefault((p, gamma), set()).add((q, top, below))
+
+    def control_states(self) -> set[ControlState]:
+        states: set[ControlState] = set()
+        for (p, _g), targets in self.pop_rules.items():
+            states.add(p)
+            states.update(targets)
+        for (p, _g), targets in self.step_rules.items():
+            states.add(p)
+            states.update(q for q, _ in targets)
+        for (p, _g), targets in self.push_rules.items():
+            states.add(p)
+            states.update(q for q, _t, _b in targets)
+        if self.initial is not None:
+            states.add(self.initial[0])
+        return states
+
+
+class _PropertyProduct:
+    """Control-state semantics: plain FSM or explicit per-label product.
+
+    For a parametric property, the control state is a tuple with one
+    FSM state per concrete label (plus one slot for non-parametric
+    events, which by Fig 5-style properties drive every instance).
+    """
+
+    def __init__(self, cfg: ProgramCFG, prop: Property):
+        self.machine = prop.machine
+        self.prop = prop
+        self.parametric = bool(prop.parametric_symbols)
+        self.labels: list[tuple[str, ...]] = []
+        if self.parametric:
+            seen: set[tuple[str, ...]] = set()
+            for node in cfg.all_nodes():
+                event = prop.event_of(node)
+                if event is not None and event[1] is not None:
+                    if event[1] not in seen:
+                        seen.add(event[1])
+                        self.labels.append(event[1])
+        self.start: ControlState
+        if self.parametric:
+            self.start = tuple(self.machine.start for _ in self.labels)
+        else:
+            self.start = self.machine.start
+
+    def step(self, state: ControlState, node: CFGNode) -> ControlState:
+        event = self.prop.event_of(node)
+        if event is None:
+            return state
+        symbol, labels = event
+        if not self.parametric:
+            return self.machine.step(state, symbol)
+        assert isinstance(state, tuple)
+        components = list(state)
+        if labels is None:
+            # Non-parametric event drives every instance.
+            for i in range(len(components)):
+                components[i] = self.machine.step(components[i], symbol)
+        else:
+            index = self.labels.index(labels)
+            components[index] = self.machine.step(components[index], symbol)
+        return tuple(components)
+
+    def is_error(self, state: ControlState) -> bool:
+        if not self.parametric:
+            return state in self.machine.accepting
+        assert isinstance(state, tuple)
+        return any(component in self.machine.accepting for component in state)
+
+
+def build_product_pda(cfg: ProgramCFG, prop: Property) -> PushdownSystem:
+    """Compose a program CFG with a property into a pushdown system.
+
+    Control states are enumerated lazily from the property start state
+    — only property states actually reachable on some CFG path appear
+    in rules, which is what keeps explicit parametric products feasible
+    (and is how MOPS's backend behaved).
+    """
+    product = _PropertyProduct(cfg, prop)
+    pds = PushdownSystem()
+    pds.initial = (product.start, cfg.main.entry.id)
+
+    # Enumerate reachable control states via a chaotic iteration over
+    # (control state) alone: transitions depend only on node events, so
+    # the set of reachable control states is closed under stepping with
+    # every event-bearing node.
+    reachable: set[ControlState] = {product.start}
+    frontier = [product.start]
+    event_nodes = [
+        node for node in cfg.all_nodes() if prop.event_of(node) is not None
+    ]
+    while frontier:
+        state = frontier.pop()
+        for node in event_nodes:
+            nxt = product.step(state, node)
+            if nxt not in reachable:
+                reachable.add(nxt)
+                frontier.append(nxt)
+
+    for node in cfg.all_nodes():
+        if node.kind == "call":
+            callee = cfg.functions[node.call.callee]
+            for succ in cfg.successors(node):
+                for p in reachable:
+                    pds.add_push(p, node.id, p, callee.entry.id, succ.id)
+            continue
+        if node.kind == "exit":
+            for p in reachable:
+                pds.add_pop(p, node.id, p)
+            continue
+        for succ in cfg.successors(node):
+            for p in reachable:
+                pds.add_step(p, node.id, product.step(p, node), succ.id)
+
+    pds.error_states = {p for p in reachable if product.is_error(p)}
+    return pds

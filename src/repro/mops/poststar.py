@@ -1,0 +1,129 @@
+"""``post*`` reachability by P-automaton saturation (Schwoon's algorithm).
+
+The set of configurations reachable from the initial configuration of a
+pushdown system is regular; it is represented by a *P-automaton* whose
+states include the PDS control states, and which accepts ``⟨p, w⟩``
+iff reading the stack word ``w`` from state ``p`` reaches the final
+state.  Saturation adds transitions until closure:
+
+* ``⟨p, γ⟩ → ⟨p', ε⟩``       and ``p --γ--> q``   give ``p' --ε--> q``;
+* ``⟨p, γ⟩ → ⟨p', γ'⟩``      and ``p --γ--> q``   give ``p' --γ'--> q``;
+* ``⟨p, γ⟩ → ⟨p', γ'γ''⟩``   and ``p --γ--> q``   give
+  ``p' --γ'--> q_{p'γ'}`` and ``q_{p'γ'} --γ''--> q``;
+* an ε-transition ``p --ε--> q`` combines with every ``q --γ--> q'``
+  into ``p --γ--> q'``.
+
+This is the algorithm at the core of MOPS's model checker (and of
+weighted PDS libraries); it runs in ``O(|rules| · |states|)`` time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.mops.pda import ControlState, PushdownSystem, StackSymbol
+
+EPS = object()  # epsilon label inside the P-automaton
+
+AState = Hashable  # P-automaton state: a control state, "final", or a mid state
+
+
+@dataclass
+class PAutomaton:
+    """The saturated P-automaton representing ``post*``."""
+
+    transitions: set[tuple[AState, Hashable, AState]] = field(default_factory=set)
+    final: AState = "final"
+
+    def tops_for(self, control: ControlState) -> set[StackSymbol]:
+        """Top-of-stack symbols of reachable configs with this control state."""
+        return {
+            gamma
+            for (p, gamma, _q) in self.transitions
+            if p == control and gamma is not EPS
+        }
+
+    def has_control_state(self, control: ControlState) -> bool:
+        """Is any configuration with this control state reachable?"""
+        return any(p == control for (p, _g, _q) in self.transitions)
+
+    def accepts(self, control: ControlState, stack: list[StackSymbol]) -> bool:
+        """Is the configuration ``⟨control, stack⟩`` in ``post*``?
+
+        Standard NFA membership over the transition set, with ε-moves.
+        """
+        current = self._eps_closure({control})
+        for symbol in stack:
+            moved = {
+                q
+                for state in current
+                for (p, gamma, q) in self.transitions
+                if p == state and gamma == symbol
+            }
+            current = self._eps_closure(moved)
+            if not current:
+                return False
+        return self.final in current
+
+    def _eps_closure(self, states: set[AState]) -> set[AState]:
+        seen = set(states)
+        work = deque(seen)
+        while work:
+            state = work.popleft()
+            for (p, gamma, q) in self.transitions:
+                if p == state and gamma is EPS and q not in seen:
+                    seen.add(q)
+                    work.append(q)
+        return seen
+
+
+def post_star(pds: PushdownSystem) -> PAutomaton:
+    """Saturate the P-automaton for ``post*`` of the initial config."""
+    if pds.initial is None:
+        raise ValueError("pushdown system has no initial configuration")
+    automaton = PAutomaton()
+    final = automaton.final
+    rel: set[tuple[AState, Hashable, AState]] = set()
+    rel_from: dict[AState, set[tuple[Hashable, AState]]] = {}
+    eps_into: dict[AState, set[AState]] = {}
+    work: deque[tuple[AState, Hashable, AState]] = deque()
+
+    def add(transition: tuple[AState, Hashable, AState]) -> None:
+        if transition not in rel and transition not in pending:
+            pending.add(transition)
+            work.append(transition)
+
+    pending: set[tuple[AState, Hashable, AState]] = set()
+    initial_control, initial_top = pds.initial
+    add((initial_control, initial_top, final))
+
+    while work:
+        transition = work.popleft()
+        pending.discard(transition)
+        if transition in rel:
+            continue
+        rel.add(transition)
+        p, gamma, q = transition
+        rel_from.setdefault(p, set()).add((gamma, q))
+        if gamma is not EPS:
+            # Combine with ε-transitions already ending at p.
+            for p_eps in eps_into.get(p, set()).copy():
+                add((p_eps, gamma, q))
+            for p_prime in pds.pop_rules.get((p, gamma), ()):
+                add((p_prime, EPS, q))
+            for p_prime, top in pds.step_rules.get((p, gamma), ()):
+                add((p_prime, top, q))
+            for p_prime, top, below in pds.push_rules.get((p, gamma), ()):
+                mid = ("mid", p_prime, top)
+                add((p_prime, top, mid))
+                add((mid, below, q))
+        else:
+            eps_into.setdefault(q, set()).add(p)
+            for gamma_prime, q_prime in rel_from.get(q, set()).copy():
+                if gamma_prime is not EPS:
+                    add((p, gamma_prime, q_prime))
+
+    automaton.transitions = rel
+    return automaton

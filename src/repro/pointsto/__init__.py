@@ -1,0 +1,23 @@
+"""Andersen-style points-to analysis for mini-C.
+
+The paper's §7.5 discussion assumes a points-to analysis expressed in
+set constraints; this package supplies one for the mini-C front end —
+the classic inclusion-based (Andersen) analysis in its set-constraint
+form, using the ``ref(get, set)`` constructor with a contravariant
+write field (the encoding BANSHEE's points-to clients used):
+
+    p = &x      ref(X_x, X_x) ⊆ P
+    p = q       Q ⊆ P
+    p = *q      ref^{-1}(Q) ⊆ P
+    *p = q      P ⊆ ref(⊤, Q)        (contravariant field: Q ⊆ X_l
+                                       for every location l in pt(p))
+
+:class:`~repro.pointsto.analysis.AndersenAnalysis` runs on a parsed
+program; :class:`~repro.pointsto.naive.NaiveAndersen` is an independent
+textbook worklist implementation used to cross-validate it.
+"""
+
+from repro.pointsto.analysis import AndersenAnalysis, extract_pointer_ops
+from repro.pointsto.naive import NaiveAndersen
+
+__all__ = ["AndersenAnalysis", "NaiveAndersen", "extract_pointer_ops"]

@@ -1,0 +1,72 @@
+"""Textbook Andersen solver — the independent cross-validation baseline.
+
+Operates on the same primitive operations as the set-constraint
+encoding but shares none of its machinery: points-to sets are plain
+Python sets, copy edges form a graph, and ``load``/``store`` are
+*complex constraints* re-evaluated as points-to sets grow — the
+standard worklist formulation from the literature.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.pointsto.analysis import PointerOp
+
+
+class NaiveAndersen:
+    """Classic worklist Andersen analysis over primitive pointer ops."""
+
+    def __init__(self, ops: Iterable[PointerOp], locations: Iterable[str]):
+        self.locations = set(locations)
+        self.pts: dict[str, set[str]] = {loc: set() for loc in self.locations}
+        self.copy_edges: dict[str, set[str]] = {}
+        self.load_into: dict[str, set[str]] = {}  # src -> dsts with dst = *src
+        self.store_from: dict[str, set[str]] = {}  # dst -> srcs with *dst = src
+        work: deque[str] = deque()
+
+        for kind, dst, src in ops:
+            if kind == "addr":
+                if src not in self.pts[dst]:
+                    self.pts[dst].add(src)
+                    work.append(dst)
+            elif kind == "copy":
+                self.copy_edges.setdefault(src, set()).add(dst)
+            elif kind == "load":
+                self.load_into.setdefault(src, set()).add(dst)
+            elif kind == "store":
+                self.store_from.setdefault(dst, set()).add(src)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(kind)
+
+        # Initial propagation over static copy edges.
+        work.extend(self.locations)
+        while work:
+            node = work.popleft()
+            node_pts = self.pts[node]
+            # dynamic edges from loads: dst = *node
+            for dst in self.load_into.get(node, ()):
+                for pointee in node_pts:
+                    self.copy_edges.setdefault(pointee, set()).add(dst)
+                    if not self.pts[pointee] <= self.pts[dst]:
+                        self.pts[dst] |= self.pts[pointee]
+                        work.append(dst)
+            # dynamic edges from stores: *node = src
+            for src in self.store_from.get(node, ()):
+                for pointee in node_pts:
+                    self.copy_edges.setdefault(src, set()).add(pointee)
+                    if not self.pts[src] <= self.pts[pointee]:
+                        self.pts[pointee] |= self.pts[src]
+                        work.append(pointee)
+            # static propagation
+            for dst in self.copy_edges.get(node, ()):
+                if not node_pts <= self.pts[dst]:
+                    self.pts[dst] |= node_pts
+                    work.append(dst)
+
+    def points_to(self, location: str) -> frozenset[str]:
+        return frozenset(self.pts.get(location, set()))
+
+    def solution(self) -> dict[str, frozenset[str]]:
+        return {loc: frozenset(pts) for loc, pts in self.pts.items()}

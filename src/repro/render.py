@@ -1,0 +1,111 @@
+"""Graphviz (DOT) rendering for machines, CFGs, and constraint graphs.
+
+Debugging and documentation aid: every figure-like artifact in the
+paper can be dumped as DOT text — the property automata (Figs 1, 3, 5,
+10), program CFGs, and solved constraint graphs (Fig 12).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.cfg.graph import ProgramCFG
+from repro.core.solver import Solver
+from repro.dfa.automaton import DFA
+
+
+def _quote(text: object) -> str:
+    return '"' + str(text).replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def dfa_to_dot(
+    machine: DFA,
+    state_names: Mapping[int, str] | None = None,
+    title: str = "M",
+) -> str:
+    """DOT text for a property automaton (double circles accept)."""
+    names = dict(state_names or {})
+    lines = [f"digraph {_quote(title)} {{", "  rankdir=LR;"]
+    lines.append('  __start [shape=point, label=""];')
+    for state in range(machine.n_states):
+        label = names.get(state, str(state))
+        shape = "doublecircle" if state in machine.accepting else "circle"
+        lines.append(f"  s{state} [label={_quote(label)}, shape={shape}];")
+    lines.append(f"  __start -> s{machine.start};")
+    # Merge parallel edges into one label per (src, dst).
+    merged: dict[tuple[int, int], list[str]] = {}
+    for (src, symbol), dst in sorted(machine.delta.items(), key=lambda kv: repr(kv)):
+        if src == dst:
+            continue  # self-loops are noise in property machines
+        merged.setdefault((src, dst), []).append(str(symbol))
+    for (src, dst), symbols in merged.items():
+        label = ", ".join(symbols)
+        lines.append(f"  s{src} -> s{dst} [label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def cfg_to_dot(cfg: ProgramCFG, title: str = "CFG") -> str:
+    """DOT text for an interprocedural CFG, clustered per function."""
+    lines = [f"digraph {_quote(title)} {{", "  compound=true;"]
+    for name, function in cfg.functions.items():
+        lines.append(f"  subgraph cluster_{name} {{")
+        lines.append(f"    label={_quote(name)};")
+        for node in function.nodes:
+            shape = {
+                "entry": "invhouse",
+                "exit": "house",
+                "call": "box",
+            }.get(node.kind, "ellipse")
+            lines.append(
+                f"    n{node.id} [label={_quote(node.describe())}, shape={shape}];"
+            )
+        lines.append("  }")
+    for node in cfg.all_nodes():
+        for succ in cfg.successors(node):
+            lines.append(f"  n{node.id} -> n{succ.id};")
+        if node.kind == "call":
+            callee = cfg.functions[node.call.callee]
+            lines.append(
+                f"  n{node.id} -> n{callee.entry.id} [style=dashed, label=call];"
+            )
+            lines.append(
+                f"  n{callee.exit.id} -> n{node.id} [style=dashed, label=ret];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def constraint_graph_to_dot(solver: Solver, title: str = "constraints") -> str:
+    """DOT text for a solved constraint graph (the Fig 12 style).
+
+    Variables are ellipses; constructed lower/upper bounds are boxes;
+    edges are labeled with their annotations (ε omitted).
+    """
+    lines = [f"digraph {_quote(title)} {{", "  rankdir=LR;"]
+    seen_vars = sorted(solver.variables(), key=str)
+    index = {var: i for i, var in enumerate(seen_vars)}
+    for var, i in index.items():
+        lines.append(f"  v{i} [label={_quote(var)}, shape=ellipse];")
+    extra = 0
+    for var, i in index.items():
+        for dst, ann in solver.edges_from(var):
+            label = "" if ann == solver.algebra.identity else str(ann)
+            suffix = f" [label={_quote(label)}]" if label else ""
+            lines.append(f"  v{i} -> v{index[dst]}{suffix};")
+        for src, ann in solver.lower_bounds(var):
+            node = f"b{extra}"
+            extra += 1
+            lines.append(f"  {node} [label={_quote(src)}, shape=box];")
+            label = "" if ann == solver.algebra.identity else str(ann)
+            suffix = f" [label={_quote(label)}]" if label else ""
+            lines.append(f"  {node} -> v{i}{suffix};")
+        for snk, ann in solver.upper_bounds(var):
+            node = f"b{extra}"
+            extra += 1
+            lines.append(f"  {node} [label={_quote(snk)}, shape=box];")
+            label = "" if ann == solver.algebra.identity else str(ann)
+            suffix = f" [label={_quote(label)}]" if label else ""
+            lines.append(f"  v{i} -> {node}{suffix};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Synthetic workload generation for the benchmarks.
+
+* :mod:`repro.synth.programs` — C-like package generator standing in for
+  the Table 1 benchmark suite (VixieCron/At/Sendmail/Apache; see
+  DESIGN.md §5 for the substitution argument);
+* :mod:`repro.synth.workloads` — random annotated constraint graphs for
+  the Section 4/5 complexity experiments.
+"""
+
+from repro.synth.programs import PackageSpec, TABLE1_PACKAGES, generate_package
+from repro.synth.workloads import random_annotated_graph, random_constraint_system
+
+__all__ = [
+    "PackageSpec",
+    "TABLE1_PACKAGES",
+    "generate_package",
+    "random_annotated_graph",
+    "random_constraint_system",
+]

@@ -1,0 +1,148 @@
+"""Synthetic C-like packages for the Table 1 experiment.
+
+The paper checks the process-privilege property on four real packages
+(VixieCron 4k, At 6k, Sendmail 222k, Apache 229k lines).  Those sources
+cannot be shipped, so this generator produces packages of matching size
+with the structural features that drive both checkers' costs:
+
+* a call graph with realistic fan-out, depth, and some recursion;
+* mostly property-irrelevant statements (straight-line code, branches,
+  loops), at roughly real-code density;
+* a sprinkling of privilege-relevant system calls (seteuid/setuid/
+  setreuid/exec/system), matching the low density such calls have in
+  real daemons;
+* optionally a seeded violation: a path acquiring privilege that
+  reaches an exec without dropping it.
+
+Generation is deterministic in the seed.  Both checkers consume the
+same generated program, so the BANSHEE-vs-MOPS comparison is as
+apples-to-apples as the paper's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PackageSpec:
+    """Size/shape parameters for one synthetic package."""
+
+    name: str
+    target_lines: int
+    n_functions: int
+    seed: int
+    violation: bool = True
+    #: fraction of statements that are privilege-relevant calls
+    event_density: float = 0.02
+    #: fraction of statements that are calls to defined functions
+    call_density: float = 0.12
+
+
+#: Packages mirroring Table 1's benchmark suite (sizes in source lines).
+TABLE1_PACKAGES = (
+    PackageSpec("vixiecron-3.0.1", 4_000, 60, seed=11),
+    PackageSpec("at-3.1.8", 6_000, 90, seed=23),
+    PackageSpec("sendmail-8.12.8", 222_000, 2600, seed=37),
+    PackageSpec("apache-2.0.40", 229_000, 2700, seed=53),
+)
+
+_EVENT_CALLS = (
+    'seteuid(0);',
+    'seteuid(getuid());',
+    'setuid(0);',
+    'setuid(getuid());',
+    'setreuid(getuid(), getuid());',
+    'system("ls");',
+)
+
+_PLAIN_STATEMENTS = (
+    "x = x + {v};",
+    "y = x * {v};",
+    "buf[{v}] = x;",
+    "x = y - {v};",
+    "log_message(x, {v});",
+    "x = read_config({v});",
+)
+
+
+class _PackageWriter:
+    def __init__(self, spec: PackageSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.lines: list[str] = []
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append("  " * depth + text)
+
+    def statement(self, depth: int, callees: list[str]) -> None:
+        roll = self.rng.random()
+        if roll < self.spec.event_density:
+            self.emit(depth, self.rng.choice(_EVENT_CALLS))
+        elif roll < self.spec.event_density + self.spec.call_density and callees:
+            self.emit(depth, f"{self.rng.choice(callees)}();")
+        else:
+            template = self.rng.choice(_PLAIN_STATEMENTS)
+            self.emit(depth, template.format(v=self.rng.randrange(100)))
+
+    def block(self, depth: int, budget: int, callees: list[str]) -> None:
+        while budget > 0:
+            roll = self.rng.random()
+            if roll < 0.08 and budget >= 4:
+                self.emit(depth, "if (x > y) {")
+                inner = self.rng.randrange(1, max(2, budget // 3))
+                self.block(depth + 1, inner, callees)
+                if self.rng.random() < 0.5:
+                    self.emit(depth, "} else {")
+                    inner2 = self.rng.randrange(1, max(2, budget // 3))
+                    self.block(depth + 1, inner2, callees)
+                    budget -= inner2
+                self.emit(depth, "}")
+                budget -= inner + 2
+            elif roll < 0.12 and budget >= 4:
+                self.emit(depth, "while (x < y) {")
+                inner = self.rng.randrange(1, max(2, budget // 3))
+                self.block(depth + 1, inner, callees)
+                self.emit(depth, "}")
+                budget -= inner + 2
+            else:
+                self.statement(depth, callees)
+                budget -= 1
+
+    def generate(self) -> str:
+        spec = self.spec
+        names = [f"fn_{i}" for i in range(spec.n_functions)]
+        # Layered call graph: function i may call functions with larger
+        # index (acyclic), plus occasional self-recursion.
+        per_function = max(3, spec.target_lines // (spec.n_functions + 1) - 3)
+        for i, name in enumerate(names):
+            callees = list(names[i + 1 : i + 1 + 8])
+            if self.rng.random() < 0.05:
+                callees.append(name)  # direct recursion
+            self.emit(0, f"void {name}() {{")
+            self.emit(1, "int x = 0;")
+            self.emit(1, "int y = 1;")
+            self.block(1, per_function, callees)
+            self.emit(0, "}")
+            self.emit(0, "")
+        self.emit(0, "int main() {")
+        self.emit(1, "int x = 0;")
+        self.emit(1, "int y = 1;")
+        if spec.violation:
+            # A seeded violation: privilege acquired, conditionally (but
+            # not always) dropped, then an exec.
+            self.emit(1, "seteuid(0);")
+            self.emit(1, "if (x) {")
+            self.emit(2, "seteuid(getuid());")
+            self.emit(1, "}")
+            self.emit(1, 'execl("/bin/sh", "sh", 0);')
+        self.block(1, max(3, per_function), names[:8])
+        self.emit(1, "return 0;")
+        self.emit(0, "}")
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_package(spec: PackageSpec) -> str:
+    """Generate one synthetic package's mini-C source text."""
+    return _PackageWriter(spec).generate()

@@ -1,0 +1,133 @@
+"""Random constraint workloads for the complexity experiments (§4, §5).
+
+Two generators:
+
+* :func:`random_annotated_graph` — an annotated variable/edge reachability
+  instance over a given machine's alphabet, consumable both by the
+  bidirectional solver (as var ⊆^σ var constraints) and by the
+  forward/backward solvers — the instrument for measuring the
+  ``|F_M^≡|`` vs ``|S|`` derived-annotation gap.
+* :func:`random_constraint_system` — a full set-constraint system with
+  constructors and projections, for cubic-scaling measurements of the
+  bidirectional solver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.annotations import MonoidAlgebra
+from repro.core.solver import Solver
+from repro.core.terms import Constructor, Variable
+from repro.dfa.automaton import DFA
+
+
+@dataclass
+class AnnotatedGraphWorkload:
+    """Edges ``(src, dst, word)`` over variable indices, plus sources."""
+
+    n_vars: int
+    edges: list[tuple[int, int, tuple]]
+    sources: list[int]
+    sinks: list[int]
+
+
+def random_annotated_graph(
+    machine: DFA,
+    n_vars: int,
+    n_edges: int,
+    seed: int = 0,
+    n_sources: int = 1,
+    n_sinks: int = 1,
+    annotated_fraction: float = 0.5,
+) -> AnnotatedGraphWorkload:
+    """A random digraph with word-annotated edges.
+
+    ``annotated_fraction`` of edges carry one random alphabet symbol;
+    the rest are ε.  Sources and sinks are sampled distinct nodes.
+    """
+    rng = random.Random(seed)
+    alphabet = sorted(machine.alphabet, key=repr)
+    edges: list[tuple[int, int, tuple]] = []
+    for _ in range(n_edges):
+        src = rng.randrange(n_vars)
+        dst = rng.randrange(n_vars)
+        if alphabet and rng.random() < annotated_fraction:
+            word: tuple = (rng.choice(alphabet),)
+        else:
+            word = ()
+        edges.append((src, dst, word))
+    nodes = list(range(n_vars))
+    rng.shuffle(nodes)
+    return AnnotatedGraphWorkload(
+        n_vars=n_vars,
+        edges=edges,
+        sources=nodes[:n_sources],
+        sinks=nodes[n_sources : n_sources + n_sinks],
+    )
+
+
+def solve_bidirectional(
+    machine: DFA, workload: AnnotatedGraphWorkload, eager: bool = True
+) -> Solver:
+    """Load an annotated-graph workload into the bidirectional solver."""
+    algebra = MonoidAlgebra(machine, eager=eager)
+    solver = Solver(algebra)
+    variables = [Variable(f"v{i}") for i in range(workload.n_vars)]
+    for index in workload.sources:
+        source = Constructor(f"src{index}", 0)()
+        solver.add(source, variables[index])
+    for src, dst, word in workload.edges:
+        solver.add(variables[src], variables[dst], algebra.word(word))
+    return solver
+
+
+def random_constraint_system(
+    machine: DFA,
+    n_vars: int,
+    n_constraints: int,
+    seed: int = 0,
+    max_arity: int = 2,
+) -> Solver:
+    """A random full constraint system (constructors, projections, edges).
+
+    Roughly 60% variable-variable constraints (half annotated), 20%
+    constructed lower bounds, 10% constructed upper bounds, and 10%
+    projections, over a pool of constructors with arities up to
+    ``max_arity``.
+    """
+    rng = random.Random(seed)
+    algebra = MonoidAlgebra(machine)
+    solver = Solver(algebra)
+    alphabet = sorted(machine.alphabet, key=repr)
+    variables = [Variable(f"v{i}") for i in range(n_vars)]
+    constructors = [
+        Constructor(f"c{arity}_{i}", arity)
+        for arity in range(1, max_arity + 1)
+        for i in range(3)
+    ]
+    constants = [Constructor(f"k{i}", 0)() for i in range(5)]
+
+    def var() -> Variable:
+        return variables[rng.randrange(n_vars)]
+
+    for _ in range(n_constraints):
+        roll = rng.random()
+        if roll < 0.6:
+            if alphabet and rng.random() < 0.5:
+                annotation = algebra.symbol(rng.choice(alphabet))
+            else:
+                annotation = algebra.identity
+            solver.add(var(), var(), annotation)
+        elif roll < 0.8:
+            ctor = rng.choice(constructors)
+            args = tuple(var() for _ in range(ctor.arity))
+            solver.add(Constructor(ctor.name, ctor.arity)(*args), var())
+        elif roll < 0.9:
+            solver.add(rng.choice(constants), var())
+        else:
+            ctor = rng.choice(constructors)
+            index = rng.randrange(ctor.arity) + 1
+            solver.add(ctor.proj(index, var()), var())
+    return solver

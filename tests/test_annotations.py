@@ -1,0 +1,101 @@
+"""Tests for the annotation algebras."""
+
+import pytest
+
+from repro.core.annotations import MonoidAlgebra, ProductAlgebra, UnannotatedAlgebra
+from repro.dfa.gallery import one_bit_machine, privilege_machine
+from repro.dfa.regex import regex_to_dfa
+
+
+class TestMonoidAlgebra:
+    def setup_method(self):
+        self.algebra = MonoidAlgebra(privilege_machine())
+
+    def test_identity(self):
+        assert self.algebra.identity.is_identity()
+
+    def test_symbol_and_word(self):
+        acquire = self.algebra.symbol("seteuid_zero")
+        execl = self.algebra.symbol("execl")
+        composed = self.algebra.then(acquire, execl)
+        assert composed == self.algebra.word(["seteuid_zero", "execl"])
+
+    def test_accepting(self):
+        bad = self.algebra.word(["seteuid_zero", "execl"])
+        good = self.algebra.word(["seteuid_zero", "seteuid_nonzero", "execl"])
+        assert self.algebra.is_accepting(bad)
+        assert not self.algebra.is_accepting(good)
+
+    def test_state_after(self):
+        machine = privilege_machine()
+        ann = self.algebra.word(["seteuid_zero"])
+        assert self.algebra.state_after(ann) == machine.run(["seteuid_zero"])
+
+    def test_liveness(self):
+        algebra = MonoidAlgebra(regex_to_dfa("ab"))
+        assert algebra.is_live(algebra.word("ab"))
+        assert not algebra.is_live(algebra.word("ba"))
+
+
+class TestUnannotatedAlgebra:
+    def test_trivial(self):
+        algebra = UnannotatedAlgebra()
+        assert algebra.then(algebra.identity, algebra.identity) == algebra.identity
+        assert algebra.is_live(algebra.identity)
+        assert algebra.is_accepting(algebra.identity)
+
+
+class TestProductAlgebra:
+    def setup_method(self):
+        bit = MonoidAlgebra(one_bit_machine())
+        self.bit = bit
+        self.algebra = ProductAlgebra([bit, bit, bit])
+
+    def test_identity(self):
+        assert self.algebra.identity == (self.bit.identity,) * 3
+
+    def test_componentwise_composition(self):
+        g, k, e = self.bit.symbol("g"), self.bit.symbol("k"), self.bit.identity
+        first = (g, e, k)
+        second = (k, g, e)
+        assert self.algebra.then(first, second) == (k, g, k)
+
+    def test_accepting_bits(self):
+        g, k, e = self.bit.symbol("g"), self.bit.symbol("k"), self.bit.identity
+        ann = (g, e, k)
+        assert self.algebra.accepting_bits(ann) == (True, False, False)
+        assert not self.algebra.is_accepting(ann)
+        assert self.algebra.is_accepting((g, g, g))
+
+    def test_liveness_conjunction(self):
+        assert self.algebra.is_live(self.algebra.identity)
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(ValueError):
+            ProductAlgebra([])
+
+    def test_matches_explicit_product_machine(self):
+        """The lazy tuple representation agrees with the real product
+        machine on acceptance of random words."""
+        import itertools
+        import random
+
+        from repro.dfa.gallery import bit_vector_machine
+
+        machine = bit_vector_machine(2)
+        bit = MonoidAlgebra(one_bit_machine())
+        product = ProductAlgebra([bit, bit])
+        rng = random.Random(0)
+        symbols = [("g", 0), ("k", 0), ("g", 1), ("k", 1)]
+        for _ in range(50):
+            word = [rng.choice(symbols) for _ in range(rng.randrange(6))]
+            tuple_ann = product.identity
+            for kind, index in word:
+                step = tuple(
+                    bit.symbol(kind) if i == index else bit.identity
+                    for i in range(2)
+                )
+                tuple_ann = product.then(tuple_ann, step)
+            bits = product.accepting_bits(tuple_ann)
+            # machine accepts iff bit 0 holds at the end
+            assert machine.accepts(word) == bits[0]

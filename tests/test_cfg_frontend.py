@@ -1,0 +1,129 @@
+"""Tests for the mini-C lexer, parser, and AST utilities."""
+
+import pytest
+
+from repro.cfg import ast
+from repro.cfg.lexer import LexError, Token, tokenize
+from repro.cfg.parser import ParseError, parse_program
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = list(tokenize("int x = 42;"))
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["kw", "ident", "op", "number", "op"]
+
+    def test_comments_skipped(self):
+        tokens = list(tokenize("x; // comment\n/* block\ncomment */ y;"))
+        idents = [t.value for t in tokens if t.kind == "ident"]
+        assert idents == ["x", "y"]
+
+    def test_preprocessor_skipped(self):
+        tokens = list(tokenize("#include <stdio.h>\nint x;"))
+        assert tokens[0].value == "int"
+
+    def test_line_numbers(self):
+        tokens = list(tokenize("a;\nb;\n\nc;"))
+        lines = {t.value: t.line for t in tokens if t.kind == "ident"}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+    def test_strings_and_chars(self):
+        tokens = list(tokenize('f("hi \\"there\\"", \'x\');'))
+        kinds = [t.kind for t in tokens]
+        assert "string" in kinds and "char" in kinds
+
+    def test_hex_numbers(self):
+        tokens = list(tokenize("x = 0xFF;"))
+        assert any(t.kind == "number" and t.value == "0xFF" for t in tokens)
+
+    def test_lex_error(self):
+        with pytest.raises(LexError):
+            list(tokenize("int x = `;"))
+
+
+class TestParser:
+    def test_function_structure(self):
+        program = parse_program("int main() { return 0; }")
+        assert program.function_names == {"main"}
+        main = program.function("main")
+        assert main.params == ()
+
+    def test_params(self):
+        program = parse_program("void f(int a, char *b) { }")
+        assert program.function("f").params == ("a", "b")
+
+    def test_void_param_list(self):
+        program = parse_program("void f(void) { }")
+        assert program.function("f").params == ()
+
+    def test_if_else(self):
+        program = parse_program(
+            "int main() { if (x) { a(); } else { b(); } return 0; }"
+        )
+        body = program.function("main").body.body
+        assert isinstance(body[0], ast.If)
+        assert body[0].orelse is not None
+
+    def test_while_and_control(self):
+        program = parse_program(
+            "int main() { while (1) { if (x) break; continue; } }"
+        )
+        loop = program.function("main").body.body[0]
+        assert isinstance(loop, ast.While)
+
+    def test_for_desugars_to_while(self):
+        program = parse_program(
+            "int main() { for (int i = 0; i < 10; i = i + 1) { f(i); } }"
+        )
+        outer = program.function("main").body.body[0]
+        assert isinstance(outer, ast.Block)
+        assert isinstance(outer.body[0], ast.Decl)
+        assert isinstance(outer.body[1], ast.While)
+
+    def test_expression_precedence(self):
+        program = parse_program("int main() { x = 1 + 2 * 3; }")
+        stmt = program.function("main").body.body[0]
+        assign = stmt.expr
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.value, ast.Binary)
+        assert assign.value.op == "+"
+        assert assign.value.right.op == "*"
+
+    def test_calls_with_nested_args(self):
+        program = parse_program("int main() { f(g(1), h()); }")
+        calls = list(ast.calls_in(program.function("main").body.body[0].expr))
+        assert [c.callee for c in calls] == ["g", "h", "f"]
+
+    def test_unary_and_postfix(self):
+        parse_program("int main() { x = -y; p = &z; *p = 1; i++; a[i] = 2; }")
+
+    def test_struct_members(self):
+        parse_program("int main() { s.field = p->other; }")
+
+    def test_ternary(self):
+        parse_program("int main() { x = c ? a : b; }")
+
+    def test_unreachable_code_tolerated(self):
+        parse_program("int main() { return 0; x = 1; }")
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main() { ",
+            "main() { }",
+            "int main() { x = ; }",
+            "int main() { if x { } }",
+            "int main() { x[0](); }",  # only direct calls
+        ],
+    )
+    def test_parse_errors(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+
+class TestCallsIn:
+    def test_evaluation_order(self):
+        program = parse_program("int main() { x = a(b(), c()) + d(); }")
+        stmt = program.function("main").body.body[0]
+        calls = [c.callee for c in ast.calls_in(stmt.expr)]
+        assert calls == ["b", "c", "a", "d"]

@@ -1,0 +1,152 @@
+"""Tests for property products (§2.2: any number of regular properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import build_cfg
+from repro.dfa.monoid import TransitionMonoid
+from repro.modelcheck import (
+    AnnotatedChecker,
+    DemandChecker,
+    chroot_property,
+    combine_properties,
+    component_errors,
+    file_state_property,
+    full_privilege_property,
+    simple_privilege_property,
+)
+from repro.mops import MopsChecker
+from tests.test_cross_validation import random_program
+
+BOTH_BAD = """
+int main() {
+  seteuid(0);
+  chroot("/jail");
+  execl("/bin/sh", 0);
+  return 0;
+}
+"""
+
+ONLY_PRIVILEGE = """
+int main() {
+  seteuid(0);
+  chroot("/jail");
+  chdir("/");
+  execl("/bin/sh", 0);
+  return 0;
+}
+"""
+
+CLEAN = """
+int main() {
+  seteuid(0);
+  seteuid(getuid());
+  chroot("/jail");
+  chdir("/");
+  execl("/bin/sh", 0);
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def combo():
+    return combine_properties([simple_privilege_property(), chroot_property()])
+
+
+class TestProductConstruction:
+    def test_reachable_product_only(self, combo):
+        separate = (
+            simple_privilege_property().machine.n_states
+            * chroot_property().machine.n_states
+        )
+        assert combo.machine.n_states <= separate
+
+    def test_monoid_bounded_by_component_product(self, combo):
+        product_size = TransitionMonoid(combo.machine).size()
+        bound = TransitionMonoid(
+            simple_privilege_property().machine
+        ).size() * TransitionMonoid(chroot_property().machine).size()
+        assert product_size <= bound
+
+    def test_name(self, combo):
+        assert "simple-privilege" in combo.name and "chroot" in combo.name
+
+    def test_parametric_rejected(self):
+        with pytest.raises(ValueError):
+            combine_properties([file_state_property()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_properties([])
+
+    def test_single_property_passthrough_semantics(self):
+        single = combine_properties([simple_privilege_property()])
+        cfg = build_cfg(BOTH_BAD)
+        combined = AnnotatedChecker(cfg, single).check().has_violation
+        plain = AnnotatedChecker(
+            cfg, simple_privilege_property()
+        ).check().has_violation
+        assert combined == plain
+
+
+class TestCombinedChecking:
+    def test_both_components_flagged(self, combo):
+        cfg = build_cfg(BOTH_BAD)
+        checker = AnnotatedChecker(cfg, combo)
+        assert checker.check().has_violation
+        errors: set[str] = set()
+        for state in checker.states_at(cfg.main.exit):
+            errors.update(component_errors(combo, state))
+        assert errors == {"simple-privilege", "chroot-jail"}
+
+    def test_partial_violation_identified(self, combo):
+        cfg = build_cfg(ONLY_PRIVILEGE)
+        checker = AnnotatedChecker(cfg, combo)
+        assert checker.check().has_violation
+        errors: set[str] = set()
+        for state in checker.states_at(cfg.main.exit):
+            errors.update(component_errors(combo, state))
+        assert errors == {"simple-privilege"}
+
+    def test_clean_program(self, combo):
+        cfg = build_cfg(CLEAN)
+        assert not AnnotatedChecker(cfg, combo).check().has_violation
+
+    def test_engines_agree_on_combined_property(self, combo):
+        for source in (BOTH_BAD, ONLY_PRIVILEGE, CLEAN):
+            cfg = build_cfg(source)
+            annotated = AnnotatedChecker(cfg, combo).check().has_violation
+            mops = MopsChecker(cfg, combo).check().has_violation
+            demand = DemandChecker(cfg, combo).has_violation()
+            assert annotated == mops == demand, source
+
+
+@given(st.integers(min_value=0, max_value=50_000))
+@settings(max_examples=30, deadline=None)
+def test_combined_equals_disjunction_of_separate(seed):
+    """Checking the product must equal checking each property alone."""
+    combo = combine_properties(
+        [simple_privilege_property(), chroot_property()]
+    )
+    cfg = build_cfg(random_program(seed))
+    separate = AnnotatedChecker(
+        cfg, simple_privilege_property()
+    ).check().has_violation or AnnotatedChecker(
+        cfg, chroot_property()
+    ).check().has_violation
+    combined = AnnotatedChecker(cfg, combo).check().has_violation
+    assert combined == separate, seed
+
+
+def test_three_way_product():
+    combo = combine_properties(
+        [
+            simple_privilege_property(),
+            chroot_property(),
+            full_privilege_property(),
+        ]
+    )
+    cfg = build_cfg(BOTH_BAD)
+    assert AnnotatedChecker(cfg, combo).check().has_violation

@@ -1,0 +1,159 @@
+"""Tests for the interprocedural bit-vector dataflow analyses."""
+
+from repro.cfg import build_cfg
+from repro.dataflow import (
+    AnnotatedBitVectorAnalysis,
+    FunctionalBitVectorAnalysis,
+    privilege_fact_problem,
+    variable_def_problem,
+)
+from repro.dataflow.classic import IDENTITY, apply, compose, join
+from repro.dataflow.problems import call_tracking_problem
+
+
+class TestGenKillAlgebra:
+    def test_compose_kill_after_gen(self):
+        gen_a = (frozenset({0}), frozenset())
+        kill_a = (frozenset(), frozenset({0}))
+        assert compose(gen_a, kill_a) == (frozenset(), frozenset({0}))
+        assert compose(kill_a, gen_a) == (frozenset({0}), frozenset({0}))
+
+    def test_compose_identity(self):
+        fn = (frozenset({1}), frozenset({2}))
+        assert compose(IDENTITY, fn) == fn
+        assert compose(fn, IDENTITY) == fn
+
+    def test_join_is_union_may(self):
+        left = (frozenset({0}), frozenset({1}))
+        right = (frozenset({2}), frozenset({1, 3}))
+        joined = join(left, right)
+        assert joined == (frozenset({0, 2}), frozenset({1}))
+        # join(f,g)(X) == f(X) | g(X) on samples
+        for facts in [frozenset(), frozenset({1}), frozenset({3})]:
+            assert apply(joined, facts) == apply(left, facts) | apply(right, facts)
+
+    def test_join_with_bottom(self):
+        fn = (frozenset({0}), frozenset())
+        assert join(None, fn) == fn
+        assert join(fn, None) == fn
+        assert join(None, None) is None
+
+
+class TestPrivilegeFact:
+    def test_straight_line(self):
+        source = """
+        int main() {
+          seteuid(0);
+          execl("/x", 0);
+          seteuid(getuid());
+          done();
+          return 0;
+        }
+        """
+        cfg = build_cfg(source)
+        problem = privilege_fact_problem()
+        analysis = AnnotatedBitVectorAnalysis(cfg, problem)
+        execl_node = next(
+            n for n in cfg.all_nodes() if n.call and n.call.callee == "execl"
+        )
+        done_node = next(
+            n for n in cfg.all_nodes() if n.call and n.call.callee == "done"
+        )
+        assert analysis.may_hold(execl_node) == {0}
+        assert analysis.may_hold(done_node) == frozenset()
+        assert analysis.must_not_hold(done_node) == {0}
+
+    def test_branch_merges_may(self):
+        source = """
+        int main() {
+          if (x) { seteuid(0); }
+          probe();
+          return 0;
+        }
+        """
+        cfg = build_cfg(source)
+        analysis = AnnotatedBitVectorAnalysis(cfg, privilege_fact_problem())
+        probe = next(n for n in cfg.all_nodes() if n.call and n.call.callee == "probe")
+        assert analysis.may_hold(probe) == {0}  # may (not must)
+
+    def test_interprocedural_kill_via_summary(self):
+        source = """
+        void drop() { seteuid(getuid()); }
+        int main() { seteuid(0); drop(); probe(); return 0; }
+        """
+        cfg = build_cfg(source)
+        analysis = AnnotatedBitVectorAnalysis(cfg, privilege_fact_problem())
+        probe = next(n for n in cfg.all_nodes() if n.call and n.call.callee == "probe")
+        assert analysis.may_hold(probe) == frozenset()
+
+    def test_facts_inside_callee_reflect_callers(self):
+        source = """
+        void helper() { probe(); }
+        int main() { seteuid(0); helper(); return 0; }
+        """
+        cfg = build_cfg(source)
+        analysis = AnnotatedBitVectorAnalysis(cfg, privilege_fact_problem())
+        probe = next(n for n in cfg.all_nodes() if n.call and n.call.callee == "probe")
+        assert analysis.may_hold(probe) == {0}
+
+
+class TestVariableDefs:
+    def test_defs_seen(self):
+        source = """
+        int main() {
+          int a = 1;
+          int b;
+          b = a;
+          probe();
+          return 0;
+        }
+        """
+        cfg = build_cfg(source)
+        problem = variable_def_problem(cfg, ["a", "b", "c"])
+        analysis = FunctionalBitVectorAnalysis(cfg, problem)
+        probe = next(n for n in cfg.all_nodes() if n.call and n.call.callee == "probe")
+        held = analysis.may_hold(probe)
+        assert problem.fact_index("a") in held
+        assert problem.fact_index("b") in held
+        assert problem.fact_index("c") not in held
+
+
+class TestCallTracking:
+    def test_order_independent_bits_collapse(self):
+        """Section 4: g1·g2 ≡ g2·g1 — both orders give one annotation."""
+        source = """
+        int main() {
+          if (x) { alpha(); beta(); } else { beta(); alpha(); }
+          probe();
+          return 0;
+        }
+        """
+        cfg = build_cfg(source)
+        problem = call_tracking_problem(cfg, ["alpha", "beta"])
+        analysis = AnnotatedBitVectorAnalysis(cfg, problem)
+        probe = next(n for n in cfg.all_nodes() if n.call and n.call.callee == "probe")
+        assert analysis.may_hold(probe) == {0, 1}
+        reach = analysis.reachability()
+        annotations = reach.annotations_of(analysis.node_var(probe), analysis.pc)
+        # both branches collapse to the same product annotation
+        assert len(annotations) == 1
+
+    def test_unreachable_function_has_no_facts(self):
+        source = """
+        void dead() { alpha(); probe(); }
+        int main() { return 0; }
+        """
+        cfg = build_cfg(source)
+        problem = call_tracking_problem(cfg, ["alpha"])
+        annotated = AnnotatedBitVectorAnalysis(cfg, problem)
+        classic = FunctionalBitVectorAnalysis(cfg, problem)
+        probe = next(n for n in cfg.all_nodes() if n.call and n.call.callee == "probe")
+        assert annotated.may_hold(probe) == frozenset()
+        assert classic.may_hold(probe) == frozenset()
+
+    def test_solution_shape(self):
+        source = "int main() { alpha(); return 0; }"
+        cfg = build_cfg(source)
+        problem = call_tracking_problem(cfg, ["alpha"])
+        solution = AnnotatedBitVectorAnalysis(cfg, problem).solution()
+        assert set(solution) == {n.id for n in cfg.all_nodes()}

@@ -1,0 +1,238 @@
+"""Unit and property tests for the DFA/NFA toolkit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfa.automaton import DFA, EPSILON, NFA, AutomatonError, literal_dfa
+from repro.dfa.regex import regex_to_dfa
+
+
+def simple_dfa() -> DFA:
+    """Accepts words over {a, b} with an odd number of a's."""
+    return DFA.from_partial(
+        n_states=2,
+        alphabet={"a", "b"},
+        start=0,
+        accepting={1},
+        edges=[(0, "a", 1), (0, "b", 0), (1, "a", 0), (1, "b", 1)],
+    )
+
+
+class TestDFABasics:
+    def test_accepts(self):
+        dfa = simple_dfa()
+        assert dfa.accepts("a")
+        assert dfa.accepts("bab")
+        assert not dfa.accepts("")
+        assert not dfa.accepts("aa")
+
+    def test_run_from_state(self):
+        dfa = simple_dfa()
+        assert dfa.run("a", 0) == 1
+        assert dfa.run("a", 1) == 0
+        assert dfa.run("", 1) == 1
+
+    def test_partial_completion_adds_sink(self):
+        dfa = DFA.from_partial(
+            n_states=2,
+            alphabet={"a", "b"},
+            start=0,
+            accepting={1},
+            edges=[(0, "a", 1)],
+        )
+        assert dfa.n_states == 3  # dead sink added
+        assert dfa.accepts("a")
+        assert not dfa.accepts("ab")
+        assert not dfa.accepts("b")
+
+    def test_total_table_required(self):
+        with pytest.raises(AutomatonError):
+            DFA(
+                n_states=2,
+                alphabet=frozenset({"a"}),
+                start=0,
+                accepting=frozenset({1}),
+                delta={(0, "a"): 1},
+            )
+
+    def test_nondeterministic_edge_rejected(self):
+        with pytest.raises(AutomatonError):
+            DFA.from_partial(2, {"a"}, 0, {1}, [(0, "a", 1), (0, "a", 0)])
+
+    def test_start_out_of_range(self):
+        with pytest.raises(AutomatonError):
+            DFA.from_partial(1, {"a"}, 5, set(), [(0, "a", 0)])
+
+    def test_reachable_and_coreachable(self):
+        dfa = DFA.from_partial(
+            n_states=4,
+            alphabet={"a"},
+            start=0,
+            accepting={1},
+            edges=[(0, "a", 1), (1, "a", 1), (2, "a", 1), (3, "a", 3)],
+        )
+        assert 2 not in dfa.reachable_states()
+        assert 3 not in dfa.coreachable_states()
+        assert dfa.live_states() == {0, 1}
+
+    def test_is_empty(self):
+        empty = DFA.from_partial(1, {"a"}, 0, set(), [(0, "a", 0)])
+        assert empty.is_empty()
+        assert not simple_dfa().is_empty()
+
+    def test_shortest_accepted(self):
+        dfa = regex_to_dfa("ab|abc|b")
+        assert dfa.shortest_accepted() == ("b",)
+        assert literal_dfa("xyz", {"x", "y", "z"}).shortest_accepted() == (
+            "x",
+            "y",
+            "z",
+        )
+        empty = DFA.from_partial(1, {"a"}, 0, set(), [(0, "a", 0)])
+        assert empty.shortest_accepted() is None
+
+    def test_shortest_accepted_epsilon(self):
+        dfa = regex_to_dfa("a*")
+        assert dfa.shortest_accepted() == ()
+
+    def test_words_enumeration(self):
+        dfa = regex_to_dfa("ab*")
+        words = set(dfa.words(3))
+        assert words == {("a",), ("a", "b"), ("a", "b", "b")}
+
+
+class TestMinimization:
+    def test_minimize_merges_equivalent_states(self):
+        # Two redundant accepting states.
+        dfa = DFA.from_partial(
+            n_states=3,
+            alphabet={"a"},
+            start=0,
+            accepting={1, 2},
+            edges=[(0, "a", 1), (1, "a", 2), (2, "a", 1)],
+        )
+        assert dfa.minimize().n_states == 2
+
+    def test_minimize_idempotent(self):
+        dfa = regex_to_dfa("(a|b)*abb")
+        once = dfa.minimize()
+        twice = once.minimize()
+        assert once.n_states == twice.n_states
+        assert dict(once.delta) == dict(twice.delta)
+
+    def test_equivalence_of_regexes(self):
+        assert regex_to_dfa("a(b|c)").equivalent(regex_to_dfa("ab|ac"))
+        assert not regex_to_dfa("ab").equivalent(regex_to_dfa("ba"))
+
+    def test_canonical_classic(self):
+        # (a|b)*abb has the classic 4-state minimal DFA.
+        assert regex_to_dfa("(a|b)*abb").n_states == 4
+
+
+class TestProducts:
+    def test_intersection(self):
+        even_b = DFA.from_partial(
+            2, {"a", "b"}, 0, {0}, [(0, "a", 0), (0, "b", 1), (1, "a", 1), (1, "b", 0)]
+        )
+        odd_a = simple_dfa()
+        both = odd_a.intersect(even_b)
+        assert both.accepts("a")
+        assert both.accepts("abb")
+        assert not both.accepts("ab")
+        assert not both.accepts("aab")
+
+    def test_union(self):
+        merged = regex_to_dfa("aa", alphabet={"a", "b"}).union(
+            regex_to_dfa("bb", alphabet={"a", "b"})
+        )
+        assert merged.accepts("aa")
+        assert merged.accepts("bb")
+        assert not merged.accepts("ab")
+
+    def test_alphabet_mismatch(self):
+        with pytest.raises(AutomatonError):
+            regex_to_dfa("a").product(regex_to_dfa("b"), lambda x, y: x and y)
+
+    def test_complement(self):
+        dfa = simple_dfa()
+        comp = dfa.complement()
+        for word in ["", "a", "ab", "aa", "bbb"]:
+            assert dfa.accepts(word) != comp.accepts(word)
+
+
+class TestReversal:
+    def test_reverse_language(self):
+        dfa = regex_to_dfa("abc")
+        rev = dfa.reverse()
+        assert rev.accepts("cba")
+        assert not rev.accepts("abc")
+
+    def test_reverse_involution(self):
+        dfa = regex_to_dfa("a(b|c)*d")
+        assert dfa.reverse().reverse().equivalent(dfa)
+
+
+class TestNFA:
+    def test_epsilon_closure(self):
+        nfa = NFA.build(
+            3, {"a"}, start=[0], accepting=[2], edges=[(0, EPSILON, 1), (1, "a", 2)]
+        )
+        assert nfa.epsilon_closure({0}) == {0, 1}
+        assert nfa.accepts("a")
+        assert not nfa.accepts("")
+
+    def test_determinize_preserves_language(self):
+        nfa = NFA.build(
+            4,
+            {"a", "b"},
+            start=[0],
+            accepting=[3],
+            edges=[(0, "a", 1), (0, "a", 2), (1, "b", 3), (2, "a", 3)],
+        )
+        dfa = nfa.determinize()
+        for word in ["ab", "aa", "a", "ba", "abb"]:
+            assert nfa.accepts(word) == dfa.accepts(word)
+
+
+# -- property tests ---------------------------------------------------------------
+
+_words = st.lists(st.sampled_from(["a", "b"]), max_size=8).map(tuple)
+
+
+@st.composite
+def random_dfas(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    edges = [
+        (s, sym, draw(st.integers(min_value=0, max_value=n - 1)))
+        for s in range(n)
+        for sym in ("a", "b")
+    ]
+    accepting = draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+    return DFA.from_partial(n, {"a", "b"}, 0, accepting, edges)
+
+
+@given(random_dfas(), _words)
+@settings(max_examples=150, deadline=None)
+def test_minimize_preserves_language(dfa, word):
+    assert dfa.accepts(word) == dfa.minimize().accepts(word)
+
+
+@given(random_dfas(), random_dfas(), _words)
+@settings(max_examples=100, deadline=None)
+def test_product_is_intersection(left, right, word):
+    assert left.intersect(right).accepts(word) == (
+        left.accepts(word) and right.accepts(word)
+    )
+
+
+@given(random_dfas(), _words)
+@settings(max_examples=100, deadline=None)
+def test_reverse_matches_reversed_words(dfa, word):
+    assert dfa.accepts(word) == dfa.reverse().accepts(tuple(reversed(word)))
+
+
+@given(random_dfas(), _words)
+@settings(max_examples=100, deadline=None)
+def test_complement_flips_membership(dfa, word):
+    assert dfa.accepts(word) != dfa.complement().accepts(word)

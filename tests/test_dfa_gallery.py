@@ -1,0 +1,196 @@
+"""Tests for the paper's machine gallery — sizes and semantics."""
+
+import pytest
+
+from repro.dfa.gallery import (
+    FULL_PRIVILEGE_SYMBOLS,
+    adversarial_machine,
+    bit_vector_machine,
+    bracket_machine,
+    close_bracket,
+    file_state_machine,
+    full_privilege_machine,
+    one_bit_machine,
+    open_bracket,
+    pair_machine,
+    privilege_machine,
+)
+from repro.dfa.monoid import TransitionMonoid
+
+
+class TestOneBit:
+    def test_language(self):
+        machine = one_bit_machine()
+        assert machine.accepts(["g"])
+        assert machine.accepts(["k", "g"])
+        assert not machine.accepts(["g", "k"])
+        assert not machine.accepts([])
+
+    def test_monoid_is_three(self):
+        assert TransitionMonoid(one_bit_machine()).size() == 3
+
+    def test_custom_symbols(self):
+        machine = one_bit_machine(gen=("g", 3), kill=("k", 3))
+        assert machine.accepts([("g", 3)])
+
+
+class TestBitVector:
+    def test_states_and_monoid(self):
+        machine = bit_vector_machine(3)
+        assert machine.n_states == 8
+        # product monoid: 3^n
+        assert TransitionMonoid(machine).size() == 27
+
+    def test_bit_zero_acceptance(self):
+        machine = bit_vector_machine(2)
+        assert machine.accepts([("g", 0)])
+        assert not machine.accepts([("g", 1)])
+        assert not machine.accepts([("g", 0), ("k", 0)])
+        assert machine.accepts([("g", 0), ("k", 1)])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bit_vector_machine(0)
+
+
+class TestAdversarial:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 4), (3, 27), (4, 256)])
+    def test_monoid_is_n_to_the_n(self, n, expected):
+        # Section 4: rotate/swap/merge generate ALL |S|^|S| functions.
+        assert TransitionMonoid(adversarial_machine(n)).size() == expected
+
+    def test_forward_classes_stay_linear(self):
+        monoid = TransitionMonoid(adversarial_machine(4))
+        assert len(monoid.forward_classes()) <= 4
+
+
+class TestPrivilege:
+    def test_teaching_model(self):
+        machine = privilege_machine()
+        assert machine.n_states == 3
+        assert machine.accepts(["seteuid_zero", "execl"])
+        assert not machine.accepts(["seteuid_zero", "seteuid_nonzero", "execl"])
+
+    def test_full_model_dimensions(self):
+        # Paper: 11 states, 9 symbols, 58 representative functions.
+        # Our reconstruction: 10 states, 9 symbols, 52 functions.
+        machine = full_privilege_machine()
+        assert machine.n_states == 10
+        assert len(machine.alphabet) == 9
+        assert set(FULL_PRIVILEGE_SYMBOLS) == set(machine.alphabet)
+        size = TransitionMonoid(machine).size()
+        assert 40 <= size <= 70
+        assert size == 52
+
+    def test_full_model_semantics(self):
+        machine = full_privilege_machine()
+        # setuid-root program exec'ing immediately: violation.
+        assert machine.accepts(["exec"])
+        # Dropping all privilege with setuid(getuid()) then exec: safe.
+        assert not machine.accepts(["setuid_user", "exec"])
+        # seteuid(user) alone keeps the saved uid root: system() errs.
+        assert machine.accepts(["seteuid_user", "system"])
+        # but a plain exec with euid dropped is fine
+        assert not machine.accepts(["seteuid_user", "exec"])
+        # privilege can be re-acquired through the saved uid
+        assert machine.accepts(["seteuid_user", "seteuid_zero", "exec"])
+
+
+class TestFileState:
+    def test_double_operations_error(self):
+        machine = file_state_machine()
+        assert machine.accepts(["close"])  # close while closed
+        assert machine.accepts(["open", "open"])
+        assert not machine.accepts(["open", "close"])
+        assert not machine.accepts(["open"])
+
+    def test_monoid_small(self):
+        assert TransitionMonoid(file_state_machine()).size() <= 8
+
+
+class TestBracketMachines:
+    def test_pair_machine_fig10(self):
+        machine = pair_machine()
+        # states: empty, inside-1, inside-2, dead
+        assert machine.n_states == 4
+        o1, c1 = open_bracket((1, "int")), close_bracket((1, "int"))
+        o2, c2 = open_bracket((2, "int")), close_bracket((2, "int"))
+        assert machine.accepts([])
+        assert machine.accepts([o1, c1])
+        assert machine.accepts([o1, c1, o2, c2])
+        assert not machine.accepts([o1, c2])
+        assert not machine.accepts([o1, o1, c1, c1])  # no renesting at depth 1
+        assert not machine.accepts([o1])
+
+    def test_depth_two_nesting(self):
+        machine = bracket_machine(["a", "b"], depth=2)
+        oa, ca = open_bracket("a"), close_bracket("a")
+        ob, cb = open_bracket("b"), close_bracket("b")
+        assert machine.accepts([oa, ob, cb, ca])
+        assert not machine.accepts([oa, ob, ca, cb])  # crossing
+        assert not machine.accepts([oa, ob, oa, ca, cb, ca])  # depth 3
+
+    def test_can_nest_restriction(self):
+        machine = bracket_machine(
+            ["x", "y"], depth=2, can_nest=lambda top, k: top is None or k == "y"
+        )
+        ox, cx = open_bracket("x"), close_bracket("x")
+        oy, cy = open_bracket("y"), close_bracket("y")
+        assert machine.accepts([ox, oy, cy, cx])
+        assert not machine.accepts([oy, ox, cx, cy])  # x cannot nest inside y
+
+
+class TestBracketMachineSimulation:
+    """The bracket machine must agree with a direct stack simulation."""
+
+    @staticmethod
+    def simulate(word, depth, kinds, can_nest=None):
+        stack = []
+        for direction, kind in word:
+            if direction == "[":
+                if len(stack) >= depth:
+                    return None
+                top = stack[-1] if stack else None
+                if can_nest is not None and not can_nest(top, kind):
+                    return None
+                stack.append(kind)
+            else:
+                if not stack or stack[-1] != kind:
+                    return None
+                stack.pop()
+        return stack
+
+    def test_random_words_match_simulation(self):
+        import itertools
+        import random
+
+        kinds = ["a", "b"]
+        for depth in (1, 2, 3):
+            machine = bracket_machine(kinds, depth)
+            rng = random.Random(depth)
+            symbols = [open_bracket(k) for k in kinds] + [
+                close_bracket(k) for k in kinds
+            ]
+            for _ in range(300):
+                word = [rng.choice(symbols) for _ in range(rng.randrange(7))]
+                stack = self.simulate(word, depth, kinds)
+                expected = stack == []
+                assert machine.accepts(word) == expected, (depth, word)
+
+    def test_with_nesting_restriction(self):
+        import random
+
+        kinds = ["x", "y"]
+
+        def can_nest(top, kind):
+            return top is None or (top == "x" and kind == "y")
+
+        machine = bracket_machine(kinds, 2, can_nest)
+        rng = random.Random(7)
+        symbols = [open_bracket(k) for k in kinds] + [
+            close_bracket(k) for k in kinds
+        ]
+        for _ in range(300):
+            word = [rng.choice(symbols) for _ in range(rng.randrange(6))]
+            stack = self.simulate(word, 2, kinds, can_nest)
+            assert machine.accepts(word) == (stack == []), word

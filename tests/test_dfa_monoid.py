@@ -1,0 +1,189 @@
+"""Tests for transition monoids and representative functions (§2.4).
+
+The central correctness property is Theorem 2.1: two words are
+``≡_M``-congruent iff they induce the same transition function, so the
+monoid element of a word must agree with direct word simulation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfa.automaton import DFA
+from repro.dfa.gallery import adversarial_machine, one_bit_machine, privilege_machine
+from repro.dfa.monoid import (
+    MonoidSizeExceeded,
+    RepresentativeFunction,
+    TransitionMonoid,
+    monoid_size_lower_bound,
+)
+from repro.dfa.regex import regex_to_dfa
+
+
+class TestRepresentativeFunction:
+    def test_identity(self):
+        identity = RepresentativeFunction((0, 1, 2))
+        assert identity.is_identity()
+        assert identity(1) == 1
+
+    def test_composition_word_order(self):
+        # f then g means f's word first: (f.then(g))(s) = g(f(s)).
+        f = RepresentativeFunction((1, 0))
+        g = RepresentativeFunction((0, 0))
+        assert f.then(g).mapping == (0, 0)
+        assert g.then(f).mapping == (1, 1)
+
+    def test_immutable_and_hashable(self):
+        fn = RepresentativeFunction((0, 1))
+        with pytest.raises(AttributeError):
+            fn.mapping = (1, 0)
+        assert hash(fn) == hash(RepresentativeFunction((0, 1)))
+        assert fn == RepresentativeFunction((0, 1))
+        assert fn != RepresentativeFunction((1, 0))
+
+    def test_associativity(self):
+        f = RepresentativeFunction((1, 2, 0))
+        g = RepresentativeFunction((0, 0, 2))
+        h = RepresentativeFunction((2, 1, 1))
+        assert f.then(g).then(h) == f.then(g.then(h))
+
+
+class TestTransitionMonoid:
+    def test_one_bit_monoid_is_three(self):
+        # Section 3.3: F = {f_ε, f_g, f_k}.
+        monoid = TransitionMonoid(one_bit_machine())
+        assert monoid.size() == 3
+
+    def test_one_bit_composition_laws(self):
+        monoid = TransitionMonoid(one_bit_machine())
+        f_g = monoid.generator("g")
+        f_k = monoid.generator("k")
+        # Gens and kills are idempotent; the last writer wins.
+        assert f_g.then(f_g) == f_g
+        assert f_k.then(f_k) == f_k
+        assert f_g.then(f_k) == f_k
+        assert f_k.then(f_g) == f_g
+
+    def test_of_word_matches_direct_simulation(self):
+        machine = regex_to_dfa("a(b|c)*d")
+        monoid = TransitionMonoid(machine)
+        for word in [(), ("a",), ("a", "b"), ("a", "b", "c", "d"), ("d", "a")]:
+            fn = monoid.of_word(word)
+            for state in range(machine.n_states):
+                assert fn(state) == machine.run(word, state)
+
+    def test_memoized_then(self):
+        monoid = TransitionMonoid(one_bit_machine())
+        f_g = monoid.generator("g")
+        first = monoid.then(f_g, f_g)
+        second = monoid.then(f_g, f_g)
+        assert first is second  # memo returns the same object
+
+    def test_accepting_functions(self):
+        machine = privilege_machine()
+        monoid = TransitionMonoid(machine)
+        accepting = monoid.accepting_functions()
+        assert accepting  # execl after seteuid(0) errs
+        word = monoid.of_word(["seteuid_zero", "execl"])
+        assert word in accepting
+        assert not monoid.is_accepting(monoid.identity)
+
+    def test_liveness_pruning(self):
+        # In a(b)*: after 'd'... use a machine with a dead sink.
+        machine = regex_to_dfa("ab")
+        monoid = TransitionMonoid(machine)
+        assert monoid.is_live(monoid.of_word(["a", "b"]))
+        # 'ba' maps every reachable state to the dead sink.
+        assert not monoid.is_live(monoid.of_word(["b", "a"]))
+
+    def test_prefix_liveness(self):
+        machine = regex_to_dfa("ab")
+        monoid = TransitionMonoid(machine)
+        assert monoid.is_prefix_live(monoid.of_word(["a"]))
+        assert not monoid.is_prefix_live(monoid.of_word(["b"]))
+
+    def test_lazy_mode(self):
+        monoid = TransitionMonoid(one_bit_machine(), eager=False)
+        f_g = monoid.generator("g")
+        assert monoid.then(f_g, f_g) == f_g
+        assert monoid.size() == 3  # enumerates on demand
+
+    def test_max_size_guard(self):
+        with pytest.raises(MonoidSizeExceeded):
+            TransitionMonoid(adversarial_machine(5), max_size=100)
+
+    def test_size_lower_bound_probe(self):
+        machine = adversarial_machine(4)
+        assert monoid_size_lower_bound(machine, budget=10_000) == 256
+        assert monoid_size_lower_bound(machine, budget=50) == 50
+
+
+class TestCongruenceCoarsenings:
+    def test_forward_class_is_state(self):
+        machine = regex_to_dfa("a(b|c)*d")
+        monoid = TransitionMonoid(machine)
+        for word in [("a",), ("a", "b"), ("a", "b", "d")]:
+            assert monoid.forward_class(monoid.of_word(word)) == machine.run(word)
+
+    def test_forward_classes_bounded_by_states(self):
+        machine = adversarial_machine(4)
+        monoid = TransitionMonoid(machine)
+        # |F| = 256 but only |S| = 4 forward classes (Section 5.1).
+        assert monoid.size() == 256
+        assert len(monoid.forward_classes()) <= machine.n_states
+
+    def test_backward_class_is_accepting_preimage(self):
+        machine = regex_to_dfa("ab")
+        monoid = TransitionMonoid(machine)
+        cls = monoid.backward_class(monoid.of_word(["b"]))
+        # exactly the states from which "b" reaches acceptance
+        expected = frozenset(
+            s
+            for s in range(machine.n_states)
+            if machine.run(["b"], s) in machine.accepting
+        )
+        assert cls == expected
+
+    def test_backward_classes_smaller_than_monoid(self):
+        machine = adversarial_machine(4)
+        monoid = TransitionMonoid(machine)
+        assert len(monoid.backward_classes()) < monoid.size()
+
+
+# -- property tests: Theorem 2.1 via word simulation ---------------------------------
+
+
+@st.composite
+def machine_and_words(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    edges = [
+        (s, sym, draw(st.integers(min_value=0, max_value=n - 1)))
+        for s in range(n)
+        for sym in ("x", "y")
+    ]
+    accepting = draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+    machine = DFA.from_partial(n, {"x", "y"}, 0, accepting, edges)
+    word1 = tuple(draw(st.lists(st.sampled_from(["x", "y"]), max_size=6)))
+    word2 = tuple(draw(st.lists(st.sampled_from(["x", "y"]), max_size=6)))
+    return machine, word1, word2
+
+
+@given(machine_and_words())
+@settings(max_examples=120, deadline=None)
+def test_monoid_composition_matches_concatenation(case):
+    machine, word1, word2 = case
+    monoid = TransitionMonoid(machine)
+    composed = monoid.then(monoid.of_word(word1), monoid.of_word(word2))
+    assert composed == monoid.of_word(word1 + word2)
+
+
+@given(machine_and_words())
+@settings(max_examples=120, deadline=None)
+def test_same_function_implies_same_acceptance_in_context(case):
+    """The congruence direction of Theorem 2.1 used by the solver:
+    words with the same representative function are interchangeable."""
+    machine, word1, word2 = case
+    monoid = TransitionMonoid(machine)
+    if monoid.of_word(word1) == monoid.of_word(word2):
+        for prefix in [(), ("x",), ("y", "x")]:
+            assert machine.accepts(prefix + word1) == machine.accepts(prefix + word2)

@@ -1,0 +1,95 @@
+"""Tests for the regex front end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfa.regex import RegexSyntaxError, regex_to_dfa, regex_to_nfa
+
+
+class TestBasicOperators:
+    def test_literal(self):
+        dfa = regex_to_dfa("abc")
+        assert dfa.accepts("abc")
+        assert not dfa.accepts("ab")
+        assert not dfa.accepts("abcc")
+
+    def test_alternation(self):
+        dfa = regex_to_dfa("a|b|c")
+        for sym in "abc":
+            assert dfa.accepts(sym)
+        assert not dfa.accepts("ab")
+
+    def test_star(self):
+        dfa = regex_to_dfa("a*")
+        assert dfa.accepts("")
+        assert dfa.accepts("aaaa")
+
+    def test_plus(self):
+        dfa = regex_to_dfa("a+")
+        assert not dfa.accepts("")
+        assert dfa.accepts("a")
+        assert dfa.accepts("aaa")
+
+    def test_optional(self):
+        dfa = regex_to_dfa("ab?c")
+        assert dfa.accepts("abc")
+        assert dfa.accepts("ac")
+        assert not dfa.accepts("abbc")
+
+    def test_grouping(self):
+        dfa = regex_to_dfa("(ab)+")
+        assert dfa.accepts("ab")
+        assert dfa.accepts("abab")
+        assert not dfa.accepts("aba")
+
+    def test_empty_pattern(self):
+        dfa = regex_to_dfa("")
+        assert dfa.accepts("")
+        assert not dfa.accepts("a")
+
+    def test_empty_alternative(self):
+        dfa = regex_to_dfa("a|")
+        assert dfa.accepts("a")
+        assert dfa.accepts("")
+
+
+class TestNamedSymbols:
+    def test_angle_bracket_names(self):
+        dfa = regex_to_dfa("<seteuid_zero><execl>")
+        assert dfa.accepts(["seteuid_zero", "execl"])
+        assert not dfa.accepts(["execl", "seteuid_zero"])
+
+    def test_mixed_chars_and_names(self):
+        dfa = regex_to_dfa("a<foo>*b")
+        assert dfa.accepts(["a", "b"])
+        assert dfa.accepts(["a", "foo", "foo", "b"])
+
+    def test_escape(self):
+        dfa = regex_to_dfa(r"\*a")
+        assert dfa.accepts(["*", "a"])
+
+
+class TestExtraAlphabet:
+    def test_extra_symbols_rejected_but_present(self):
+        dfa = regex_to_dfa("a", alphabet={"a", "z"})
+        assert "z" in dfa.alphabet
+        assert not dfa.accepts("z")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "pattern", ["(a", "a)", "*a", "a|*", "<", "<>", "a\\"]
+    )
+    def test_syntax_errors(self, pattern):
+        with pytest.raises(RegexSyntaxError):
+            regex_to_dfa(pattern)
+
+
+@given(st.lists(st.sampled_from("ab"), max_size=6).map("".join))
+@settings(max_examples=80, deadline=None)
+def test_nfa_dfa_agree(word):
+    pattern = "a(a|b)*b|b*"
+    nfa = regex_to_nfa(pattern)
+    dfa = regex_to_dfa(pattern)
+    assert nfa.accepts(word) == dfa.accepts(word)

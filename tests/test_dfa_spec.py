@@ -1,0 +1,105 @@
+"""Tests for the Section 8 annotation specification language."""
+
+import pytest
+
+from repro.dfa.gallery import PRIVILEGE_SPEC
+from repro.dfa.spec import SpecSyntaxError, SymbolSpec, parse_spec
+
+
+class TestParsing:
+    def test_paper_example(self):
+        spec = parse_spec(PRIVILEGE_SPEC)
+        assert spec.states == ["Unpriv", "Priv", "Error"]
+        assert spec.start == "Unpriv"
+        assert spec.accepting == {"Error"}
+        assert spec.transitions[("Unpriv", "seteuid_zero")] == "Priv"
+        assert spec.transitions[("Priv", "execl")] == "Error"
+        assert not spec.parametric_symbols
+
+    def test_parametric_symbols(self):
+        spec = parse_spec(
+            """
+            start state Closed : | open(x) -> Opened;
+            state Opened : | close(x) -> Closed;
+            accept state Error;
+            """
+        )
+        assert spec.symbols["open"] == SymbolSpec("open", ("x",))
+        assert spec.parametric_symbols == {"open", "close"}
+
+    def test_multi_parameter_symbols(self):
+        spec = parse_spec(
+            """
+            start accept state S : | bind(x, y) -> S;
+            """
+        )
+        assert spec.symbols["bind"].params == ("x", "y")
+
+    def test_comments_ignored(self):
+        spec = parse_spec(
+            """
+            # a comment
+            start state A : | s -> B;  // trailing
+            accept state B;
+            """
+        )
+        assert spec.states == ["A", "B"]
+
+    def test_start_and_accept_combined(self):
+        spec = parse_spec("start accept state Only;")
+        assert spec.start == "Only"
+        assert spec.accepting == {"Only"}
+
+
+class TestCompilation:
+    def test_self_loop_default(self):
+        # Unspecified symbols self-loop: the property FSM monitors.
+        spec = parse_spec(
+            """
+            start state A : | go -> B;
+            accept state B : | back -> A;
+            """
+        )
+        dfa = spec.to_dfa()
+        assert dfa.accepts(["go"])
+        assert dfa.accepts(["back", "go"])  # 'back' self-loops in A
+        assert dfa.accepts(["go", "go"])  # 'go' self-loops in B
+        assert not dfa.accepts(["go", "back"])
+
+    def test_machine_is_complete(self):
+        dfa = parse_spec(PRIVILEGE_SPEC).to_dfa()
+        for state in range(dfa.n_states):
+            for symbol in dfa.alphabet:
+                assert (state, symbol) in dfa.delta
+
+    def test_privilege_language(self):
+        dfa = parse_spec(PRIVILEGE_SPEC).to_dfa()
+        assert dfa.accepts(["seteuid_zero", "execl"])
+        assert not dfa.accepts(["seteuid_zero", "seteuid_nonzero", "execl"])
+        assert not dfa.accepts(["execl"])
+        # error is a sink
+        assert dfa.accepts(["seteuid_zero", "execl", "seteuid_nonzero"])
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("state A;", "no start state"),
+            ("start state A; start state B;", "multiple start"),
+            ("start state A; state A;", "duplicate state"),
+            ("start state A : | s -> Nowhere;", "unknown state"),
+            ("start state A : | s -> A | s -> A;", "duplicate transition"),
+            ("start state A : | s(x) -> A | s -> A;", "inconsistent"),
+            ("start state A", "unexpected end"),
+            ("start state A : s -> B;", "expected"),
+        ],
+    )
+    def test_rejects(self, text, fragment):
+        with pytest.raises(SpecSyntaxError) as err:
+            parse_spec(text)
+        assert fragment.split()[0] in str(err.value)
+
+    def test_garbage_token(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("start state A $ ;")

@@ -1,0 +1,92 @@
+"""Tests for the prefix/suffix/substring constructions (§2.3, §5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfa.automaton import DFA
+from repro.dfa.regex import regex_to_dfa
+from repro.dfa.substrings import prefix_dfa, substring_dfa, suffix_dfa
+
+
+class TestConcrete:
+    def setup_method(self):
+        self.machine = regex_to_dfa("a(b|c)*d")
+
+    def test_prefixes(self):
+        pre = prefix_dfa(self.machine)
+        for word in ["", "a", "ab", "abc", "abcd"]:
+            assert pre.accepts(word), word
+        for word in ["b", "da", "abda"]:
+            assert not pre.accepts(word), word
+
+    def test_suffixes(self):
+        suf = suffix_dfa(self.machine)
+        for word in ["", "d", "cd", "bcd", "abcd"]:
+            assert suf.accepts(word), word
+        for word in ["a", "ab", "dc"]:
+            assert not suf.accepts(word), word
+
+    def test_substrings(self):
+        sub = substring_dfa(self.machine)
+        for word in ["", "a", "bc", "cb", "bcd", "abcd"]:
+            assert sub.accepts(word), word
+        for word in ["da", "ba", "dd"]:
+            assert not sub.accepts(word), word
+
+    def test_language_contained_in_substrings(self):
+        sub = substring_dfa(self.machine)
+        for word in self.machine.words(5):
+            assert sub.accepts(word)
+
+
+@st.composite
+def random_dfas(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    edges = [
+        (s, sym, draw(st.integers(min_value=0, max_value=n - 1)))
+        for s in range(n)
+        for sym in ("a", "b")
+    ]
+    accepting = draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+    return DFA.from_partial(n, {"a", "b"}, 0, accepting, edges)
+
+
+def _brute_force_substrings(machine, max_len):
+    words = set(machine.words(max_len))
+    subs = set()
+    for word in words:
+        for i in range(len(word) + 1):
+            for j in range(i, len(word) + 1):
+                subs.add(word[i:j])
+    return subs
+
+
+@given(random_dfas())
+@settings(max_examples=60, deadline=None)
+def test_substring_dfa_superset_of_bruteforce(machine):
+    """Every substring of a short accepted word is accepted by M^sub.
+
+    (The converse needs unboundedly long witnesses, so we check one
+    direction exhaustively on short words.)"""
+    sub = substring_dfa(machine)
+    for word in _brute_force_substrings(machine, 5):
+        assert sub.accepts(word)
+
+
+@given(random_dfas(), st.lists(st.sampled_from(["a", "b"]), max_size=5).map(tuple))
+@settings(max_examples=80, deadline=None)
+def test_prefix_dfa_semantics(machine, word):
+    """w is a prefix iff δ(w, s0) can still reach acceptance."""
+    expected = machine.run(word) in machine.coreachable_states()
+    assert prefix_dfa(machine).accepts(word) == expected
+
+
+@given(random_dfas(), st.lists(st.sampled_from(["a", "b"]), max_size=5).map(tuple))
+@settings(max_examples=80, deadline=None)
+def test_suffix_dfa_semantics(machine, word):
+    """w is a suffix iff some reachable state leads to acceptance on w."""
+    expected = any(
+        machine.run(word, s) in machine.accepting
+        for s in machine.reachable_states()
+    )
+    assert suffix_dfa(machine).accepts(word) == expected

@@ -1,0 +1,339 @@
+"""Tests for the Section 7 flow analysis, its dual, and PN queries."""
+
+import pytest
+
+from repro.flow import DualFlowAnalysis, FlowAnalysis
+from repro.flow.infer import FlowTypeError
+
+FIG11 = """
+pair(y : int) : b = (1@A, y@Y)@P;
+main() : int = (pair^i(2@B)).2@V;
+"""
+
+TWO_SITES = """
+id(y : int) : int = y@Y;
+main() : int = (id^i(1@A)@RA, id^j(2@B)@RB)@P;
+"""
+
+
+class TestFig11:
+    def setup_method(self):
+        self.analysis = FlowAnalysis(FIG11)
+
+    def test_b_flows_to_v(self):
+        # The paper's Section 7.4 conclusion: B ⊆ V.
+        assert self.analysis.flows("B", "V")
+
+    def test_a_does_not_flow_to_v(self):
+        # A is the first component; .2 projects the second.
+        assert not self.analysis.flows("A", "V")
+
+    def test_field_sensitivity_within_pair(self):
+        assert not self.analysis.flows("A", "Y")
+        assert not self.analysis.flows("Y", "A")
+
+    def test_machine_is_fig10_shaped(self):
+        # Single-level pair(int): 4 states (empty, in-1, in-2, dead).
+        assert self.analysis.machine_states == 4
+
+    def test_matched_excludes_unreturned_flow(self):
+        # B reaches the formal parameter only through an unreturned
+        # call — invisible to matched-only queries.
+        assert not self.analysis.flows("B", "Y")
+
+    def test_flow_pairs_matrix(self):
+        pairs = self.analysis.flow_pairs()
+        assert ("B", "V") in pairs
+        assert ("A", "V") not in pairs
+
+
+class TestPNQueries:
+    def test_pn_sees_into_pending_calls(self):
+        analysis = FlowAnalysis(FIG11, pn=True)
+        assert analysis.flows("B", "Y")
+        assert analysis.flows("B", "V")  # matched flows still present
+        assert not analysis.flows("A", "V")  # field sensitivity kept
+
+    def test_pn_lets_callee_values_escape(self):
+        source = """
+        make(y : int) : int = 1@Inner;
+        main() : int = make^c(0)@Out;
+        """
+        matched = FlowAnalysis(source)
+        pn = FlowAnalysis(source, pn=True)
+        # Inner is created inside make: escapes only under PN.
+        assert not matched.flows("Inner", "Out")
+        assert pn.flows("Inner", "Out")
+
+
+class TestContextSensitivity:
+    def test_two_sites_do_not_conflate(self):
+        analysis = FlowAnalysis(TWO_SITES)
+        assert analysis.flows("A", "RA")
+        assert analysis.flows("B", "RB")
+        assert not analysis.flows("A", "RB")
+        assert not analysis.flows("B", "RA")
+
+    def test_polymorphic_recursion_terminates(self):
+        source = """
+        rec(y : int) : int = rec^r(y@In)@Out;
+        main() : int = rec^c(5@S)@R;
+        """
+        analysis = FlowAnalysis(source, pn=True)
+        assert analysis.flows("S", "In")
+        # The recursion never returns a base value: nothing flows to R.
+        assert not analysis.flows("S", "R")
+
+    def test_recursion_with_base_case_returns(self):
+        source = """
+        f(y : int) : int = y@In;
+        g(y : int) : int = f^inner(y)@Mid;
+        main() : int = g^outer(3@S)@R;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("S", "R")
+
+
+class TestNonStructuralSubtyping:
+    def test_type_var_bound_to_pair(self):
+        # The declared return type is a bare variable; projection at the
+        # call site still works because b is bound to the body's pair.
+        analysis = FlowAnalysis(FIG11)
+        assert analysis.flows("B", "V")
+
+    def test_nested_pairs(self):
+        source = """
+        wrap(y : int) : (int * int) * int = ((1@A, y@Y)@Inner, 2@C)@Outer;
+        main() : int = ((wrap^w(7@B)).1).2@V;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("B", "V")
+        assert not analysis.flows("A", "V")
+        assert not analysis.flows("C", "V")
+
+    def test_depth_two_machine(self):
+        source = """
+        main() : int = ((1@A, 2@B)@P, 3@C)@Q.1.2@V;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("B", "V")
+        assert not analysis.flows("A", "V")
+        assert not analysis.flows("C", "V")
+
+
+class TestTypeErrors:
+    def test_project_non_pair(self):
+        with pytest.raises(FlowTypeError):
+            FlowAnalysis("main() : int = (1).1;")
+
+    def test_unbound_variable(self):
+        with pytest.raises(FlowTypeError):
+            FlowAnalysis("main() : int = zzz;")
+
+    def test_call_undefined(self):
+        with pytest.raises(FlowTypeError):
+            FlowAnalysis("main() : int = ghost^i(1);")
+
+    def test_site_reuse_rejected(self):
+        with pytest.raises(FlowTypeError):
+            FlowAnalysis(
+                """
+                f(y : int) : int = y;
+                g(y : int) : int = y;
+                main() : int = (f^i(1), g^i(2)).1;
+                """
+            )
+
+    def test_argument_to_paramless_function(self):
+        with pytest.raises(FlowTypeError):
+            FlowAnalysis(
+                """
+                k() : int = 1;
+                main() : int = k^i(2);
+                """
+            )
+
+    def test_unknown_label_query(self):
+        analysis = FlowAnalysis(FIG11)
+        with pytest.raises(KeyError):
+            analysis.flows("Nope", "V")
+        with pytest.raises(KeyError):
+            analysis.flows("B", "Nope")
+
+
+class TestDualAnalysis:
+    def test_fig11_agrees_with_primal(self):
+        dual = DualFlowAnalysis(FIG11)
+        assert dual.flows("B", "V")
+        assert not dual.flows("A", "V")
+
+    def test_context_sensitivity(self):
+        dual = DualFlowAnalysis(TWO_SITES)
+        assert dual.flows("A", "RA")
+        assert dual.flows("B", "RB")
+        assert not dual.flows("A", "RB")
+        assert not dual.flows("B", "RA")
+
+    def test_recursive_sites_treated_monomorphically(self):
+        source = """
+        f(y : int) : int = f^r(y@In)@Out;
+        main() : int = f^c(5@S)@R;
+        """
+        # Matched-only: S sits in a pending call frame, invisible.
+        assert not DualFlowAnalysis(source).flows("S", "In")
+        # Recursive site r gets the empty annotation; the analysis
+        # terminates, and the PN (prefix) query sees S inside the call.
+        assert DualFlowAnalysis(source, pn=True).flows("S", "In")
+
+    def test_primal_dual_agree_on_matched_pairs(self):
+        for source in (FIG11, TWO_SITES):
+            primal = FlowAnalysis(source).flow_pairs()
+            dual = DualFlowAnalysis(source).flow_pairs()
+            assert primal == dual, source
+
+
+class TestMachineScaling:
+    def test_machine_grows_with_type_depth(self):
+        shallow = FlowAnalysis("main() : int = (1@A, 2@B)@P.1@V;")
+        deep = FlowAnalysis(
+            "main() : int = (((1@A, 2)@P, 3)@Q, 4)@R.1.1.2@V;"
+        )
+        assert deep.machine_states > shallow.machine_states
+
+
+class TestConditionals:
+    """The language extension the paper mentions omitting (§7.1)."""
+
+    def test_recursion_with_base_case(self):
+        source = """
+        count(y : int) : int = if y then count^r(y@Again) else y@Base;
+        main() : int = count^c(5@S)@R;
+        """
+        analysis = FlowAnalysis(source)
+        # The base case returns y, so S reaches R through the recursion.
+        assert analysis.flows("S", "R")
+        assert FlowAnalysis(source, pn=True).flows("S", "Base")
+        assert DualFlowAnalysis(source).flows("S", "R")
+
+    def test_branches_join(self):
+        source = """
+        main() : int = (if 1 then 2@A else 3@B)@J;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("A", "J")
+        assert analysis.flows("B", "J")
+        assert not analysis.flows("A", "B")
+
+    def test_condition_value_does_not_flow(self):
+        source = """
+        main() : int = (if 1@C then 2@A else 3)@J;
+        """
+        analysis = FlowAnalysis(source)
+        assert not analysis.flows("C", "J")
+
+    def test_pair_branches_stay_field_sensitive(self):
+        source = """
+        pick(y : int) : int * int = if y then (y@A1, 0)@P1 else (0, y@A2)@P2;
+        main() : int = (pick^c(7@S)).1@First;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("S", "First")
+        assert not analysis.flows("A2", "First")
+
+    def test_mismatched_branch_shapes_rejected(self):
+        import pytest as _pytest
+
+        from repro.flow.infer import FlowTypeError
+
+        with _pytest.raises(FlowTypeError):
+            FlowAnalysis("main() : int = if 1 then 2 else (3, 4);")
+
+    def test_reserved_words(self):
+        import pytest as _pytest
+
+        from repro.flow.lang import FlowSyntaxError, parse_flow_program
+
+        with _pytest.raises(FlowSyntaxError):
+            parse_flow_program("main() : int = then;")
+
+
+class TestLetBindings:
+    def test_sharing_through_let(self):
+        source = """
+        main() : int = let x = (1@A, 2@B) in (x.1@First, x.2@Second).2@V;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("A", "First")
+        assert analysis.flows("B", "Second")
+        assert analysis.flows("B", "V")
+        assert not analysis.flows("A", "V")
+        dual = DualFlowAnalysis(source)
+        assert dual.flows("B", "V") and not dual.flows("A", "V")
+
+    def test_shadowing(self):
+        source = """
+        f(y : int) : int = let y = 1@Inner in y@Out;
+        main() : int = f^c(2@Arg)@R;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("Inner", "Out")
+        assert not analysis.flows("Arg", "Out")
+
+    def test_let_in_dual_agrees(self):
+        source = """
+        main() : int = let p = (1@A, 2) in p.1@V;
+        """
+        assert FlowAnalysis(source).flow_pairs() == DualFlowAnalysis(
+            source
+        ).flow_pairs()
+
+    def test_reserved_words(self):
+        import pytest as _pytest
+
+        from repro.flow.lang import FlowSyntaxError, parse_flow_program
+
+        with _pytest.raises(FlowSyntaxError):
+            parse_flow_program("main() : int = in;")
+        with _pytest.raises(FlowSyntaxError):
+            parse_flow_program("main() : int = let in = 1 in 2;")
+
+    def test_nested_lets(self):
+        source = """
+        main() : int = let a = 1@A in let b = (a, 2) in b.1@V;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("A", "V")
+
+
+class TestPairTypedParameters:
+    def test_function_taking_a_pair(self):
+        source = """
+        second(p : int * int) : int = p.2@Got;
+        main() : int = second^c((1@A, 2@B))@R;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("B", "R")
+        assert not analysis.flows("A", "R")
+        dual = DualFlowAnalysis(source)
+        assert dual.flows("B", "R") and not dual.flows("A", "R")
+
+    def test_pair_returned_through_two_calls(self):
+        source = """
+        make(y : int) : int * int = (y@In, 0)@P;
+        pass_on(q : int * int) : int * int = q;
+        main() : int = (pass_on^b(make^a(5@S))).1@V;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("S", "V")
+
+    def test_swap_function(self):
+        source = """
+        swap(p : int * int) : int * int = (p.2, p.1);
+        main() : int = (swap^c((1@A, 2@B))).1@First;
+        """
+        analysis = FlowAnalysis(source)
+        assert analysis.flows("B", "First")  # swapped
+        assert not analysis.flows("A", "First")
+        assert FlowAnalysis(source).flow_pairs() == DualFlowAnalysis(
+            source
+        ).flow_pairs()

@@ -1,0 +1,127 @@
+"""Tests for the Section 7 source-language parser."""
+
+import pytest
+
+from repro.flow import lang
+from repro.flow.lang import (
+    Def,
+    FlowSyntaxError,
+    Inst,
+    Labeled,
+    Lit,
+    Pair,
+    Proj,
+    TFun,
+    TInt,
+    TPair,
+    TVar,
+    Var,
+    parse_flow_program,
+)
+
+
+class TestTypes:
+    def parse_type(self, text):
+        program = parse_flow_program(f"f(x : {text}) : int = 0;")
+        return program.function("f").param_type
+
+    def test_int(self):
+        assert self.parse_type("int") == TInt()
+
+    def test_type_var(self):
+        assert self.parse_type("alpha") == TVar("alpha")
+
+    def test_pair(self):
+        assert self.parse_type("int * int") == TPair(TInt(), TInt())
+
+    def test_pair_left_assoc(self):
+        assert self.parse_type("int * int * int") == TPair(
+            TPair(TInt(), TInt()), TInt()
+        )
+
+    def test_parenthesized(self):
+        assert self.parse_type("int * (int * int)") == TPair(
+            TInt(), TPair(TInt(), TInt())
+        )
+
+    def test_function_type(self):
+        assert self.parse_type("int -> int") == TFun(TInt(), TInt())
+
+
+class TestExpressions:
+    def body(self, text):
+        return parse_flow_program(f"main() : int = {text};").function("main").body
+
+    def test_literal(self):
+        assert self.body("42") == Lit(42)
+
+    def test_variable(self):
+        assert self.body("x") == Var("x")
+
+    def test_pair_and_projection(self):
+        expr = self.body("(1, 2).1")
+        assert expr == Proj(Pair(Lit(1), Lit(2)), 1)
+
+    def test_label_annotation(self):
+        expr = self.body("1@A")
+        assert expr == Labeled(Lit(1), "A")
+
+    def test_instantiation(self):
+        expr = self.body("f^i(2)")
+        assert expr == Inst("f", "i", Lit(2))
+
+    def test_nested(self):
+        expr = self.body("(f^i(2@B)).2@V")
+        assert expr == Labeled(Proj(Inst("f", "i", Labeled(Lit(2), "B")), 2), "V")
+
+    def test_projection_index_must_be_12(self):
+        with pytest.raises(FlowSyntaxError):
+            self.body("(1, 2).3")
+
+    def test_parenthesized_expr(self):
+        assert self.body("((1))") == Lit(1)
+
+
+class TestPrograms:
+    def test_fig11(self):
+        program = parse_flow_program(
+            """
+            pair(y : int) : b = (1@A, y@Y)@P;
+            main() : int = (pair^i(2@B)).2@V;
+            """
+        )
+        assert [d.name for d in program.defs] == ["pair", "main"]
+        pair = program.function("pair")
+        assert pair.param == "y"
+        assert pair.return_type == TVar("b")
+
+    def test_paramless_def(self):
+        program = parse_flow_program("main() : int = 1;")
+        assert program.function("main").param is None
+
+    def test_comments(self):
+        program = parse_flow_program("# header\nmain() : int = 1; // tail")
+        assert program.function("main").body == Lit(1)
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(FlowSyntaxError):
+            parse_flow_program("f() : int = 1; f() : int = 2;")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "main() : int = ;",
+            "main() : int = 1",
+            "main() int = 1;",
+            "main() : int = f^(1);",
+            "main() : int = (1, 2, 3);",
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(FlowSyntaxError):
+            parse_flow_program(text)
+
+    def test_unknown_function_lookup(self):
+        program = parse_flow_program("main() : int = 1;")
+        with pytest.raises(KeyError):
+            program.function("ghost")

@@ -1,0 +1,87 @@
+"""Robustness fuzzing: parsers must parse or raise their own errors.
+
+Random token soups and mutated valid programs must never crash with an
+unexpected exception type — a front end that dies with IndexError on
+malformed input is not production quality.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.lexer import LexError
+from repro.cfg.parser import ParseError, parse_program
+from repro.dfa.regex import RegexSyntaxError, regex_to_dfa
+from repro.dfa.spec import SpecSyntaxError, parse_spec
+from repro.flow.lang import FlowSyntaxError, parse_flow_program
+
+C_TOKENS = [
+    "int", "void", "if", "else", "while", "return", "break", "switch",
+    "case", "default", "{", "}", "(", ")", ";", ",", "=", "+", "*", "&",
+    "x", "y", "f", "main", "0", "1", '"s"',
+]
+
+FLOW_TOKENS = [
+    "main", "f", "(", ")", ":", ";", "=", "int", "*", "->", ",", ".",
+    "1", "2", "@", "^", "if", "then", "else", "let", "in", "x", "A",
+]
+
+SPEC_TOKENS = [
+    "start", "accept", "state", "A", "B", ":", ";", "|", "->", "sym",
+    "(", ")", "x", ",",
+]
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(2, 40))
+@settings(max_examples=200, deadline=None)
+def test_c_parser_never_crashes(seed, length):
+    rng = random.Random(seed)
+    source = " ".join(rng.choice(C_TOKENS) for _ in range(length))
+    try:
+        parse_program(source)
+    except (ParseError, LexError):
+        pass  # rejecting is fine; crashing is not
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(2, 30))
+@settings(max_examples=200, deadline=None)
+def test_flow_parser_never_crashes(seed, length):
+    rng = random.Random(seed)
+    source = " ".join(rng.choice(FLOW_TOKENS) for _ in range(length))
+    try:
+        parse_flow_program(source)
+    except FlowSyntaxError:
+        pass
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(2, 25))
+@settings(max_examples=200, deadline=None)
+def test_spec_parser_never_crashes(seed, length):
+    rng = random.Random(seed)
+    source = " ".join(rng.choice(SPEC_TOKENS) for _ in range(length))
+    try:
+        parse_spec(source)
+    except SpecSyntaxError:
+        pass
+
+
+@given(st.text(alphabet="ab()|*+?<>\\", max_size=15))
+@settings(max_examples=200, deadline=None)
+def test_regex_parser_never_crashes(pattern):
+    try:
+        regex_to_dfa(pattern)
+    except RegexSyntaxError:
+        pass
+
+
+@given(st.text(max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_c_lexer_rejects_or_tokenizes_arbitrary_text(text):
+    from repro.cfg.lexer import tokenize
+
+    try:
+        list(tokenize(text))
+    except LexError:
+        pass

@@ -1,0 +1,221 @@
+"""Tests for the annotated-constraint model checker (Section 6)."""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.modelcheck import (
+    AnnotatedChecker,
+    file_state_property,
+    full_privilege_property,
+    simple_privilege_property,
+)
+
+SEC63_PROGRAM = """
+int main() {
+  seteuid(0);
+  if (c) {
+    seteuid(getuid());
+  } else {
+    other();
+  }
+  execl("/bin/sh", "sh", 0);
+  return 0;
+}
+"""
+
+
+class TestSection63Example:
+    def setup_method(self):
+        self.cfg = build_cfg(SEC63_PROGRAM)
+        self.checker = AnnotatedChecker(self.cfg, simple_privilege_property())
+        self.result = self.checker.check(traces=True)
+
+    def test_violation_found(self):
+        assert self.result.has_violation
+
+    def test_violation_after_execl(self):
+        # pc^{f_error} first appears after the execl statement (line 9).
+        assert 9 in {
+            node.line
+            for violation in self.result.violations
+            for node in [violation.node]
+        } or any(v.node.line >= 9 for v in self.result.violations)
+
+    def test_witness_passes_through_else_branch(self):
+        violation = min(self.result.violations, key=lambda v: v.node.id)
+        lines = [node.line for node in violation.trace]
+        assert 7 in lines  # other() on the un-dropped path
+        assert 9 in lines  # the execl
+        assert 5 not in lines  # not the dropped path
+
+    def test_fix_removes_violation(self):
+        fixed = SEC63_PROGRAM.replace("other();", "seteuid(getuid());")
+        checker = AnnotatedChecker(build_cfg(fixed), simple_privilege_property())
+        assert not checker.check().has_violation
+        assert not checker.has_violation()
+
+
+class TestInterprocedural:
+    def test_violation_inside_callee(self):
+        source = """
+        void danger() { execl("/bin/sh", 0); }
+        int main() { seteuid(0); danger(); return 0; }
+        """
+        checker = AnnotatedChecker(build_cfg(source), simple_privilege_property())
+        assert checker.check().has_violation
+
+    def test_drop_in_callee_respected(self):
+        source = """
+        void drop() { seteuid(getuid()); }
+        int main() { seteuid(0); drop(); execl("/bin/x", 0); return 0; }
+        """
+        checker = AnnotatedChecker(build_cfg(source), simple_privilege_property())
+        assert not checker.check().has_violation
+
+    def test_context_sensitivity(self):
+        # helper() execs — fine when called unprivileged, bad when
+        # called privileged.  A context-insensitive analysis would
+        # flag both call sites or neither.
+        source = """
+        void helper() { execl("/bin/x", 0); }
+        int main() {
+          helper();
+          seteuid(0);
+          helper();
+          return 0;
+        }
+        """
+        checker = AnnotatedChecker(build_cfg(source), simple_privilege_property())
+        result = checker.check()
+        assert result.has_violation
+
+    def test_unprivileged_context_clean(self):
+        source = """
+        void helper() { execl("/bin/x", 0); }
+        int main() { helper(); return 0; }
+        """
+        checker = AnnotatedChecker(build_cfg(source), simple_privilege_property())
+        assert not checker.check().has_violation
+
+    def test_recursive_function(self):
+        source = """
+        void loop(int n) { if (n) { loop(n - 1); } else { execl("/x", 0); } }
+        int main() { seteuid(0); loop(3); return 0; }
+        """
+        checker = AnnotatedChecker(build_cfg(source), simple_privilege_property())
+        assert checker.check().has_violation
+
+    def test_error_unreachable_through_dead_function(self):
+        # danger() is never called: no violation.
+        source = """
+        void danger() { execl("/x", 0); }
+        int main() { seteuid(0); seteuid(getuid()); return 0; }
+        """
+        checker = AnnotatedChecker(build_cfg(source), simple_privilege_property())
+        assert not checker.check().has_violation
+
+
+class TestFullPrivilegeProperty:
+    def test_saved_uid_reacquisition(self):
+        # seteuid(getuid()) does not reset the saved uid: a shell
+        # spawned via system() could restore root (a real MOPS finding).
+        source = """
+        int main() { seteuid(1); system("ls"); return 0; }
+        """
+        checker = AnnotatedChecker(build_cfg(source), full_privilege_property())
+        assert checker.check().has_violation
+
+    def test_full_drop_is_clean(self):
+        source = """
+        int main() { setuid(1); system("ls"); return 0; }
+        """
+        checker = AnnotatedChecker(build_cfg(source), full_privilege_property())
+        assert not checker.check().has_violation
+
+
+class TestParametricFileProperty:
+    def test_fig6_descriptor_states(self):
+        source = """
+        int main() {
+          int fd1 = open("file1", 0);
+          int fd2 = open("file2", 0);
+          close(fd1);
+          return 0;
+        }
+        """
+        cfg = build_cfg(source)
+        prop = file_state_property()
+        checker = AnnotatedChecker(cfg, prop)
+        assert not checker.check().has_violation
+        states = checker.states_at(cfg.main.exit)
+        machine = prop.machine
+        closed, opened = machine.start, machine.run(["open"])
+        assert states[frozenset({("x", "fd1")})] == {closed}
+        assert states[frozenset({("x", "fd2")})] == {opened}
+
+    def test_double_close_flagged_per_descriptor(self):
+        source = """
+        int main() {
+          int fd1 = open("a", 0);
+          int fd2 = open("b", 0);
+          close(fd1);
+          close(fd1);
+          return 0;
+        }
+        """
+        checker = AnnotatedChecker(build_cfg(source), file_state_property())
+        result = checker.check()
+        assert result.has_violation
+        instantiations = {
+            violation.instantiation
+            for violation in result.violations
+            if violation.instantiation is not None
+        }
+        assert (("x", "fd1"),) in instantiations
+        assert (("x", "fd2"),) not in instantiations
+
+    def test_branch_sensitive_state_tracking(self):
+        source = """
+        int main() {
+          int fd = open("a", 0);
+          if (x) { close(fd); }
+          return 0;
+        }
+        """
+        cfg = build_cfg(source)
+        prop = file_state_property()
+        checker = AnnotatedChecker(cfg, prop)
+        states = checker.states_at(cfg.main.exit)
+        machine = prop.machine
+        # both closed and opened are possible at exit
+        assert states[frozenset({("x", "fd")})] == {
+            machine.start,
+            machine.run(["open"]),
+        }
+
+
+class TestResultPlumbing:
+    def test_counts_populated(self):
+        checker = AnnotatedChecker(build_cfg(SEC63_PROGRAM), simple_privilege_property())
+        result = checker.check()
+        assert result.constraints > 0
+        assert result.facts > 0
+
+    def test_describe(self):
+        checker = AnnotatedChecker(build_cfg(SEC63_PROGRAM), simple_privilege_property())
+        result = checker.check()
+        text = result.violations[0].describe()
+        assert "violation at" in text
+
+    def test_non_parametric_mapper_with_labels_rejected(self):
+        from repro.cfg.graph import CFGNode
+        from repro.dfa.gallery import privilege_machine
+        from repro.modelcheck.properties import Property
+
+        bad = Property(
+            name="bad",
+            machine=privilege_machine(),
+            event_of=lambda node: ("execl", ("oops",)) if node.call else None,
+        )
+        with pytest.raises(ValueError):
+            AnnotatedChecker(build_cfg("int main() { f(1); }"), bad)

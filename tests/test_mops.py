@@ -1,0 +1,141 @@
+"""Tests for the MOPS-style PDA baseline: PDS construction and post*."""
+
+from repro.cfg import build_cfg
+from repro.modelcheck import file_state_property, simple_privilege_property
+from repro.mops import MopsChecker, PushdownSystem, post_star
+from repro.mops.poststar import EPS
+
+
+class TestPostStarAlgorithm:
+    def test_step_chain(self):
+        pds = PushdownSystem()
+        pds.initial = ("p", 0)
+        pds.add_step("p", 0, "p", 1)
+        pds.add_step("p", 1, "q", 2)
+        automaton = post_star(pds)
+        assert automaton.accepts("p", [0])
+        assert automaton.accepts("p", [1])
+        assert automaton.accepts("q", [2])
+        assert not automaton.accepts("q", [0])
+
+    def test_push_and_pop_match(self):
+        # <p, 0> -> <p, 9 1>  (call: push), <p, 9> -> <p, ε> (return)
+        pds = PushdownSystem()
+        pds.initial = ("p", 0)
+        pds.add_push("p", 0, "p", 9, 1)
+        pds.add_pop("p", 9, "p")
+        automaton = post_star(pds)
+        assert automaton.accepts("p", [9, 1])  # inside the call
+        assert automaton.accepts("p", [1])  # after the return
+
+    def test_pop_changes_control_state(self):
+        pds = PushdownSystem()
+        pds.initial = ("p", 0)
+        pds.add_push("p", 0, "p", 5, 1)
+        pds.add_step("p", 5, "q", 6)
+        pds.add_pop("q", 6, "q")
+        automaton = post_star(pds)
+        assert automaton.accepts("q", [1])
+        assert not automaton.accepts("p", [6])
+
+    def test_recursive_push(self):
+        # <p,0> -> <p, 0 1>: unbounded stacks, still a regular set.
+        pds = PushdownSystem()
+        pds.initial = ("p", 0)
+        pds.add_push("p", 0, "p", 0, 1)
+        automaton = post_star(pds)
+        assert automaton.accepts("p", [0])
+        assert automaton.accepts("p", [0, 1])
+        assert automaton.accepts("p", [0, 1, 1, 1])
+        assert not automaton.accepts("p", [1, 0])
+
+    def test_epsilon_combination_ordering(self):
+        # A pop discovered before the transition it must combine with.
+        pds = PushdownSystem()
+        pds.initial = ("p", 0)
+        pds.add_push("p", 0, "p", 2, 1)
+        pds.add_pop("p", 2, "r")
+        pds.add_step("r", 1, "s", 3)
+        automaton = post_star(pds)
+        assert automaton.accepts("s", [3])
+
+    def test_tops_for(self):
+        pds = PushdownSystem()
+        pds.initial = ("p", 0)
+        pds.add_step("p", 0, "err", 1)
+        automaton = post_star(pds)
+        assert automaton.tops_for("err") == {1}
+        assert not automaton.tops_for("nope")
+
+
+class TestMopsChecker:
+    def test_sec63_violation(self):
+        source = """
+        int main() {
+          seteuid(0);
+          if (c) { seteuid(getuid()); } else { other(); }
+          execl("/bin/sh", 0);
+          return 0;
+        }
+        """
+        checker = MopsChecker(build_cfg(source), simple_privilege_property())
+        result = checker.check()
+        assert result.has_violation
+        assert checker.has_violation()
+        assert result.error_nodes  # localized to CFG nodes
+
+    def test_clean_program(self):
+        source = """
+        int main() { seteuid(0); seteuid(getuid()); execl("/x", 0); }
+        """
+        checker = MopsChecker(build_cfg(source), simple_privilege_property())
+        assert not checker.check().has_violation
+
+    def test_context_sensitive_matching(self):
+        # Unprivileged call to helper must not pollute the privileged one.
+        source = """
+        void helper() { execl("/x", 0); }
+        int main() { helper(); return 0; }
+        """
+        checker = MopsChecker(build_cfg(source), simple_privilege_property())
+        assert not checker.check().has_violation
+
+    def test_violation_with_pending_call_frames(self):
+        source = """
+        void inner() { execl("/x", 0); }
+        void outer() { inner(); }
+        int main() { seteuid(0); outer(); return 0; }
+        """
+        checker = MopsChecker(build_cfg(source), simple_privilege_property())
+        assert checker.check().has_violation
+
+    def test_parametric_product(self):
+        source = """
+        int main() {
+          int a = open("x", 0);
+          close(a);
+          close(a);
+          return 0;
+        }
+        """
+        checker = MopsChecker(build_cfg(source), file_state_property())
+        assert checker.check().has_violation
+
+    def test_parametric_clean(self):
+        source = """
+        int main() {
+          int a = open("x", 0);
+          int b = open("y", 0);
+          close(a);
+          close(b);
+          return 0;
+        }
+        """
+        checker = MopsChecker(build_cfg(source), file_state_property())
+        assert not checker.check().has_violation
+
+    def test_counts(self):
+        source = "int main() { seteuid(0); execl(\"/x\", 0); }"
+        result = MopsChecker(build_cfg(source), simple_privilege_property()).check()
+        assert result.control_states >= 2
+        assert result.transitions > 0

@@ -1,0 +1,271 @@
+"""Tests for solver/checker optimizations and the extra property.
+
+Covers ε-cycle elimination (§8's cycle-elimination optimization),
+liveness pruning ablation, runtime-stack witness extraction (§6.2),
+and the chroot-jail property.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import build_cfg
+from repro.core.annotations import MonoidAlgebra
+from repro.core.queries import Reachability
+from repro.core.solver import Solver
+from repro.core.terms import Constructor, Variable, constant
+from repro.dfa.regex import regex_to_dfa
+from repro.modelcheck import (
+    AnnotatedChecker,
+    chroot_property,
+    simple_privilege_property,
+)
+from repro.mops import MopsChecker
+from tests.test_cross_validation import random_program
+
+LOOPY_PROGRAM = """
+int main() {
+  seteuid(0);
+  while (running) {
+    poll();
+    if (c) { seteuid(getuid()); }
+    audit();
+  }
+  execl("/bin/sh", 0);
+  return 0;
+}
+"""
+
+
+class TestCycleElimination:
+    def test_reduces_facts_preserves_verdict(self):
+        cfg = build_cfg(LOOPY_PROGRAM)
+        prop = simple_privilege_property()
+        plain = AnnotatedChecker(cfg, prop)
+        collapsed = AnnotatedChecker(cfg, prop, collapse_cycles=True)
+        assert collapsed.solver.fact_count() < plain.solver.fact_count()
+        assert plain.check().has_violation == collapsed.check().has_violation
+
+    def test_merged_nodes_share_variables(self):
+        cfg = build_cfg("int main() { while (x) { work(); } done(); }")
+        prop = simple_privilege_property()
+        checker = AnnotatedChecker(cfg, prop, collapse_cycles=True)
+        assert checker._rep  # some loop nodes merged
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_collapse_is_verdict_preserving(self, seed):
+        cfg = build_cfg(random_program(seed))
+        prop = simple_privilege_property()
+        plain = AnnotatedChecker(cfg, prop).check().has_violation
+        collapsed = AnnotatedChecker(
+            cfg, prop, collapse_cycles=True
+        ).check().has_violation
+        assert plain == collapsed, seed
+
+
+class TestPruningAblation:
+    def test_pruning_reduces_facts_same_answers(self):
+        machine = regex_to_dfa("ab")
+        algebra = MonoidAlgebra(machine)
+        pruned = Solver(algebra)
+        unpruned = Solver(algebra, prune_dead=False)
+        c = constant("c")
+        for solver in (pruned, unpruned):
+            chain = [Variable(f"v{i}") for i in range(4)]
+            solver.add(c, chain[0])
+            solver.add(chain[0], chain[1], algebra.word("b"))  # dead prefix
+            solver.add(chain[1], chain[2], algebra.word("a"))
+            solver.add(chain[0], chain[3], algebra.word("a"))  # live
+        assert pruned.fact_count() < unpruned.fact_count()
+        # accepting facts agree
+        live = algebra.word("ab")
+        assert pruned.has_lower(Variable("v3"), c, algebra.word("a"))
+        assert unpruned.has_lower(Variable("v3"), c, algebra.word("a"))
+
+
+class TestStackWitness:
+    def test_runtime_stack_extracted(self):
+        source = """
+        void inner() { execl("/x", 0); }
+        void outer() { inner(); }
+        int main() { seteuid(0); outer(); return 0; }
+        """
+        cfg = build_cfg(source)
+        prop = simple_privilege_property()
+        checker = AnnotatedChecker(cfg, prop)
+        result = checker.check()
+        assert result.has_violation
+        reach = checker.reachability()
+        # Find a violating node inside inner(): its stack has two frames.
+        inner_nodes = [
+            node for node in cfg.all_nodes() if node.function == "inner"
+        ]
+        stacks = []
+        for node in inner_nodes:
+            var = checker.node_var(node)
+            for ann in reach.annotations_of(var, checker.pc):
+                if checker.algebra.is_accepting(ann):
+                    stacks.append(reach.stack_of(var, checker.pc, ann))
+        assert stacks
+        deepest = max(stacks, key=len)
+        assert len(deepest) == 2  # o_site(inner) within o_site(outer)
+        assert all(name.startswith("o") for name in deepest)
+
+    def test_stack_empty_at_main(self):
+        cfg = build_cfg("int main() { seteuid(0); execl(\"/x\", 0); }")
+        prop = simple_privilege_property()
+        checker = AnnotatedChecker(cfg, prop)
+        checker.check()
+        reach = checker.reachability()
+        var = checker.node_var(cfg.main.exit)
+        anns = reach.annotations_of(var, checker.pc)
+        assert anns
+        for ann in anns:
+            assert reach.stack_of(var, checker.pc, ann) == []
+
+
+class TestChrootProperty:
+    def test_jail_escape_detected(self):
+        source = """
+        int main() {
+          chroot("/jail");
+          open("etc/passwd", 0);
+          return 0;
+        }
+        """
+        cfg = build_cfg(source)
+        assert AnnotatedChecker(cfg, chroot_property()).check().has_violation
+        assert MopsChecker(cfg, chroot_property()).check().has_violation
+
+    def test_chdir_makes_safe(self):
+        source = """
+        int main() {
+          chroot("/jail");
+          chdir("/");
+          open("etc/passwd", 0);
+          return 0;
+        }
+        """
+        cfg = build_cfg(source)
+        assert not AnnotatedChecker(cfg, chroot_property()).check().has_violation
+
+    def test_chdir_elsewhere_insufficient(self):
+        source = """
+        int main() {
+          chroot("/jail");
+          chdir("subdir");
+          open("x", 0);
+          return 0;
+        }
+        """
+        cfg = build_cfg(source)
+        assert AnnotatedChecker(cfg, chroot_property()).check().has_violation
+
+    def test_rechroot_reenters_jail(self):
+        source = """
+        int main() {
+          chroot("/a");
+          chdir("/");
+          chroot("/b");
+          execl("/bin/sh", 0);
+          return 0;
+        }
+        """
+        cfg = build_cfg(source)
+        assert AnnotatedChecker(cfg, chroot_property()).check().has_violation
+
+    def test_open_before_chroot_fine(self):
+        cfg = build_cfg('int main() { open("/etc/passwd", 0); return 0; }')
+        assert not AnnotatedChecker(cfg, chroot_property()).check().has_violation
+
+
+class TestHeapStateProperty:
+    """Use-after-free / double-free via parametric annotations."""
+
+    def _check(self, source):
+        from repro.modelcheck import heap_state_property
+
+        cfg = build_cfg(source)
+        return AnnotatedChecker(cfg, heap_state_property()).check()
+
+    def test_use_after_free(self):
+        result = self._check(
+            """
+            int main() {
+              int p = malloc(10);
+              free(p);
+              memcpy(p, 0, 10);
+              return 0;
+            }
+            """
+        )
+        assert result.has_violation
+        assert (("p", "p"),) in {v.instantiation for v in result.violations}
+
+    def test_double_free(self):
+        result = self._check(
+            "int main() { int p = malloc(4); free(p); free(p); return 0; }"
+        )
+        assert result.has_violation
+
+    def test_per_pointer_instances(self):
+        result = self._check(
+            """
+            int main() {
+              int p = malloc(4);
+              int q = malloc(4);
+              free(p);
+              memcpy(q, 0, 4);
+              free(q);
+              return 0;
+            }
+            """
+        )
+        assert not result.has_violation
+
+    def test_free_unallocated(self):
+        result = self._check("int main() { free(p); return 0; }")
+        assert result.has_violation
+
+    def test_realloc_pattern(self):
+        # alloc after free makes the pointer live again
+        result = self._check(
+            """
+            int main() {
+              int p = malloc(4);
+              free(p);
+              p = malloc(8);
+              memcpy(p, 0, 8);
+              free(p);
+              return 0;
+            }
+            """
+        )
+        assert not result.has_violation
+
+    def test_conditional_free_is_may_violation(self):
+        result = self._check(
+            """
+            int main() {
+              int p = malloc(4);
+              if (x) { free(p); }
+              memcpy(p, 0, 4);
+              return 0;
+            }
+            """
+        )
+        assert result.has_violation  # the freeing path reaches the use
+
+    def test_mops_agreement(self):
+        from repro.modelcheck import heap_state_property
+        from repro.mops import MopsChecker
+
+        for source in (
+            "int main() { int p = malloc(4); free(p); free(p); }",
+            "int main() { int p = malloc(4); free(p); }",
+        ):
+            cfg = build_cfg(source)
+            prop = heap_state_property()
+            annotated = AnnotatedChecker(cfg, prop).check().has_violation
+            mops = MopsChecker(cfg, prop).check().has_violation
+            assert annotated == mops

@@ -1,0 +1,194 @@
+"""Tests for substitution environments (Section 6.4)."""
+
+import pytest
+
+from repro.core.parametric import ParametricAlgebra, SubstitutionEnvironment
+from repro.dfa.gallery import file_state_machine
+from repro.dfa.monoid import TransitionMonoid
+
+
+@pytest.fixture
+def machinery():
+    machine = file_state_machine()
+    monoid = TransitionMonoid(machine)
+    algebra = ParametricAlgebra(machine, {"open": ("x",), "close": ("x",)})
+    return machine, monoid, algebra
+
+
+class TestEnvironmentBasics:
+    def test_identity(self, machinery):
+        _machine, _monoid, algebra = machinery
+        assert algebra.identity.is_identity()
+        env = algebra.symbol("open", ["fd1"])
+        assert algebra.then(env, algebra.identity) == env
+        assert algebra.then(algebra.identity, env) == env
+
+    def test_parametric_symbol_shape(self, machinery):
+        _machine, monoid, algebra = machinery
+        env = algebra.symbol("open", ["fd1"])
+        assert env.domain() == (frozenset({("x", "fd1")}),)
+        assert env.residual == monoid.identity
+        assert env.lookup(frozenset({("x", "fd1")})) == monoid.generator("open")
+
+    def test_nonparametric_symbol_is_residual(self):
+        from repro.dfa.gallery import privilege_machine
+
+        algebra = ParametricAlgebra(privilege_machine())
+        env = algebra.symbol("execl")
+        assert not env.entries
+        assert env.residual == algebra.base.symbol("execl")
+
+    def test_label_arity_checked(self, machinery):
+        _machine, _monoid, algebra = machinery
+        with pytest.raises(ValueError):
+            algebra.symbol("open")  # missing label
+        with pytest.raises(ValueError):
+            algebra.symbol("open", ["a", "b"])
+
+
+class TestPaperExample:
+    """The Section 6.4.1 walkthrough (Figs 6 and 7)."""
+
+    def test_fig7_composition(self, machinery):
+        _machine, monoid, algebra = machinery
+        # φ1 = open(fd1); φ2 = open(fd2); φ3 = close(fd1)
+        phi1 = algebra.symbol("open", ["fd1"])
+        phi2 = algebra.symbol("open", ["fd2"])
+        phi3 = algebra.symbol("close", ["fd1"])
+        # φ3 ∘ φ2 ∘ φ1 (word order: φ1 then φ2 then φ3)
+        composed = algebra.then(algebra.then(phi1, phi2), phi3)
+        f_open = monoid.generator("open")
+        f_open_close = f_open.then(monoid.generator("close"))
+        fd1 = frozenset({("x", "fd1")})
+        fd2 = frozenset({("x", "fd2")})
+        # fd1: opened then closed; fd2: opened (still open).
+        assert composed.lookup(fd1) == f_open_close
+        assert composed.lookup(fd2) == f_open
+        assert composed.residual == monoid.identity
+
+    def test_states_of(self, machinery):
+        machine, _monoid, algebra = machinery
+        composed = algebra.then(
+            algebra.then(
+                algebra.symbol("open", ["fd1"]), algebra.symbol("open", ["fd2"])
+            ),
+            algebra.symbol("close", ["fd1"]),
+        )
+        states = algebra.states_of(composed)
+        closed = machine.start
+        fd1 = frozenset({("x", "fd1")})
+        fd2 = frozenset({("x", "fd2")})
+        assert states[fd1] == closed
+        assert states[fd2] != closed  # Opened
+
+    def test_double_close_accepting(self, machinery):
+        _machine, _monoid, algebra = machinery
+        env = algebra.then(
+            algebra.symbol("close", ["fd1"]), algebra.symbol("close", ["fd1"])
+        )
+        assert algebra.accepting_instantiations(env) == [frozenset({("x", "fd1")})]
+        assert algebra.is_accepting(env)
+
+
+class TestResidualIncorporation:
+    def test_new_instantiation_picks_up_residual(self):
+        """A non-parametric event seen before a descriptor's first event
+        must already be incorporated when the new instantiation forms."""
+        from repro.dfa.spec import parse_spec
+
+        spec = parse_spec(
+            """
+            start state A :
+                | reset -> A
+                | touch(x) -> B;
+            state B : | touch(x) -> C;
+            accept state C;
+            """
+        )
+        machine = spec.to_dfa()
+        algebra = ParametricAlgebra(machine, {"touch": ("x",)})
+        monoid = TransitionMonoid(machine)
+        reset = algebra.symbol("reset")
+        touch = algebra.symbol("touch", ["k"])
+        env = algebra.then(reset, touch)
+        key = frozenset({("x", "k")})
+        assert env.lookup(key) == monoid.of_word(["reset", "touch"])
+        assert env.residual == monoid.of_word(["reset"])
+
+
+class TestMultipleParameters:
+    def test_entry_merging(self):
+        from repro.dfa.spec import parse_spec
+
+        spec = parse_spec(
+            """
+            start state S : | pairup(x, y) -> T;
+            accept state T : | solo(x) -> S;
+            """
+        )
+        machine = spec.to_dfa()
+        algebra = ParametricAlgebra(
+            machine, {"pairup": ("x", "y"), "solo": ("x",)}
+        )
+        both = algebra.symbol("pairup", ["i", "j"])  # key {(x,i),(y,j)}
+        one = algebra.symbol("solo", ["i"])  # key {(x,i)}
+        merged = algebra.then(both, one)
+        # Compatible entries merge to the union of bindings.
+        union_key = frozenset({("x", "i"), ("y", "j")})
+        monoid = TransitionMonoid(machine)
+        assert merged.lookup(union_key) == monoid.of_word(["pairup", "solo"])
+
+    def test_incompatible_entries_stay_separate(self):
+        machine = file_state_machine()
+        algebra = ParametricAlgebra(machine, {"open": ("x",), "close": ("x",)})
+        a = algebra.symbol("open", ["p"])
+        b = algebra.symbol("open", ["q"])
+        merged = algebra.then(a, b)
+        keys = set(merged.domain())
+        assert frozenset({("x", "p")}) in keys
+        assert frozenset({("x", "q")}) in keys
+        # no merged {(x,p),(x,q)} key — same parameter, different labels
+        assert all(len(key) == 1 for key in keys)
+
+
+class TestNormalization:
+    def test_redundant_entries_dropped(self, machinery):
+        _machine, monoid, algebra = machinery
+        # An entry equal to what the residual lookup would give is noise.
+        env = SubstitutionEnvironment(
+            {frozenset({("x", "fd")}): monoid.identity}, monoid.identity
+        )
+        assert env.entries == ()
+        assert env == algebra.identity
+
+    def test_behaviourally_equal_envs_hash_equal(self, machinery):
+        _machine, monoid, algebra = machinery
+        open_fn = monoid.generator("open")
+        direct = SubstitutionEnvironment(
+            {frozenset({("x", "a")}): open_fn}, monoid.identity
+        )
+        with_noise = SubstitutionEnvironment(
+            {
+                frozenset({("x", "a")}): open_fn,
+                frozenset({("x", "b")}): monoid.identity,
+            },
+            monoid.identity,
+        )
+        assert direct == with_noise
+        assert hash(direct) == hash(with_noise)
+
+    def test_immutable(self, machinery):
+        _machine, _monoid, algebra = machinery
+        with pytest.raises(AttributeError):
+            algebra.identity.residual = None
+
+
+class TestAssociativity:
+    def test_composition_associative(self, machinery):
+        _machine, _monoid, algebra = machinery
+        a = algebra.symbol("open", ["f1"])
+        b = algebra.symbol("close", ["f1"])
+        c = algebra.symbol("open", ["f2"])
+        left = algebra.then(algebra.then(a, b), c)
+        right = algebra.then(a, algebra.then(b, c))
+        assert left == right

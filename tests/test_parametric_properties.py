@@ -1,0 +1,147 @@
+"""Property tests: substitution environments vs explicit simulation.
+
+The lazy substitution-environment representation (§6.4) must be
+observationally equivalent to running one explicit copy of the property
+machine per concrete label.  We generate random event sequences
+(parametric events with labels, plus non-parametric events that drive
+every copy) and compare:
+
+* per-label machine states via ``states_of`` against direct simulation;
+* acceptance against "any copy accepts".
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parametric import ParametricAlgebra
+from repro.dfa.gallery import file_state_machine
+from repro.dfa.spec import parse_spec
+
+MIXED_SPEC = """
+start state A :
+    | bump(x) -> B
+    | reset -> A;
+
+state B :
+    | bump(x) -> C
+    | reset -> A;
+
+accept state C;
+"""
+
+
+def simulate(machine, events):
+    """Explicit per-label copies: label -> state, plus the residual copy."""
+    states: dict[str, int] = {}
+    residual_state = machine.start
+
+    def step_all(symbol):
+        nonlocal residual_state
+        for label in states:
+            states[label] = machine.step(states[label], symbol)
+        residual_state = machine.step(residual_state, symbol)
+
+    for symbol, label in events:
+        if label is None:
+            step_all(symbol)
+        else:
+            if label not in states:
+                states[label] = residual_state  # residual incorporated
+            states[label] = machine.step(states[label], symbol)
+    return states, residual_state
+
+
+def compose(algebra, events):
+    env = algebra.identity
+    for symbol, label in events:
+        if label is None:
+            env = algebra.then(env, algebra.symbol(symbol))
+        else:
+            env = algebra.then(env, algebra.symbol(symbol, [label]))
+    return env
+
+
+def event_strategy(symbols_with_params, labels):
+    choices = []
+    for symbol, parametric in symbols_with_params:
+        if parametric:
+            for label in labels:
+                choices.append((symbol, label))
+        else:
+            choices.append((symbol, None))
+    return st.lists(st.sampled_from(choices), max_size=10)
+
+
+class TestFileStateEquivalence:
+    machine = file_state_machine()
+    algebra = ParametricAlgebra(
+        machine, {"open": ("x",), "close": ("x",)}
+    )
+
+    @given(
+        event_strategy(
+            [("open", True), ("close", True)], ["fd1", "fd2", "fd3"]
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_states_match_explicit_copies(self, events):
+        env = compose(self.algebra, events)
+        expected_states, expected_residual = simulate(self.machine, events)
+        got = {
+            next(iter(key))[1]: state
+            for key, state in self.algebra.states_of(env).items()
+        }
+        for label, state in expected_states.items():
+            # labels whose copy is still in the start state may have
+            # been normalized away — lookup must still give the state.
+            key = frozenset({("x", label)})
+            assert env.lookup(key)(self.machine.start) == state, events
+        assert env.residual(self.machine.start) == expected_residual
+
+
+class TestMixedSpecEquivalence:
+    machine = parse_spec(MIXED_SPEC).to_dfa()
+    algebra = ParametricAlgebra(machine, {"bump": ("x",)})
+
+    @given(
+        event_strategy([("bump", True), ("reset", False)], ["p", "q"])
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_acceptance_matches_any_copy(self, events):
+        env = compose(self.algebra, events)
+        expected_states, expected_residual = simulate(self.machine, events)
+        expected_accepting = any(
+            state in self.machine.accepting for state in expected_states.values()
+        ) or expected_residual in self.machine.accepting
+        assert self.algebra.is_accepting(env) == expected_accepting, events
+
+    @given(
+        event_strategy([("bump", True), ("reset", False)], ["p", "q"])
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lookup_matches_per_label_state(self, events):
+        env = compose(self.algebra, events)
+        expected_states, _residual = simulate(self.machine, events)
+        for label, state in expected_states.items():
+            key = frozenset({("x", label)})
+            assert env.lookup(key)(self.machine.start) == state, events
+
+
+def test_random_long_sequences_regression():
+    """Pinned longer random sequences (beyond hypothesis' sizes)."""
+    machine = file_state_machine()
+    algebra = ParametricAlgebra(machine, {"open": ("x",), "close": ("x",)})
+    rng = random.Random(7)
+    labels = [f"fd{i}" for i in range(6)]
+    for _trial in range(20):
+        events = [
+            (rng.choice(["open", "close"]), rng.choice(labels))
+            for _ in range(rng.randrange(3, 40))
+        ]
+        env = compose(algebra, events)
+        expected_states, _residual = simulate(machine, events)
+        for label, state in expected_states.items():
+            key = frozenset({("x", label)})
+            assert env.lookup(key)(machine.start) == state

@@ -1,0 +1,148 @@
+"""Tests for the query engine: reachability, PN, witnesses, terms."""
+
+from repro.core.annotations import MonoidAlgebra
+from repro.core.queries import Reachability, least_solution_terms, trace_lower
+from repro.core.solver import Solver
+from repro.core.terms import Constructor, Variable, constant
+from repro.dfa.gallery import one_bit_machine, privilege_machine
+
+
+def build_call_like_system():
+    """pc flows into a 'function' through a constructor; the error event
+    happens inside; the exit is projected back to the caller."""
+    algebra = MonoidAlgebra(privilege_machine())
+    solver = Solver(algebra)
+    o = Constructor("o1", 1)
+    pc = constant("pc")
+    caller, entry, inner, exit_, after = (
+        Variable(n) for n in ("S0", "En", "In", "Ex", "S1")
+    )
+    solver.add(pc, caller, algebra.word(["seteuid_zero"]))
+    solver.add(o(caller), entry)
+    solver.add(entry, inner, algebra.word(["execl"]))
+    solver.add(inner, exit_)
+    solver.add(o.proj(1, exit_), after)
+    return algebra, solver, pc, caller, entry, inner, exit_, after
+
+
+class TestReachability:
+    def test_matched_only_excludes_nested(self):
+        algebra, solver, pc, caller, entry, inner, exit_, after = (
+            build_call_like_system()
+        )
+        matched = Reachability(solver, through_constructors=False)
+        # pc is nested inside o(...) at the entry — matched-only misses it.
+        assert not matched.annotations_of(entry, pc)
+        # but the projected return edge carries it to 'after'.
+        assert matched.annotations_of(after, pc)
+
+    def test_pn_descends_into_pending_calls(self):
+        algebra, solver, pc, caller, entry, inner, exit_, after = (
+            build_call_like_system()
+        )
+        pn = Reachability(solver, through_constructors=True)
+        annotations = pn.annotations_of(inner, pc)
+        assert algebra.word(["seteuid_zero", "execl"]) in annotations
+        assert pn.reaches(inner, pc)
+
+    def test_annotation_composition_through_nesting(self):
+        algebra, solver, pc, *_rest, after = build_call_like_system()
+        pn = Reachability(solver, through_constructors=True)
+        # At the return point the full word seteuid_zero·execl is seen.
+        assert algebra.word(["seteuid_zero", "execl"]) in pn.annotations_of(
+            after, pc
+        )
+
+    def test_constants_listing(self):
+        _algebra, solver, pc, caller, *_ = build_call_like_system()
+        reach = Reachability(solver, through_constructors=True)
+        assert pc in reach.constants(caller)
+
+    def test_custom_accepting_predicate(self):
+        algebra, solver, pc, caller, *_ = build_call_like_system()
+        reach = Reachability(solver, through_constructors=True)
+        machine = algebra.machine
+        priv_state = machine.run(["seteuid_zero"])
+        assert reach.reaches(
+            caller, pc, accepting=lambda ann: ann(machine.start) == priv_state
+        )
+
+
+class TestWitnesses:
+    def test_trace_lists_infos_in_path_order(self):
+        algebra = MonoidAlgebra(one_bit_machine())
+        solver = Solver(algebra)
+        c = constant("c")
+        chain = [Variable(f"v{i}") for i in range(4)]
+        solver.add(c, chain[0], info="seed")
+        for i in range(3):
+            solver.add(chain[i], chain[i + 1], algebra.symbol("g"), info=f"edge{i}")
+        fact = ("lower", chain[3], c, algebra.symbol("g"))
+        assert trace_lower(solver, fact) == ["seed", "edge0", "edge1", "edge2"]
+
+    def test_witness_through_constructor(self):
+        algebra, solver, pc, caller, entry, inner, exit_, after = (
+            build_call_like_system()
+        )
+        reach = Reachability(solver, through_constructors=True)
+        word = algebra.word(["seteuid_zero", "execl"])
+        trace = reach.witness(inner, pc, word)
+        assert isinstance(trace, list)  # infos were None here; shape only
+
+    def test_missing_fact_has_empty_witness(self):
+        algebra, solver, pc, caller, *_ = build_call_like_system()
+        reach = Reachability(solver, through_constructors=True)
+        assert reach.witness(caller, constant("ghost"), algebra.identity) == []
+
+
+class TestLeastSolutionTerms:
+    def test_flat_terms(self):
+        solver = Solver()
+        x = Variable("X")
+        solver.add(constant("a"), x)
+        solver.add(constant("b"), x)
+        names = {t.constructor.name for t in least_solution_terms(solver, x)}
+        assert names == {"a", "b"}
+
+    def test_nested_terms(self):
+        solver = Solver()
+        o = Constructor("o", 1)
+        x, y = Variable("X"), Variable("Y")
+        solver.add(constant("a"), x)
+        solver.add(o(x), y)
+        terms = least_solution_terms(solver, y)
+        erased = {t.erase() for t in terms}
+        assert ("o", (("a", ()),)) in erased
+
+    def test_depth_bound_on_recursive_system(self):
+        solver = Solver()
+        box = Constructor("box", 1)
+        x = Variable("X")
+        solver.add(constant("a"), x)
+        solver.add(box(x), x)
+        terms = least_solution_terms(solver, x, max_depth=3)
+        assert terms
+        assert max(t.depth() for t in terms) <= 3
+
+    def test_annotations_appended_at_all_levels(self):
+        algebra = MonoidAlgebra(one_bit_machine())
+        solver = Solver(algebra)
+        o = Constructor("o", 1)
+        x, y = Variable("X"), Variable("Y")
+        solver.add(constant("a"), x, algebra.symbol("g"))
+        solver.add(o(x), y, algebra.symbol("k"))
+        terms = least_solution_terms(solver, y)
+        (term,) = [t for t in terms if t.constructor.name == "o"]
+        # outer level: ε then ·k = k; inner: g then ·k = k (last wins)
+        assert term.annotation == algebra.symbol("k")
+        assert term.children[0].annotation == algebra.then(
+            algebra.symbol("g"), algebra.symbol("k")
+        )
+
+    def test_budget_cutoff(self):
+        solver = Solver()
+        x = Variable("X")
+        for i in range(20):
+            solver.add(constant(f"c{i}"), x)
+        terms = least_solution_terms(solver, x, max_terms=5)
+        assert len(terms) <= 5

@@ -1,0 +1,159 @@
+"""Solver vs the word-level reference semantics (Section 2).
+
+Random small constraint systems (variables, constructors, projections,
+annotated inclusions) are solved twice: by the representative-function
+solver and by the :mod:`repro.core.semantics` reference evaluator that
+manipulates explicit words.  Theorem 2.1 says the two views must agree:
+a constant reaches a variable with monoid element ``f`` iff it reaches
+it (in the least solution) with some word in ``f``'s class — modulo
+the reference evaluator's depth/word bounds, which we respect by
+bounding the generated systems.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotations import MonoidAlgebra
+from repro.core.queries import Reachability
+from repro.core.semantics import ReferenceSemantics, WordConstraint
+from repro.core.solver import Solver
+from repro.core.terms import Constructor, Variable, constant
+from repro.dfa.gallery import one_bit_machine, privilege_machine
+from repro.dfa.monoid import TransitionMonoid
+from repro.dfa.regex import regex_to_dfa
+
+MACHINES = {
+    "one_bit": one_bit_machine(),
+    "privilege": privilege_machine(),
+    "regex": regex_to_dfa("a(b|c)*d"),
+}
+
+
+def generate_system(machine, seed: int, n_vars: int = 5, n_constraints: int = 9):
+    """An acyclic lower-bound system over constants/constructors/projs.
+
+    Acyclicity (all flows go from lower to higher variable index, and
+    wrapping only increases depth boundedly) keeps the least solution
+    finite and within the reference evaluator's bounds.
+    """
+    rng = random.Random(seed)
+    alphabet = sorted(machine.alphabet, key=repr)
+    variables = [Variable(f"v{i}") for i in range(n_vars)]
+    wrap = Constructor("w", 1)
+    pair = Constructor("pr", 2)
+    constraints: list[WordConstraint] = []
+    constraints.append(WordConstraint(constant("c"), variables[0]))
+    constraints.append(WordConstraint(constant("d"), variables[0]))
+    for _ in range(n_constraints):
+        u = rng.randrange(n_vars - 1)
+        v = rng.randrange(u + 1, n_vars)
+        word = tuple(
+            rng.choice(alphabet) for _ in range(rng.randrange(3))
+        )
+        kind = rng.random()
+        if kind < 0.45:
+            constraints.append(WordConstraint(variables[u], variables[v], word))
+        elif kind < 0.6:
+            constraints.append(
+                WordConstraint(wrap(variables[u]), variables[v], word)
+            )
+        elif kind < 0.75:
+            constraints.append(
+                WordConstraint(
+                    wrap.proj(1, variables[u]), variables[v], word
+                )
+            )
+        elif kind < 0.9:
+            w2 = rng.randrange(v)  # keep the system acyclic
+            constraints.append(
+                WordConstraint(
+                    pair(variables[u], variables[w2]), variables[v], word
+                )
+            )
+        else:
+            index = rng.choice((1, 2))
+            constraints.append(
+                WordConstraint(
+                    pair.proj(index, variables[u]), variables[v], word
+                )
+            )
+    return variables, constraints
+
+
+def solve_both(machine, constraints):
+    algebra = MonoidAlgebra(machine)
+    solver = Solver(algebra)
+    for c in constraints:
+        solver.add(c.lhs, c.rhs, algebra.word(c.word))
+    reference = ReferenceSemantics(
+        machine, constraints, max_depth=6, max_word=12, max_iterations=60
+    )
+    return algebra, solver, reference
+
+
+@st.composite
+def cases(draw):
+    name = draw(st.sampled_from(sorted(MACHINES)))
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    return MACHINES[name], seed
+
+
+@given(cases())
+@settings(max_examples=60, deadline=None)
+def test_solver_agrees_with_word_semantics(case):
+    machine, seed = case
+    variables, constraints = generate_system(machine, seed)
+    algebra, solver, reference = solve_both(machine, constraints)
+    monoid = algebra.monoid
+    reach = Reachability(solver, through_constructors=True)
+    for var in variables:
+        # word-level facts, collapsed to representative functions
+        expected = set()
+        for name, word in reference.constants_with_words(var):
+            fn = monoid.of_word(word)
+            if monoid.is_live(fn):
+                expected.add((name, fn))
+        actual = {
+            (const.constructor.name, ann) for const, ann, _o in reach.facts(var)
+        }
+        assert actual == expected, f"seed={seed} var={var}"
+
+
+@given(cases())
+@settings(max_examples=40, deadline=None)
+def test_entailment_queries_agree(case):
+    machine, seed = case
+    variables, constraints = generate_system(machine, seed)
+    _algebra, solver, reference = solve_both(machine, constraints)
+    reach = Reachability(solver, through_constructors=True)
+    c = constant("c")
+    for var in variables:
+        assert reach.reaches(var, c) == reference.entails_constant(var, "c"), (
+            f"seed={seed} var={var}"
+        )
+
+
+def test_reference_example_24_shape():
+    """The reference evaluator reproduces Example 2.4 term structure."""
+    machine = one_bit_machine()
+    o = Constructor("o", 1)
+    c = constant("c")
+    W, X = Variable("W"), Variable("X")
+    constraints = [
+        WordConstraint(c, W, ("g",)),
+        WordConstraint(o(W), X, ("g",)),
+    ]
+    reference = ReferenceSemantics(machine, constraints)
+    from repro.core.semantics import is_bottom
+
+    terms = reference.terms_of(X)
+    # the partial term o^g(⊥) exists too — non-strict constructors
+    assert any(is_bottom(t.children[0]) for t in terms)
+    (term,) = [t for t in terms if not is_bottom(t.children[0])]
+    # o^{g}(c^{gg}): the outer wrap saw g once, the constant twice.
+    assert term.constructor.name == "o"
+    assert term.annotation == ("g",)
+    assert term.children[0].annotation == ("g", "g")
+    assert machine.accepts(term.children[0].annotation)

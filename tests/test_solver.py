@@ -1,0 +1,216 @@
+"""Tests for the bidirectional solver (Section 3)."""
+
+import pytest
+
+from repro.core.annotations import MonoidAlgebra, UnannotatedAlgebra
+from repro.core.errors import ConstraintError, NoSolutionError
+from repro.core.solver import Solver
+from repro.core.system import AnnotatedConstraintSystem
+from repro.core.terms import Constructor, Variable, constant
+from repro.dfa.gallery import one_bit_machine
+from repro.dfa.regex import regex_to_dfa
+
+
+@pytest.fixture
+def system():
+    return AnnotatedConstraintSystem(one_bit_machine())
+
+
+class TestExample24:
+    """The paper's worked Example 2.4 over M_1bit."""
+
+    def setup_method(self):
+        self.sys = AnnotatedConstraintSystem(one_bit_machine())
+        self.c = self.sys.constant("c")
+        self.o = self.sys.constructor("o", 1)
+        self.W, self.X, self.Y, self.Z = (self.sys.var(n) for n in "WXYZ")
+        self.sys.add(self.c, self.W, "g")
+        self.sys.add(self.o(self.W), self.X, "g")
+        self.sys.add(self.X, self.o(self.Y))
+        self.sys.add(self.o(self.Y), self.Z)
+
+    def test_decomposition_derives_component_edge(self):
+        # o^β(W) ⊆^{f_g} o^γ(Y) decomposes to W ⊆^{f_g} Y.
+        f_g = self.sys.algebra.symbol("g")
+        assert (self.Y, f_g) in set(self.sys.solver.edges_from(self.W))
+
+    def test_transitive_closure_with_idempotence(self):
+        # c ⊆^{f_g} W ⊆^{f_g} Y gives c ⊆^{f_g} Y since f_g ∘ f_g = f_g.
+        f_g = self.sys.algebra.symbol("g")
+        assert self.sys.solver.has_lower(self.Y, self.c, f_g)
+
+    def test_entailment_query(self):
+        # The query of Section 3.2: o^β(c^α) ⊆^{f_g} Z holds.
+        assert self.sys.reaches(self.Z, self.c)
+
+    def test_solved_form_is_consistent(self):
+        assert self.sys.is_consistent
+
+
+class TestResolutionRules:
+    def test_constructor_mismatch_inconsistent(self):
+        solver = Solver()
+        c, d = constant("c"), constant("d")
+        x = Variable("X")
+        solver.add(c, x)
+        solver.add(x, d)
+        assert not solver.is_consistent
+        with pytest.raises(NoSolutionError):
+            solver.check()
+
+    def test_matching_constants_consistent(self):
+        solver = Solver()
+        c = constant("c")
+        x = Variable("X")
+        solver.add(c, x)
+        solver.add(x, c)
+        assert solver.is_consistent
+
+    def test_arity_distinguishes_constructors(self):
+        solver = Solver()
+        f1 = Constructor("f", 1)
+        f2 = Constructor("f", 2)
+        x, a, b = Variable("X"), Variable("A"), Variable("B")
+        solver.add(f1(a), x)
+        solver.add(x, f2(a, b))
+        assert not solver.is_consistent
+
+    def test_projection_rule(self):
+        solver = Solver()
+        pair = Constructor("pair", 2)
+        a, b, y, z = (Variable(n) for n in "ABYZ")
+        solver.add(pair(a, b), y)
+        solver.add(pair.proj(2, y), z)
+        # X_i ⊆ Z derived: anything in B is in Z.
+        c = constant("c")
+        solver.add(c, b)
+        assert solver.has_lower(z, c, solver.algebra.identity)
+
+    def test_projection_added_after_source(self):
+        # Online solving: order of constraints must not matter.
+        solver = Solver()
+        pair = Constructor("pair", 2)
+        a, b, y, z = (Variable(n) for n in "ABYZ")
+        c = constant("c")
+        solver.add(c, a)
+        solver.add(pair(a, b), y)
+        solver.add(pair.proj(1, y), z)
+        assert solver.has_lower(z, c, solver.algebra.identity)
+
+    def test_no_projection_on_rhs(self):
+        solver = Solver()
+        pair = Constructor("pair", 2)
+        with pytest.raises(ConstraintError):
+            solver.add(Variable("X"), pair.proj(1, Variable("Y")))
+
+    def test_projection_into_constructed_rhs(self):
+        # c^{-i}(Y) ⊆ d(...) is legal; a bridge variable is introduced.
+        solver = Solver()
+        box = Constructor("box", 1)
+        wrap = Constructor("wrap", 1)
+        y, a = Variable("Y"), Variable("A")
+        solver.add(box.proj(1, y), wrap(a))
+        assert solver.is_consistent
+
+    def test_nested_argument_normalization(self):
+        solver = Solver()
+        box = Constructor("box", 1)
+        x = Variable("X")
+        c = constant("c")
+        # box(box(c)) ⊆ X — inner expression normalized via fresh vars.
+        solver.add(box(box(c)), x)
+        sources = [src for src, _ann in solver.lower_bounds(x)]
+        assert len(sources) == 1
+        assert sources[0].constructor == box
+
+
+class TestAnnotationPropagation:
+    def test_liveness_pruning_drops_dead_paths(self):
+        algebra = MonoidAlgebra(regex_to_dfa("ab"))
+        solver = Solver(algebra)
+        c = constant("c")
+        x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+        solver.add(c, x)
+        solver.add(x, y, algebra.word("b"))  # 'b' first: dead
+        solver.add(y, z, algebra.word("a"))
+        assert not list(solver.lower_bounds(z))
+        assert list(solver.lower_bounds(x))
+
+    def test_annotation_composition_along_path(self):
+        algebra = MonoidAlgebra(regex_to_dfa("ab"))
+        solver = Solver(algebra)
+        c = constant("c")
+        x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+        solver.add(c, x)
+        solver.add(x, y, algebra.word("a"))
+        solver.add(y, z, algebra.word("b"))
+        assert solver.has_lower(z, c, algebra.word("ab"))
+
+    def test_multiple_annotations_per_edge_pair(self):
+        sys_ = AnnotatedConstraintSystem(one_bit_machine())
+        c = sys_.constant("c")
+        x, y = sys_.var("X"), sys_.var("Y")
+        sys_.add(c, x)
+        sys_.add(x, y, "g")
+        sys_.add(x, y, "k")
+        annotations = {
+            ann for src, ann in sys_.solver.lower_bounds(y) if src == c
+        }
+        assert annotations == {sys_.algebra.symbol("g"), sys_.algebra.symbol("k")}
+
+
+class TestTermination:
+    def test_cyclic_constraints_terminate(self):
+        sys_ = AnnotatedConstraintSystem(one_bit_machine())
+        c = sys_.constant("c")
+        x, y = sys_.var("X"), sys_.var("Y")
+        sys_.add(c, x, "g")
+        sys_.add(x, y, "g")
+        sys_.add(y, x, "k")  # cycle with annotations
+        assert sys_.solver.is_consistent
+        # Lemma 3.1: the fact count is bounded.
+        assert sys_.solver.fact_count() < 50
+
+    def test_recursive_constructor_cycle(self):
+        solver = Solver()
+        box = Constructor("box", 1)
+        x = Variable("X")
+        solver.add(box(x), x)  # X ⊇ box(X): infinite terms, finite facts
+        solver.add(box.proj(1, x), x)
+        assert solver.is_consistent
+
+
+class TestBookkeeping:
+    def test_fact_count_and_processed(self):
+        solver = Solver()
+        c = constant("c")
+        x, y = Variable("X"), Variable("Y")
+        solver.add(c, x)
+        solver.add(x, y)
+        assert solver.fact_count() >= 3
+        assert solver.facts_processed >= 3
+
+    def test_variables_enumeration(self):
+        solver = Solver()
+        x, y = Variable("X"), Variable("Y")
+        solver.add(x, y)
+        assert {x, y} <= solver.variables()
+
+    def test_reason_recorded(self):
+        solver = Solver()
+        c = constant("c")
+        x = Variable("X")
+        solver.add(c, x, info="origin")
+        reason = solver.reason(("lower", x, c, solver.algebra.identity))
+        assert reason is not None
+        assert reason.rule == "given"
+        assert reason.info == "origin"
+
+    def test_duplicate_constraint_is_noop(self):
+        solver = Solver()
+        c = constant("c")
+        x = Variable("X")
+        solver.add(c, x)
+        count = solver.fact_count()
+        solver.add(c, x)
+        assert solver.fact_count() == count

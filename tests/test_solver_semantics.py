@@ -1,0 +1,145 @@
+"""Semantic validation of the solver against word-level ground truth.
+
+The solver works with representative functions; these tests rebuild the
+same systems at the level of explicit *words* (the Section 2 semantics)
+and verify the two views coincide: a constant reaches a variable with
+representative function ``f`` iff it reaches it along some path whose
+word is in ``f``'s congruence class (restricted to live classes — the
+solver prunes necessarily-non-accepting annotations).
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotations import MonoidAlgebra
+from repro.core.solver import Solver
+from repro.core.terms import Variable, constant
+from repro.dfa.automaton import DFA
+from repro.dfa.gallery import one_bit_machine, privilege_machine
+from repro.dfa.monoid import TransitionMonoid
+from repro.dfa.regex import regex_to_dfa
+
+
+def naive_dag_facts(machine, n_vars, edges, source_vars):
+    """All (source, path-word class) pairs per variable, by enumerating
+    every path of the DAG explicitly (edges go low → high index)."""
+    monoid = TransitionMonoid(machine)
+    facts = {v: set() for v in range(n_vars)}
+    for src in source_vars:
+        facts[src].add((src, monoid.identity))
+    # Process in topological (index) order.
+    for _ in range(n_vars):
+        for u, v, word in edges:
+            fn_word = monoid.of_word(word)
+            for source, fn in list(facts[u]):
+                combined = fn.then(fn_word)
+                if monoid.is_live(combined):
+                    facts[v].add((source, combined))
+    return facts
+
+
+def solver_dag_facts(machine, n_vars, edges, source_vars):
+    algebra = MonoidAlgebra(machine)
+    solver = Solver(algebra)
+    variables = [Variable(f"v{i}") for i in range(n_vars)]
+    consts = {i: constant(f"s{i}") for i in source_vars}
+    for i, const in consts.items():
+        solver.add(const, variables[i])
+    for u, v, word in edges:
+        solver.add(variables[u], variables[v], algebra.word(word))
+    result = {v: set() for v in range(n_vars)}
+    for v in range(n_vars):
+        for src, ann in solver.lower_bounds(variables[v]):
+            origin = int(src.constructor.name[1:])
+            result[v].add((origin, ann))
+    return result
+
+
+MACHINES = {
+    "one_bit": one_bit_machine(),
+    "privilege": privilege_machine(),
+    "regex": regex_to_dfa("a(b|c)*d"),
+}
+
+
+@st.composite
+def dag_workloads(draw):
+    machine_name = draw(st.sampled_from(sorted(MACHINES)))
+    machine = MACHINES[machine_name]
+    alphabet = sorted(machine.alphabet, key=repr)
+    n_vars = draw(st.integers(min_value=2, max_value=6))
+    n_edges = draw(st.integers(min_value=1, max_value=10))
+    edges = []
+    for _ in range(n_edges):
+        u = draw(st.integers(min_value=0, max_value=n_vars - 2))
+        v = draw(st.integers(min_value=u + 1, max_value=n_vars - 1))
+        word = tuple(
+            draw(st.lists(st.sampled_from(alphabet), max_size=2))
+        )
+        edges.append((u, v, word))
+    sources = draw(
+        st.sets(st.integers(min_value=0, max_value=n_vars - 1), min_size=1, max_size=2)
+    )
+    return machine, n_vars, edges, sorted(sources)
+
+
+@given(dag_workloads())
+@settings(max_examples=120, deadline=None)
+def test_solver_matches_path_enumeration_on_dags(case):
+    machine, n_vars, edges, sources = case
+    expected = naive_dag_facts(machine, n_vars, edges, sources)
+    actual = solver_dag_facts(machine, n_vars, edges, sources)
+    for v in range(n_vars):
+        assert actual[v] == expected[v], f"var {v}"
+
+
+def test_cyclic_graph_matches_bounded_enumeration():
+    """On a cyclic graph, enumerate paths up to a length at which the
+    annotation classes must have saturated (|F| distinct functions)."""
+    machine = one_bit_machine()
+    monoid = TransitionMonoid(machine)
+    edges = [(0, 1, ("g",)), (1, 2, ()), (2, 0, ("k",)), (1, 1, ("k",))]
+    # Brute force: expand paths from var 0 until no new (var, fn) facts.
+    facts = {0: {monoid.identity}, 1: set(), 2: set()}
+    changed = True
+    while changed:
+        changed = False
+        for u, v, word in edges:
+            fn_word = monoid.of_word(word)
+            for fn in list(facts[u]):
+                combined = fn.then(fn_word)
+                if combined not in facts[v]:
+                    facts[v].add(combined)
+                    changed = True
+    algebra = MonoidAlgebra(machine)
+    solver = Solver(algebra)
+    variables = [Variable(f"v{i}") for i in range(3)]
+    c = constant("c")
+    solver.add(c, variables[0])
+    for u, v, word in edges:
+        solver.add(variables[u], variables[v], algebra.word(word))
+    for v in range(3):
+        got = {ann for src, ann in solver.lower_bounds(variables[v]) if src == c}
+        assert got == facts[v]
+
+
+def test_constructor_wrap_and_project_word_semantics():
+    """c wrapped at annotation f1, traveling f2 inside the wrapper, then
+    projected with f3 must carry the concatenated word f1·f2·f3."""
+    machine = privilege_machine()
+    algebra = MonoidAlgebra(machine)
+    solver = Solver(algebra)
+    from repro.core.terms import Constructor
+
+    o = Constructor("o", 1)
+    a, entry, exit_, out = (Variable(n) for n in ("A", "En", "Ex", "Out"))
+    c = constant("c")
+    solver.add(c, a, algebra.word(["seteuid_zero"]))
+    solver.add(o(a), entry)
+    solver.add(entry, exit_, algebra.word(["execl"]))
+    solver.add(o.proj(1, exit_), out)
+    expected = algebra.word(["seteuid_zero", "execl"])
+    assert solver.has_lower(out, c, expected)
+    assert algebra.is_accepting(expected)

@@ -1,0 +1,228 @@
+"""Tests for switch statements and backward (live-variables) dataflow."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import ast, build_cfg, reverse_cfg
+from repro.cfg.parser import parse_program
+from repro.dataflow import (
+    AnnotatedBitVectorAnalysis,
+    FunctionalBitVectorAnalysis,
+    live_variable_problem,
+)
+from repro.modelcheck import AnnotatedChecker, simple_privilege_property
+from repro.mops import MopsChecker
+from tests.test_cross_validation import random_program
+
+
+class TestSwitchParsing:
+    def test_structure(self):
+        program = parse_program(
+            """
+            int main() {
+              switch (x) {
+                case 1: a(); break;
+                case 2: b();
+                default: c(); break;
+              }
+            }
+            """
+        )
+        stmt = program.function("main").body.body[0]
+        assert isinstance(stmt, ast.Switch)
+        assert [case.value for case in stmt.cases] == [1, 2, None]
+
+    def test_empty_case_bodies(self):
+        program = parse_program(
+            "int main() { switch (x) { case 1: case 2: f(); } }"
+        )
+        stmt = program.function("main").body.body[0]
+        assert stmt.cases[0].body == ()
+
+    def test_rejects_garbage_arm(self):
+        import pytest
+        from repro.cfg.parser import ParseError
+
+        with pytest.raises(ParseError):
+            parse_program("int main() { switch (x) { f(); } }")
+
+
+class TestSwitchCFG:
+    VULN = """
+    int main() {
+      seteuid(0);
+      switch (mode) {
+        case 1: seteuid(getuid()); break;
+        case 2: log_it();
+        default: audit(); break;
+      }
+      execl("/bin/sh", 0);
+      return 0;
+    }
+    """
+
+    def test_violation_through_undropped_arms(self):
+        cfg = build_cfg(self.VULN)
+        prop = simple_privilege_property()
+        annotated = AnnotatedChecker(cfg, prop).check().has_violation
+        mops = MopsChecker(cfg, prop).check().has_violation
+        assert annotated and mops
+
+    def test_all_arms_dropping_is_clean(self):
+        source = self.VULN.replace("log_it();", "seteuid(getuid());").replace(
+            "audit();", "seteuid(getuid());"
+        )
+        cfg = build_cfg(source)
+        prop = simple_privilege_property()
+        assert not AnnotatedChecker(cfg, prop).check().has_violation
+        assert not MopsChecker(cfg, prop).check().has_violation
+
+    def test_fallthrough_edges_exist(self):
+        cfg = build_cfg(
+            "int main() { switch (x) { case 1: a(); case 2: b(); } }"
+        )
+        a_node = next(n for n in cfg.all_nodes() if n.call and n.call.callee == "a")
+        # a's statement node falls through toward b's chain
+        succ = list(cfg.successors(a_node))
+        assert succ
+
+    def test_no_default_falls_past(self):
+        # Without a default arm, execution may skip every case.
+        cfg = build_cfg(
+            """
+            int main() {
+              seteuid(0);
+              switch (x) { case 1: seteuid(getuid()); break; }
+              execl("/bin/sh", 0);
+            }
+            """
+        )
+        prop = simple_privilege_property()
+        assert AnnotatedChecker(cfg, prop).check().has_violation
+
+    def test_break_in_switch_inside_loop(self):
+        cfg = build_cfg(
+            """
+            int main() {
+              while (x) {
+                switch (y) { case 1: a(); break; }
+                b();
+              }
+            }
+            """
+        )
+        # the switch-break must land on b(), not exit the loop
+        b_node = next(n for n in cfg.all_nodes() if n.call and n.call.callee == "b")
+        assert list(cfg.predecessors(b_node))
+
+
+class TestReverseCFG:
+    def test_edges_flipped(self):
+        cfg = build_cfg("int main() { a(); b(); }")
+        rev = reverse_cfg(cfg)
+        for node in cfg.all_nodes():
+            for succ in cfg.successors(node):
+                assert node.id in [p.id for p in rev.successors(succ)]
+
+    def test_entry_exit_swapped(self):
+        cfg = build_cfg("int main() { a(); }")
+        rev = reverse_cfg(cfg)
+        assert rev.main.entry is cfg.main.exit
+        assert rev.main.exit is cfg.main.entry
+
+
+class TestLiveVariables:
+    def analyze(self, source, variables):
+        cfg = build_cfg(source)
+        rev = reverse_cfg(cfg)
+        problem = live_variable_problem(cfg, variables)
+        annotated = AnnotatedBitVectorAnalysis(rev, problem)
+        classic = FunctionalBitVectorAnalysis(rev, problem)
+        assert annotated.solution() == classic.solution()
+        return cfg, problem, annotated
+
+    def test_straight_line(self):
+        cfg, problem, analysis = self.analyze(
+            """
+            int main() {
+              int a = 1;
+              int b = 2;
+              use(a);
+              b = 3;
+              use(b);
+              return 0;
+            }
+            """,
+            ["a", "b"],
+        )
+        decl_a = next(
+            n for n in cfg.all_nodes()
+            if isinstance(n.stmt, ast.Decl) and n.stmt.name == "a"
+        )
+        live_out = {problem.facts[i] for i in analysis.may_hold(decl_a)}
+        assert live_out == {"a"}  # b's first value is dead (overwritten)
+
+    def test_branch_liveness(self):
+        cfg, problem, analysis = self.analyze(
+            """
+            int main() {
+              int a = 1;
+              if (c) { use(a); } else { other(); }
+              return 0;
+            }
+            """,
+            ["a"],
+        )
+        decl_a = next(
+            n for n in cfg.all_nodes()
+            if isinstance(n.stmt, ast.Decl) and n.stmt.name == "a"
+        )
+        assert analysis.may_hold(decl_a) == {0}  # live on the then-path
+
+    def test_dead_store(self):
+        cfg, problem, analysis = self.analyze(
+            """
+            int main() {
+              int a = 1;
+              a = 2;
+              use(a);
+              return 0;
+            }
+            """,
+            ["a"],
+        )
+        decl_a = next(
+            n for n in cfg.all_nodes()
+            if isinstance(n.stmt, ast.Decl) and n.stmt.name == "a"
+        )
+        # the initial value of a is never used: not live after the decl
+        assert analysis.may_hold(decl_a) == frozenset()
+
+    def test_interprocedural_use(self):
+        cfg, problem, analysis = self.analyze(
+            """
+            void helper(int v) { use(v); }
+            int main() {
+              int a = 1;
+              helper(a);
+              return 0;
+            }
+            """,
+            ["a"],
+        )
+        decl_a = next(
+            n for n in cfg.all_nodes()
+            if isinstance(n.stmt, ast.Decl) and n.stmt.name == "a"
+        )
+        assert analysis.may_hold(decl_a) == {0}  # used as a call argument
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=25, deadline=None)
+def test_backward_solvers_agree_on_random_programs(seed):
+    cfg = build_cfg(random_program(seed))
+    rev = reverse_cfg(cfg)
+    problem = live_variable_problem(cfg, ["x", "y"])
+    annotated = AnnotatedBitVectorAnalysis(rev, problem)
+    classic = FunctionalBitVectorAnalysis(rev, problem)
+    assert annotated.solution() == classic.solution(), seed

@@ -1,0 +1,80 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.cfg import build_cfg
+from repro.dfa.gallery import one_bit_machine
+from repro.synth import (
+    PackageSpec,
+    TABLE1_PACKAGES,
+    generate_package,
+    random_annotated_graph,
+)
+from repro.synth.workloads import random_constraint_system, solve_bidirectional
+
+
+class TestPackageGenerator:
+    def test_deterministic(self):
+        spec = PackageSpec("x", 1000, 12, seed=3)
+        assert generate_package(spec) == generate_package(spec)
+
+    def test_different_seeds_differ(self):
+        a = generate_package(PackageSpec("x", 1000, 12, seed=1))
+        b = generate_package(PackageSpec("x", 1000, 12, seed=2))
+        assert a != b
+
+    def test_size_close_to_target(self):
+        spec = PackageSpec("x", 3000, 40, seed=9)
+        lines = generate_package(spec).count("\n")
+        assert 0.6 * spec.target_lines <= lines <= 1.8 * spec.target_lines
+
+    def test_generated_code_parses_and_builds(self):
+        spec = PackageSpec("x", 800, 10, seed=5)
+        cfg = build_cfg(generate_package(spec))
+        assert cfg.node_count() > 100
+        assert "main" in cfg.functions
+
+    def test_seeded_violation_detected(self):
+        from repro.modelcheck import AnnotatedChecker, simple_privilege_property
+
+        spec = PackageSpec("x", 500, 8, seed=5, violation=True)
+        cfg = build_cfg(generate_package(spec))
+        checker = AnnotatedChecker(cfg, simple_privilege_property())
+        assert checker.check().has_violation
+
+    def test_table1_specs_match_paper_sizes(self):
+        sizes = {spec.name: spec.target_lines for spec in TABLE1_PACKAGES}
+        assert sizes["vixiecron-3.0.1"] == 4_000
+        assert sizes["at-3.1.8"] == 6_000
+        assert sizes["sendmail-8.12.8"] == 222_000
+        assert sizes["apache-2.0.40"] == 229_000
+
+
+class TestGraphWorkloads:
+    def test_shapes(self):
+        machine = one_bit_machine()
+        workload = random_annotated_graph(machine, 20, 50, seed=1, n_sources=2)
+        assert workload.n_vars == 20
+        assert len(workload.edges) == 50
+        assert len(workload.sources) == 2
+        for src, dst, word in workload.edges:
+            assert 0 <= src < 20 and 0 <= dst < 20
+            for sym in word:
+                assert sym in machine.alphabet
+
+    def test_deterministic(self):
+        machine = one_bit_machine()
+        a = random_annotated_graph(machine, 10, 20, seed=7)
+        b = random_annotated_graph(machine, 10, 20, seed=7)
+        assert a.edges == b.edges and a.sources == b.sources
+
+    def test_solve_bidirectional_runs(self):
+        machine = one_bit_machine()
+        workload = random_annotated_graph(machine, 15, 40, seed=3)
+        solver = solve_bidirectional(machine, workload)
+        assert solver.fact_count() > 0
+
+    def test_random_constraint_system_consistent_types(self):
+        machine = one_bit_machine()
+        solver = random_constraint_system(machine, 10, 60, seed=4)
+        # inconsistencies are possible (random constructors may clash);
+        # the solver must simply terminate with bounded facts.
+        assert solver.fact_count() < 100_000

@@ -1,0 +1,109 @@
+"""Tests for the AnnotatedConstraintSystem surface API and package exports."""
+
+import repro
+from repro import AnnotatedConstraintSystem
+from repro.dfa.gallery import one_bit_machine, privilege_machine
+
+
+class TestQuickstart:
+    def test_readme_example(self):
+        system = AnnotatedConstraintSystem(one_bit_machine())
+        c = system.constant("c")
+        X, Y = system.var("X"), system.var("Y")
+        system.add(c, X, "g")
+        system.add(X, Y)
+        assert system.reaches(Y, c)
+
+    def test_kill_erases(self):
+        system = AnnotatedConstraintSystem(one_bit_machine())
+        c = system.constant("c")
+        X, Y = system.var("X"), system.var("Y")
+        system.add(c, X, "g")
+        system.add(X, Y, "k")
+        assert not system.reaches(Y, c)
+
+
+class TestSurfaceSyntax:
+    def test_vars_interned(self):
+        system = AnnotatedConstraintSystem(one_bit_machine())
+        assert system.var("X") is system.var("X")
+
+    def test_word_annotations(self):
+        system = AnnotatedConstraintSystem(privilege_machine())
+        ann = system.annotation(["seteuid_zero", "execl"])
+        assert system.algebra.is_accepting(ann)
+
+    def test_symbol_annotation(self):
+        system = AnnotatedConstraintSystem(privilege_machine())
+        assert system.annotation("execl") == system.algebra.symbol("execl")
+
+    def test_none_is_identity(self):
+        system = AnnotatedConstraintSystem(privilege_machine())
+        assert system.annotation(None) == system.algebra.identity
+
+    def test_target_state_query(self):
+        machine = privilege_machine()
+        system = AnnotatedConstraintSystem(machine)
+        c = system.constant("c")
+        X, Y = system.var("X"), system.var("Y")
+        system.add(c, X)
+        system.add(X, Y, "seteuid_zero")
+        priv = machine.run(["seteuid_zero"])
+        assert system.reaches(Y, c, target_states={priv})
+        assert not system.reaches(Y, c)  # priv is not the accept state
+
+    def test_witness(self):
+        system = AnnotatedConstraintSystem(privilege_machine())
+        c = system.constant("c")
+        X, Y = system.var("X"), system.var("Y")
+        system.add(c, X, info="seed")
+        system.add(X, Y, "seteuid_zero", info="step")
+        ann = system.algebra.symbol("seteuid_zero")
+        assert system.witness(Y, c, ann) == ["seed", "step"]
+
+    def test_terms_of(self):
+        system = AnnotatedConstraintSystem(one_bit_machine())
+        c = system.constant("c")
+        X = system.var("X")
+        system.add(c, X, "g")
+        terms = system.terms_of(X)
+        assert len(terms) == 1
+
+    def test_reachability_cache_invalidation(self):
+        system = AnnotatedConstraintSystem(one_bit_machine())
+        c = system.constant("c")
+        X, Y = system.var("X"), system.var("Y")
+        system.add(c, X, "g")
+        assert not system.reaches(Y, c)
+        system.add(X, Y)  # cache must refresh
+        assert system.reaches(Y, c)
+
+    def test_consistency_flag(self):
+        system = AnnotatedConstraintSystem(one_bit_machine())
+        c, d = system.constant("c"), system.constant("d")
+        X = system.var("X")
+        system.add(c, X)
+        assert system.is_consistent
+        system.add(X, d)
+        assert not system.is_consistent
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_example_runs(self):
+        # Mirrors the module docstring quickstart.
+        from repro import AnnotatedConstraintSystem as ACS
+        from repro.dfa.gallery import one_bit_machine as m
+
+        system = ACS(m())
+        c = system.constant("c")
+        X, Y = system.var("X"), system.var("Y")
+        system.add(c, X, "g")
+        system.add(X, Y)
+        assert system.reaches(Y, c)

@@ -1,0 +1,106 @@
+"""Tests for constructors, set expressions, and annotated ground terms."""
+
+import pytest
+
+from repro.core.errors import ConstraintError
+from repro.core.terms import (
+    Constructed,
+    Constructor,
+    GroundTerm,
+    Projection,
+    Variable,
+    VariableFactory,
+    constant,
+    ground,
+    subterms,
+)
+
+
+class TestConstructors:
+    def test_application(self):
+        pair = Constructor("pair", 2)
+        x, y = Variable("X"), Variable("Y")
+        expr = pair(x, y)
+        assert expr.constructor == pair
+        assert expr.args == (x, y)
+        assert str(expr) == "pair(X, Y)"
+
+    def test_constant(self):
+        c = constant("c")
+        assert c.is_constant
+        assert str(c) == "c"
+
+    def test_arity_mismatch(self):
+        pair = Constructor("pair", 2)
+        with pytest.raises(ConstraintError):
+            pair(Variable("X"))
+
+    def test_negative_arity(self):
+        with pytest.raises(ConstraintError):
+            Constructor("bad", -1)
+
+    def test_projection_bounds(self):
+        pair = Constructor("pair", 2)
+        x = Variable("X")
+        assert pair.proj(1, x).index == 1
+        assert pair.proj(2, x).index == 2
+        with pytest.raises(ConstraintError):
+            pair.proj(0, x)
+        with pytest.raises(ConstraintError):
+            pair.proj(3, x)
+
+    def test_projection_str(self):
+        pair = Constructor("pair", 2)
+        assert str(pair.proj(2, Variable("Y"))) == "pair^-2(Y)"
+
+
+class TestVariableFactory:
+    def test_freshness(self):
+        factory = VariableFactory()
+        a, b = factory.fresh(), factory.fresh()
+        assert a != b
+
+    def test_hint(self):
+        factory = VariableFactory()
+        assert factory.fresh("arg").name.startswith("arg#")
+
+
+class TestGroundTerms:
+    def test_append_distributes_over_levels(self):
+        # (c^w(t))·w' appends at every level (Section 2.3).
+        inner = ground("c", ("a",))
+        outer = GroundTerm(Constructor("o", 1), ("b",), (inner,))
+        appended = outer.append(("z",))
+        assert appended.annotation == ("b", "z")
+        assert appended.children[0].annotation == ("a", "z")
+
+    def test_append_identity(self):
+        term = ground("c", ("a", "b"))
+        assert term.append(()) == term
+
+    def test_append_composition(self):
+        term = ground("c", ())
+        assert term.append(("x",)).append(("y",)) == term.append(("x", "y"))
+
+    def test_depth_and_erase(self):
+        leaf = ground("a", ())
+        tree = GroundTerm(Constructor("f", 2), (), (leaf, ground("b", ())))
+        assert tree.depth() == 2
+        assert tree.erase() == ("f", (("a", ()), ("b", ())))
+
+    def test_children_arity_checked(self):
+        with pytest.raises(ConstraintError):
+            GroundTerm(Constructor("f", 2), (), (ground("a"),))
+
+    def test_subterms(self):
+        leaf1, leaf2 = ground("a"), ground("b")
+        tree = GroundTerm(Constructor("f", 2), (), (leaf1, leaf2))
+        assert list(subterms(tree)) == [tree, leaf1, leaf2]
+
+    def test_str(self):
+        term = GroundTerm(Constructor("o", 1), ("g",), (ground("c", ()),))
+        assert str(term) == "o^g(c^ε)"
+
+    def test_hashable(self):
+        assert ground("c", ("a",)) in {ground("c", ("a",))}
+        assert ground("c", ("a",)) not in {ground("c", ("b",))}

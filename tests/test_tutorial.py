@@ -1,0 +1,107 @@
+"""Executable version of docs/TUTORIAL.md — the docs must not rot."""
+
+from repro import AnnotatedConstraintSystem
+from repro.cfg import build_cfg
+from repro.dfa.monoid import TransitionMonoid
+from repro.dfa.spec import parse_spec
+from repro.modelcheck import AnnotatedChecker, DemandChecker, Property
+from repro.mops import MopsChecker
+
+SPEC = """
+start state Idle :
+    | begin -> Open;
+
+state Open :
+    | commit -> Idle
+    | rollback -> Idle
+    | network_send -> Error;
+
+accept state Error;
+"""
+
+PROGRAM = """
+void audit() { network_send(1); }
+int main() {
+  begin();
+  if (ok) { commit(); } else { log_it(); }
+  audit();
+  return 0;
+}
+"""
+
+
+def txn_property() -> Property:
+    machine = parse_spec(SPEC).to_dfa()
+
+    def event_of(node):
+        call = node.call
+        if call is None:
+            return None
+        if call.callee in ("begin", "commit", "rollback", "network_send"):
+            return (call.callee, None)
+        return None
+
+    return Property("txn", machine, event_of)
+
+
+def test_step1_specialization_is_small():
+    machine = parse_spec(SPEC).to_dfa()
+    assert TransitionMonoid(machine).size() < 40
+
+
+def test_step3_violation_with_trace_and_stack():
+    prop = txn_property()
+    cfg = build_cfg(PROGRAM)
+    checker = AnnotatedChecker(cfg, prop)
+    result = checker.check(traces=True)
+    assert result.has_violation
+    violation = min(result.violations, key=lambda v: v.node.id)
+    assert violation.trace
+    # the violating statement is inside audit(), with a pending frame
+    reach = checker.reachability()
+    audit_nodes = [n for n in cfg.all_nodes() if n.function == "audit"]
+    stacks = [
+        reach.stack_of(checker.node_var(node), checker.pc, ann)
+        for node in audit_nodes
+        for ann in reach.annotations_of(checker.node_var(node), checker.pc)
+        if checker.algebra.is_accepting(ann)
+    ]
+    assert any(len(stack) == 1 for stack in stacks)
+
+
+def test_step3_fixed_program_is_clean():
+    prop = txn_property()
+    fixed = PROGRAM.replace("log_it();", "rollback();")
+    assert not AnnotatedChecker(build_cfg(fixed), prop).check().has_violation
+
+
+def test_step4_baseline_agrees():
+    prop = txn_property()
+    for source in (PROGRAM, PROGRAM.replace("log_it();", "rollback();")):
+        cfg = build_cfg(source)
+        annotated = AnnotatedChecker(cfg, prop).check().has_violation
+        mops = MopsChecker(cfg, prop).check().has_violation
+        assert annotated == mops
+
+
+def test_step5_demand_engine_agrees():
+    prop = txn_property()
+    cfg = build_cfg(PROGRAM)
+    assert DemandChecker(cfg, prop).has_violation()
+
+
+def test_step6_hand_wired_system():
+    machine = parse_spec(SPEC).to_dfa()
+    system = AnnotatedConstraintSystem(machine)
+    pc = system.constant("pc")
+    entry, after_begin, after_send = (
+        system.var(n) for n in ("S0", "S1", "S2")
+    )
+    system.add(pc, entry, info="entry")
+    system.add(entry, after_begin, "begin", info="begin")
+    system.add(after_begin, after_send, "network_send", info="send")
+    assert system.reaches(after_send, pc)
+    witness = system.witness(
+        after_send, pc, system.annotation(["begin", "network_send"])
+    )
+    assert witness == ["entry", "begin", "send"]
