@@ -13,15 +13,23 @@ Commands:
 * ``machine NAME --dot`` — print a gallery machine (or its monoid
   size / DOT rendering);
 * ``spec FILE.spec`` — compile a Section 8 automaton specification and
-  report its states, symbols, and representative-function count.
+  report its states, symbols, and representative-function count;
+* ``serve`` — run the analysis service (stdio JSON-lines or TCP);
+* ``query`` — send one service request (to a TCP server with
+  ``--connect``, or to an in-process engine).
+
+Operational errors — unreadable input files, parse failures — exit
+with status 2 and a one-line diagnostic on stderr (no traceback).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
+import repro
 from repro.cfg import build_cfg
 from repro.dfa.gallery import (
     adversarial_machine,
@@ -33,21 +41,12 @@ from repro.dfa.gallery import (
 )
 from repro.dfa.monoid import TransitionMonoid
 from repro.dfa.spec import parse_spec
-from repro.modelcheck import (
-    AnnotatedChecker,
-    chroot_property,
-    file_state_property,
-    full_privilege_property,
-    simple_privilege_property,
-)
+from repro.modelcheck import PROPERTY_FACTORIES, AnnotatedChecker
 from repro.mops import MopsChecker
 
-PROPERTIES: dict[str, Callable] = {
-    "simple-privilege": simple_privilege_property,
-    "full-privilege": full_privilege_property,
-    "file-state": file_state_property,
-    "chroot-jail": chroot_property,
-}
+#: Backwards-compatible alias; the canonical registry lives with the
+#: properties so the service shares it.
+PROPERTIES = PROPERTY_FACTORIES
 
 MACHINES: dict[str, Callable] = {
     "one-bit": one_bit_machine,
@@ -205,10 +204,97 @@ def _cmd_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import AnalysisEngine, AnalysisServer
+
+    engine = AnalysisEngine(
+        cache_size=args.cache_size, snapshot_dir=args.snapshot_dir
+    )
+    server = AnalysisServer(
+        engine, workers=args.workers, timeout=args.timeout
+    )
+    if args.tcp:
+        host, _sep, port_text = args.tcp.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise CLIError(f"invalid --tcp address {args.tcp!r} (want HOST:PORT)")
+        bound_host, bound_port = server.start_tcp(host, port)
+        print(f"repro service listening on {bound_host}:{bound_port}", file=sys.stderr)
+        try:
+            server.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return 0
+    server.serve_stdio()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    params: dict = {}
+    if args.op in ("check", "dataflow", "flow"):
+        if not args.file:
+            raise CLIError(f"query {args.op} requires a program FILE")
+        with open(args.file) as handle:
+            params["program"] = handle.read()
+    if args.op == "check":
+        if not args.property:
+            raise CLIError("query check requires --property")
+        params["property"] = args.property
+        params["traces"] = args.traces
+    elif args.op == "dataflow":
+        if not args.track:
+            raise CLIError("query dataflow requires --track")
+        params["track"] = args.track
+    elif args.op == "flow":
+        if args.flow_query:
+            params["query"] = list(args.flow_query)
+        if args.assume:
+            for pair in args.assume:
+                if ":" not in pair:
+                    raise CLIError(
+                        f"invalid --assume value {pair!r} (want SRC:DST)"
+                    )
+            params["assume"] = [pair.split(":", 1) for pair in args.assume]
+        params["pn"] = args.pn
+
+    if args.connect:
+        from repro.service import ServiceClient, ServiceError
+
+        host, _sep, port_text = args.connect.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise CLIError(f"invalid --connect address {args.connect!r}")
+        try:
+            with ServiceClient(host, port) as client:
+                result = client.request(args.op, **params)
+        except ServiceError as exc:
+            raise CLIError(f"service error {exc.code}: {exc.message}")
+        except OSError as exc:
+            raise CLIError(f"cannot reach {host}:{port}: {exc}")
+    else:
+        from repro.service import AnalysisEngine, EngineError
+
+        try:
+            result = AnalysisEngine().dispatch(args.op, params)
+        except EngineError as exc:
+            raise CLIError(f"{exc.code}: {exc.message}")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regularly annotated set constraints (PLDI 2007)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -256,12 +342,67 @@ def build_parser() -> argparse.ArgumentParser:
     specialize.add_argument("--max-size", type=int, default=100_000)
     specialize.set_defaults(handler=_cmd_specialize)
 
+    serve = commands.add_parser(
+        "serve", help="run the analysis service (stdio JSON-lines or TCP)"
+    )
+    serve.add_argument(
+        "--tcp", metavar="HOST:PORT", help="listen on TCP instead of stdio"
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--timeout", type=float, default=None, help="per-request timeout (seconds)"
+    )
+    serve.add_argument("--cache-size", type=int, default=64)
+    serve.add_argument(
+        "--snapshot-dir", help="persist/reload solved systems in this directory"
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = commands.add_parser(
+        "query", help="send one analysis-service request and print the result"
+    )
+    query.add_argument("op", choices=["check", "dataflow", "flow", "stats", "ping"])
+    query.add_argument("file", nargs="?", help="program file (check/dataflow/flow)")
+    query.add_argument(
+        "--connect", metavar="HOST:PORT", help="query a running TCP server"
+    )
+    query.add_argument("--property", choices=sorted(PROPERTIES))
+    query.add_argument("--traces", action="store_true")
+    query.add_argument("--track", nargs="+")
+    query.add_argument("--flow-query", nargs=2, metavar=("SRC", "DST"))
+    query.add_argument(
+        "--assume",
+        nargs="+",
+        metavar="SRC:DST",
+        help="speculative label flows for a what-if flow query",
+    )
+    query.add_argument("--pn", action="store_true")
+    query.set_defaults(handler=_cmd_query)
+
     return parser
+
+
+class CLIError(Exception):
+    """An operational CLI failure: reported on one line, exit status 2."""
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except CLIError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        target = getattr(exc, "filename", None)
+        where = f" {target!r}" if target else ""
+        print(f"repro: error: cannot read{where}: {exc.strerror or exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # ParseError / LexError / FlowSyntaxError / SpecSyntaxError all
+        # derive from ValueError: a one-line diagnostic, not a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -24,11 +24,12 @@ encoding; nothing in the applications serializes those).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
 from repro.core.annotations import MonoidAlgebra, UnannotatedAlgebra
-from repro.core.solver import Reason, Solver
+from repro.core.solver import Solver
 from repro.core.terms import Constructed, Constructor, Variable
 from repro.dfa.automaton import DFA
 from repro.dfa.monoid import RepresentativeFunction
@@ -92,6 +93,28 @@ def dfa_from_dict(data: dict) -> DFA:
         accepting=frozenset(data["accepting"]),
         delta=delta,
     )
+
+
+#: Fingerprint recorded for systems with no property machine (the
+#: unannotated algebra) — distinct from every real machine hash.
+UNANNOTATED_FINGERPRINT = "unannotated"
+
+
+def machine_fingerprint(machine: DFA | None) -> str:
+    """A stable content hash of a property machine.
+
+    Covers the alphabet, transition table, start state and accepting
+    set (everything :func:`dfa_to_dict` serializes), so two machines
+    fingerprint equal iff they are the same automaton up to the
+    serialized form.  ``None`` (no machine — the unannotated algebra)
+    maps to :data:`UNANNOTATED_FINGERPRINT`.
+    """
+    if machine is None:
+        return UNANNOTATED_FINGERPRINT
+    data = dfa_to_dict(machine)
+    del data["version"]  # the fingerprint is format-version independent
+    blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 # -- solved systems ----------------------------------------------------------------
@@ -173,6 +196,9 @@ def dump_solver(solver: Solver) -> str:
         {
             "version": FORMAT_VERSION,
             "machine": machine_data,
+            "fingerprint": machine_fingerprint(
+                algebra.machine if isinstance(algebra, MonoidAlgebra) else None
+            ),
             "pn_projections": solver.pn_projections,
             "prune_dead": solver.prune_dead,
             "lowers": lowers,
@@ -183,51 +209,109 @@ def dump_solver(solver: Solver) -> str:
     )
 
 
-def load_solver(text: str) -> Solver:
+def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
     """Reconstruct a solver holding an already-closed solved form.
 
     Facts are installed directly (the dump was closed, so re-closing is
     unnecessary work the loader skips); further ``add`` calls resume
     online solving from this state.
+
+    The dump embeds a :func:`machine_fingerprint` of its property
+    machine.  It is verified against the machine actually stored in the
+    dump (detecting a corrupted or hand-edited snapshot), and — when
+    ``expected_fingerprint`` is given — against the machine the caller
+    intends to use, so a snapshot can never be silently replayed
+    against the wrong property machine.  Both mismatches raise
+    :class:`ValueError`.
     """
     data = json.loads(text)
     if data.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported dump version {data.get('version')!r}")
     if data["machine"] is not None:
-        algebra: Any = MonoidAlgebra(dfa_from_dict(data["machine"]))
+        machine = dfa_from_dict(data["machine"])
+        algebra: Any = MonoidAlgebra(machine)
     else:
+        machine = None
         algebra = UnannotatedAlgebra()
+    actual = machine_fingerprint(machine)
+    stored = data.get("fingerprint")
+    if stored is not None and stored != actual:
+        raise ValueError(
+            f"snapshot fingerprint {stored!r} does not match its own "
+            f"machine ({actual!r}): the dump is corrupt or was edited"
+        )
+    if expected_fingerprint is not None and expected_fingerprint != actual:
+        raise ValueError(
+            f"snapshot was solved against machine {actual!r} but "
+            f"{expected_fingerprint!r} was expected: refusing to replay "
+            "it against a different property machine"
+        )
     solver = Solver(
         algebra,
         pn_projections=data.get("pn_projections", False),
         prune_dead=data.get("prune_dead", True),
     )
-    loaded = Reason("loaded")
+
+    # A solved form repeats the same few terms, variables and
+    # annotations across tens of thousands of facts; interning them
+    # makes loading linear in *distinct* objects, which is what lets a
+    # snapshot warm-start beat re-solving.  Loaded facts get no
+    # provenance entry: witness reconstruction treats a missing reason
+    # exactly like the opaque ``loaded`` rule (the dump carries no
+    # antecedents), so populating ``_reasons`` would only burn time.
+    variables: dict[str, Variable] = {}
+    constructed: dict[tuple, Constructed] = {}
+    annotations: dict[tuple | None, Any] = {}
+
+    def intern_var(name: str) -> Variable:
+        var = variables.get(name)
+        if var is None:
+            var = variables[name] = Variable(name)
+        return var
+
+    def intern_constructed(cdata: dict) -> Constructed:
+        key = (
+            cdata["name"],
+            cdata["arity"],
+            tuple(cdata["variance"]) if cdata["variance"] is not None else None,
+            tuple(cdata["args"]),
+        )
+        expr = constructed.get(key)
+        if expr is None:
+            ctor = Constructor(key[0], key[1], key[2])
+            expr = constructed[key] = Constructed(
+                ctor, tuple(intern_var(n) for n in cdata["args"])
+            )
+        return expr
+
+    def intern_annotation(adata: Any) -> Any:
+        key = None if adata is None else tuple(adata)
+        ann = annotations.get(key)
+        if ann is None:
+            ann = annotations[key] = _decode_annotation(adata)
+        return ann
+
     for var_name, src_data, ann_data in data["lowers"]:
-        var = Variable(var_name)
-        key = (_decode_constructed(src_data), _decode_annotation(ann_data))
+        var = intern_var(var_name)
+        key = (intern_constructed(src_data), intern_annotation(ann_data))
         solver._lower.setdefault(var, {})[key] = None
-        solver._reasons.setdefault(("lower", var, *key), loaded)
     for var_name, snk_data, ann_data in data["uppers"]:
-        var = Variable(var_name)
-        key = (_decode_constructed(snk_data), _decode_annotation(ann_data))
+        var = intern_var(var_name)
+        key = (intern_constructed(snk_data), intern_annotation(ann_data))
         solver._upper.setdefault(var, {})[key] = None
-        solver._reasons.setdefault(("upper", var, *key), loaded)
     for src_name, dst_name, ann_data in data["edges"]:
-        src, dst = Variable(src_name), Variable(dst_name)
-        ann = _decode_annotation(ann_data)
+        src, dst = intern_var(src_name), intern_var(dst_name)
+        ann = intern_annotation(ann_data)
         solver._succ.setdefault(src, {})[(dst, ann)] = None
         solver._pred.setdefault(dst, {})[(src, ann)] = None
-        solver._reasons.setdefault(("edge", src, dst, ann), loaded)
     for var_name, ctor_data, index, target_name, ann_data in data["projections"]:
-        var = Variable(var_name)
+        var = intern_var(var_name)
         variance = (
             tuple(ctor_data["variance"])
             if ctor_data["variance"] is not None
             else None
         )
         ctor = Constructor(ctor_data["name"], ctor_data["arity"], variance)
-        key = (ctor, index, Variable(target_name), _decode_annotation(ann_data))
+        key = (ctor, index, intern_var(target_name), intern_annotation(ann_data))
         solver._proj.setdefault(var, {})[key] = None
-        solver._reasons.setdefault(("proj", var, *key), loaded)
     return solver

@@ -53,6 +53,36 @@ from repro.core.terms import (
 FactKey = tuple
 
 
+@dataclass
+class SolverStats:
+    """Lightweight monotone counters maintained by the solver.
+
+    Plain integer increments on the hot path (no locks, no callbacks);
+    :mod:`repro.service.metrics` snapshots them for the analysis
+    service.  ``rollbacks`` counts :meth:`Solver.rollback` calls — it is
+    monotone even though rollback removes facts.
+    """
+
+    edges_added: int = 0
+    lowers_added: int = 0
+    uppers_added: int = 0
+    projections_added: int = 0
+    compositions: int = 0
+    marks: int = 0
+    rollbacks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "edges_added": self.edges_added,
+            "lowers_added": self.lowers_added,
+            "uppers_added": self.uppers_added,
+            "projections_added": self.projections_added,
+            "compositions": self.compositions,
+            "marks": self.marks,
+            "rollbacks": self.rollbacks,
+        }
+
+
 @dataclass(frozen=True)
 class Reason:
     """Provenance of a derived fact: the rule and its antecedent facts.
@@ -102,6 +132,7 @@ class Solver:
         self._work: deque[FactKey] = deque()
         self.inconsistencies: list[Inconsistency] = []
         self.facts_processed = 0
+        self.stats = SolverStats()
         # Backtracking journal (BANSHEE's toolkit supported constraint
         # retraction): each mark() opens an epoch; every fact recorded
         # while an epoch is open is undone by rollback().  Sound because
@@ -190,12 +221,14 @@ class Solver:
         :meth:`rollback` — the online analog of re-running without them.
         """
         self._journal.append([])
+        self.stats.marks += 1
         return len(self._journal)
 
     def rollback(self) -> None:
         """Retract everything added since the most recent :meth:`mark`."""
         if not self._journal:
             raise RuntimeError("rollback() without a matching mark()")
+        self.stats.rollbacks += 1
         epoch = self._journal.pop()
         for record in reversed(epoch):
             tag = record[0]
@@ -334,6 +367,7 @@ class Solver:
             table[key] = None
             self._pred.setdefault(dst_var, {})[(src_var, ann)] = None
             self._record(("edge", src_var, key))
+            self.stats.edges_added += 1
         elif kind == "lower":
             _tag, var, src, ann = fact
             table = self._lower.setdefault(var, {})
@@ -342,6 +376,7 @@ class Solver:
                 return
             table[key] = None
             self._record(("lower", var, key))
+            self.stats.lowers_added += 1
         elif kind == "upper":
             _tag, var, snk, ann = fact
             table = self._upper.setdefault(var, {})
@@ -350,6 +385,7 @@ class Solver:
                 return
             table[key] = None
             self._record(("upper", var, key))
+            self.stats.uppers_added += 1
         elif kind == "proj":
             _tag, var, ctor, index, target, ann = fact
             table = self._proj.setdefault(var, {})
@@ -358,6 +394,7 @@ class Solver:
                 return
             table[key] = None
             self._record(("proj", var, key))
+            self.stats.projections_added += 1
         else:  # pragma: no cover - defensive
             raise AssertionError(f"unknown fact kind {kind!r}")
         self._reasons.setdefault(fact, reason)
@@ -368,6 +405,7 @@ class Solver:
 
     def _drain(self) -> None:
         then = self.algebra.then
+        stats = self.stats
         while self._work:
             fact = self._work.popleft()
             self.facts_processed += 1
@@ -375,6 +413,7 @@ class Solver:
             if kind == "edge":
                 _tag, src_var, dst_var, g = fact
                 for lower_src, f in list(self._lower.get(src_var, {})):
+                    stats.compositions += 1
                     self._enqueue(
                         ("lower", dst_var, lower_src, then(f, g)),
                         Reason(
@@ -385,11 +424,13 @@ class Solver:
             elif kind == "lower":
                 _tag, var, src, f = fact
                 for dst_var, g in list(self._succ.get(var, {})):
+                    stats.compositions += 1
                     self._enqueue(
                         ("lower", dst_var, src, then(f, g)),
                         Reason("trans", (fact, ("edge", var, dst_var, g))),
                     )
                 for snk, g in list(self._upper.get(var, {})):
+                    stats.compositions += 1
                     self._meet(
                         src,
                         snk,
@@ -400,6 +441,7 @@ class Solver:
                 if isinstance(src, Constructed) and src.args:
                     for ctor, index, target, g in list(self._proj.get(var, {})):
                         if ctor == src.constructor:
+                            stats.compositions += 1
                             self._enqueue(
                                 (
                                     "edge",
@@ -414,6 +456,7 @@ class Solver:
                             )
                 elif self.pn_projections and isinstance(src, Constructed):
                     for ctor, index, target, g in list(self._proj.get(var, {})):
+                        stats.compositions += 1
                         self._enqueue(
                             ("lower", target, src, then(f, g)),
                             Reason(
@@ -424,6 +467,7 @@ class Solver:
             elif kind == "upper":
                 _tag, var, snk, g = fact
                 for src, f in list(self._lower.get(var, {})):
+                    stats.compositions += 1
                     self._meet(
                         src,
                         snk,
@@ -435,11 +479,13 @@ class Solver:
                 _tag, var, ctor, index, target, g = fact
                 for src, f in list(self._lower.get(var, {})):
                     if isinstance(src, Constructed) and src.constructor == ctor and src.args:
+                        stats.compositions += 1
                         self._enqueue(
                             ("edge", src.args[index - 1], target, then(f, g)),
                             Reason("project", (("lower", var, src, f), fact)),
                         )
                     elif self.pn_projections and src.is_constant:
+                        stats.compositions += 1
                         self._enqueue(
                             ("lower", target, src, then(f, g)),
                             Reason("pn-project", (("lower", var, src, f), fact)),

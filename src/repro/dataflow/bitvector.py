@@ -28,13 +28,33 @@ from repro.dfa.gallery import one_bit_machine
 
 
 class AnnotatedBitVectorAnalysis:
-    """Solve a bit-vector problem with the annotated-constraint solver."""
+    """Solve a bit-vector problem with the annotated-constraint solver.
 
-    def __init__(self, cfg: ProgramCFG, problem: BitVectorProblem):
+    ``algebra`` reuses a prebuilt :class:`ProductAlgebra` of one-bit
+    monoid algebras (the analysis service shares one per bit width so
+    repeated requests skip recompiling the monoids); it must have
+    exactly ``problem.n_bits`` components.
+    """
+
+    def __init__(
+        self,
+        cfg: ProgramCFG,
+        problem: BitVectorProblem,
+        algebra: ProductAlgebra | None = None,
+    ):
         self.cfg = cfg
         self.problem = problem
-        bit_algebra = MonoidAlgebra(one_bit_machine())
-        self.algebra = ProductAlgebra([bit_algebra] * problem.n_bits)
+        if algebra is not None:
+            if len(algebra.components) != problem.n_bits:
+                raise ValueError(
+                    f"shared algebra has {len(algebra.components)} components "
+                    f"but the problem tracks {problem.n_bits} facts"
+                )
+            bit_algebra = algebra.components[0]
+            self.algebra = algebra
+        else:
+            bit_algebra = MonoidAlgebra(one_bit_machine())
+            self.algebra = ProductAlgebra([bit_algebra] * problem.n_bits)
         self._gen = bit_algebra.symbol("g")
         self._kill = bit_algebra.symbol("k")
         self._eps = bit_algebra.identity

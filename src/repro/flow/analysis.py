@@ -76,6 +76,35 @@ class FlowAnalysis:
         marker = self._markers[source]
         return self._reachability.annotations_of(self.label_var(target), marker)
 
+    def flows_assuming(
+        self,
+        assumptions: "list[tuple[str, str]]",
+        source: str,
+        target: str,
+    ) -> bool:
+        """What-if query: does ``source`` flow to ``target`` under extra flows?
+
+        Each ``(a, b)`` assumption is speculatively added as a direct
+        subtyping edge ``a ⊆ b`` under a solver :meth:`mark`; online
+        solving layers the consequences onto the already-solved system,
+        the query is answered, and :meth:`rollback` retracts everything
+        — no re-solve of the base program (Section 5's separate-analysis
+        motivation, served incrementally)."""
+        for name in (source, target):
+            if name not in self._markers:
+                raise KeyError(f"no label named {name!r} in the program")
+        solver = self.system.solver
+        solver.mark()
+        try:
+            for a_src, a_dst in assumptions:
+                solver.add(self.label_var(a_src), self.label_var(a_dst))
+            speculative = Reachability(solver, through_constructors=self.pn)
+            return speculative.reaches(
+                self.label_var(target), self._markers[source]
+            )
+        finally:
+            solver.rollback()
+
     def flow_pairs(self) -> set[tuple[str, str]]:
         """All ``(source, target)`` label pairs with flow — the full matrix."""
         pairs: set[tuple[str, str]] = set()

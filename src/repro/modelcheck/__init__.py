@@ -4,6 +4,7 @@ from repro.modelcheck.checker import AnnotatedChecker, CheckResult, Violation
 from repro.modelcheck.combine import combine_properties, component_errors
 from repro.modelcheck.demand import DemandChecker
 from repro.modelcheck.properties import (
+    PROPERTY_FACTORIES,
     Property,
     chroot_property,
     file_state_property,
@@ -13,6 +14,7 @@ from repro.modelcheck.properties import (
 )
 
 __all__ = [
+    "PROPERTY_FACTORIES",
     "AnnotatedChecker",
     "CheckResult",
     "DemandChecker",

@@ -134,7 +134,20 @@ def _epsilon_scc_representatives(cfg: ProgramCFG, event_of) -> dict[int, int]:
 
 
 class AnnotatedChecker:
-    """Model-check a program CFG against a temporal safety property."""
+    """Model-check a program CFG against a temporal safety property.
+
+    ``algebra`` reuses a prebuilt annotation algebra (the analysis
+    service caches one compiled monoid per property machine and shares
+    it across checks); it must be an algebra over ``prop.machine``.
+
+    ``solver`` warm-starts the checker from an already-solved system
+    (e.g. one reloaded via :func:`repro.core.persist.load_solver`):
+    encoding is skipped entirely and queries run against the loaded
+    solved form.  The solver must have been produced by encoding the
+    *same* CFG/property pair — variable names (``S<node_id>``) are
+    deterministic, so the node↔variable correspondence is recovered
+    without re-encoding.
+    """
 
     def __init__(
         self,
@@ -142,16 +155,24 @@ class AnnotatedChecker:
         prop: Property,
         eager: bool = True,
         collapse_cycles: bool = False,
+        algebra: Any | None = None,
+        solver: Solver | None = None,
     ):
         self.cfg = cfg
         self.property = prop
-        if prop.parametric_symbols:
-            self.algebra: Any = ParametricAlgebra(
-                prop.machine, prop.parametric_symbols, eager=eager
-            )
+        if solver is not None:
+            self.algebra = solver.algebra
+            self.solver = solver
         else:
-            self.algebra = MonoidAlgebra(prop.machine, eager=eager)
-        self.solver = Solver(self.algebra)
+            if algebra is not None:
+                self.algebra = algebra
+            elif prop.parametric_symbols:
+                self.algebra = ParametricAlgebra(
+                    prop.machine, prop.parametric_symbols, eager=eager
+                )
+            else:
+                self.algebra = MonoidAlgebra(prop.machine, eager=eager)
+            self.solver = Solver(self.algebra)
         self.pc = Constructor("pc", 0)()
         self._vars: dict[int, Variable] = {}
         self._constraints = 0
@@ -161,7 +182,14 @@ class AnnotatedChecker:
         self._rep: dict[int, int] = {}
         if collapse_cycles:
             self._rep = _epsilon_scc_representatives(cfg, prop.event_of)
-        self._encode()
+        if solver is None:
+            self._encode()
+        else:
+            # Warm start: recover the node ↔ variable correspondence the
+            # original encode produced (names are deterministic), so the
+            # query loops in check()/has_violation() see every node.
+            for node in cfg.all_nodes():
+                self.node_var(node)
         self._reachability: Reachability | None = None
 
     # -- encoding ---------------------------------------------------------------

@@ -278,3 +278,14 @@ def file_state_property() -> Property:
         event_of=_file_state_event,
         parametric_symbols={"open": ("x",), "close": ("x",)},
     )
+
+
+#: The canonical name → factory registry of checkable properties, shared
+#: by the CLI and the analysis service (:mod:`repro.service`).
+PROPERTY_FACTORIES: dict[str, Callable[[], Property]] = {
+    "simple-privilege": simple_privilege_property,
+    "full-privilege": full_privilege_property,
+    "file-state": file_state_property,
+    "chroot-jail": chroot_property,
+    "heap-state": heap_state_property,
+}

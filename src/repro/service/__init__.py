@@ -1,0 +1,36 @@
+"""The analysis engine service (long-lived front door to the solver).
+
+The paper motivates separate/online analysis — solve a library once,
+reuse the solved system across many client queries (Section 5).  This
+package serves that workload:
+
+* :class:`~repro.service.engine.AnalysisEngine` — an embeddable facade
+  over the model checker, dataflow, and flow analyses with machine/
+  monoid caching, an LRU of solved systems, snapshot warm-start, and
+  mark/rollback what-if queries;
+* :mod:`~repro.service.protocol` — the versioned JSON-lines request/
+  response schema with typed error codes;
+* :class:`~repro.service.server.AnalysisServer` — stdio + TCP server
+  with a bounded worker pool, per-request timeouts, and per-request
+  fault isolation;
+* :class:`~repro.service.client.ServiceClient` — the matching client;
+* :class:`~repro.service.metrics.Metrics` — request/cache/solver
+  counters surfaced by the ``stats`` operation.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.engine import AnalysisEngine, EngineError, program_hash
+from repro.service.metrics import Metrics
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import AnalysisServer
+
+__all__ = [
+    "AnalysisEngine",
+    "AnalysisServer",
+    "EngineError",
+    "Metrics",
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "ServiceError",
+    "program_hash",
+]

@@ -1,0 +1,139 @@
+"""Client for the analysis service's JSON-lines protocol.
+
+:class:`ServiceClient` speaks to a TCP server::
+
+    with ServiceClient("127.0.0.1", 7432) as client:
+        result = client.check(source, "simple-privilege")
+        if result["has_violation"]:
+            ...
+
+Convenience methods mirror the protocol operations; each returns the
+response's ``result`` dict or raises :class:`ServiceError` carrying the
+typed error code.  The client is thread-safe: a lock serializes the
+socket, and responses are matched to requests by id (the server may
+answer pipelined requests out of order).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.service import protocol
+
+
+class ServiceError(Exception):
+    """An error response from the service, with its wire error code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """A blocking TCP client for :class:`repro.service.server.AnalysisServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7432, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._buffer = b""
+        self._next_id = 0
+        # responses that arrived while waiting for a different id
+        self._mailbox: dict[Any, protocol.Response] = {}
+
+    # -- plumbing --------------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._sock = sock
+        return self
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _read_line(self) -> str:
+        assert self._sock is not None
+        while b"\n" not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ServiceError(
+                    protocol.E_INTERNAL, "connection closed by server"
+                )
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line.decode("utf-8")
+
+    def request(self, op: str, **params: Any) -> dict:
+        """Send one request and return its ``result`` (or raise)."""
+        self.connect()
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            line = protocol.encode_request(
+                protocol.Request(op=op, params=params, id=request_id)
+            )
+            assert self._sock is not None
+            self._sock.sendall(line.encode("utf-8") + b"\n")
+            while True:
+                response = self._mailbox.pop(request_id, None)
+                if response is None:
+                    response = protocol.decode_response(self._read_line())
+                    if response.id != request_id:
+                        self._mailbox[response.id] = response
+                        continue
+                break
+        if not response.ok:
+            assert response.error is not None
+            raise ServiceError(response.error["code"], response.error["message"])
+        assert response.result is not None
+        return response.result
+
+    # -- operations ------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def check(self, program: str, property: str, **options: Any) -> dict:
+        return self.request("check", program=program, property=property, **options)
+
+    def dataflow(self, program: str, track: list[str]) -> dict:
+        return self.request("dataflow", program=program, track=track)
+
+    def flow(
+        self,
+        program: str,
+        query: list[str] | None = None,
+        pn: bool = False,
+        assume: list[list[str]] | None = None,
+    ) -> dict:
+        params: dict[str, Any] = {"program": program, "pn": pn}
+        if query is not None:
+            params["query"] = list(query)
+        if assume is not None:
+            params["assume"] = [list(pair) for pair in assume]
+        return self.request("flow", **params)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")

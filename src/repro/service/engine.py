@@ -1,0 +1,439 @@
+"""The embeddable analysis engine: caching, warm-start, what-if.
+
+:class:`AnalysisEngine` is a facade over the three applications
+(:mod:`repro.modelcheck`, :mod:`repro.dataflow`, :mod:`repro.flow`)
+designed for a long-lived process answering many queries:
+
+* **machine cache** — compiled property machines and their
+  representative-function monoids are built once per machine
+  fingerprint (:func:`repro.core.persist.machine_fingerprint`) and
+  shared across every request that uses the same property;
+* **solve cache** — solved constraint systems are kept in an LRU keyed
+  by ``(machine fingerprint, program content hash)``; a repeated query
+  for the same (machine, program) pair reuses the solved form and pays
+  only the query cost;
+* **snapshot warm-start** — with a ``snapshot_dir``, cold solves of
+  non-parametric check systems are persisted via
+  :func:`repro.core.persist.dump_solver`; a later engine (or process)
+  reloads the solved form instead of re-solving, with the fingerprint
+  verified so a snapshot is never replayed against the wrong machine;
+* **what-if queries** — speculative constraints are layered on a cached
+  solved system under :meth:`Solver.mark`/``rollback`` (flow ``assume``
+  edges), answering incremental questions without re-solving the base
+  program.
+
+The engine is thread-safe: the cache maps are guarded by one lock, and
+each cached entry has its own lock serializing solves and queries on
+that entry (solver and query structures are not internally
+thread-safe), so requests against *different* systems run concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.cfg import build_cfg
+from repro.core.annotations import MonoidAlgebra, ProductAlgebra
+from repro.core.parametric import ParametricAlgebra
+from repro.core.persist import dump_solver, load_solver, machine_fingerprint
+from repro.core.solver import Solver, SolverStats
+from repro.dfa.gallery import one_bit_machine
+from repro.modelcheck import PROPERTY_FACTORIES, AnnotatedChecker
+from repro.modelcheck.properties import Property
+from repro.service import protocol
+from repro.service.metrics import Metrics
+
+
+class EngineError(Exception):
+    """An analysis request the engine cannot serve, with its wire code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def program_hash(source: str) -> str:
+    """Content hash identifying a program text in cache keys."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+class _Entry:
+    """One cached solved system: the analysis object plus its own lock."""
+
+    __slots__ = ("lock", "analysis", "solver", "results")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.analysis: Any = None
+        self.solver: Solver | None = None
+        self.results: dict[Any, Any] = {}
+
+
+class AnalysisEngine:
+    """Cached, concurrent front door to the constraint solver."""
+
+    def __init__(
+        self,
+        cache_size: int = 64,
+        snapshot_dir: str | pathlib.Path | None = None,
+        metrics: Metrics | None = None,
+    ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
+        self.cache_size = cache_size
+        self.snapshot_dir = (
+            pathlib.Path(snapshot_dir) if snapshot_dir is not None else None
+        )
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._lock = threading.Lock()
+        # property name -> (Property, machine fingerprint)
+        self._properties: dict[str, tuple[Property, str]] = {}
+        # algebra cache key -> compiled annotation algebra
+        self._algebras: dict[Any, Any] = {}
+        self._solved: "OrderedDict[Any, _Entry]" = OrderedDict()
+
+    # -- machine / monoid caching -------------------------------------------
+
+    def _property(self, name: str) -> tuple[Property, str]:
+        with self._lock:
+            cached = self._properties.get(name)
+        if cached is not None:
+            self.metrics.incr("cache.machine.hits")
+            return cached
+        factory = PROPERTY_FACTORIES.get(name)
+        if factory is None:
+            raise EngineError(
+                protocol.E_UNSUPPORTED,
+                f"unknown property {name!r} "
+                f"(known: {', '.join(sorted(PROPERTY_FACTORIES))})",
+            )
+        self.metrics.incr("cache.machine.misses")
+        prop = factory()
+        fingerprint = machine_fingerprint(prop.machine)
+        with self._lock:
+            self._properties.setdefault(name, (prop, fingerprint))
+            return self._properties[name]
+
+    def _check_algebra(self, prop: Property, fingerprint: str) -> Any:
+        """The shared (per-fingerprint) algebra for a check property."""
+        key = (
+            ("param", fingerprint, tuple(sorted(prop.parametric_symbols)))
+            if prop.parametric_symbols
+            else ("monoid", fingerprint)
+        )
+        with self._lock:
+            algebra = self._algebras.get(key)
+        if algebra is not None:
+            self.metrics.incr("cache.machine.hits")
+            return algebra
+        self.metrics.incr("cache.machine.misses")
+        if prop.parametric_symbols:
+            algebra = ParametricAlgebra(prop.machine, prop.parametric_symbols)
+        else:
+            algebra = MonoidAlgebra(prop.machine)
+        with self._lock:
+            return self._algebras.setdefault(key, algebra)
+
+    def _bitvector_algebra(self, n_bits: int) -> ProductAlgebra:
+        key = ("bitvector", n_bits)
+        with self._lock:
+            algebra = self._algebras.get(key)
+        if algebra is not None:
+            self.metrics.incr("cache.machine.hits")
+            return algebra
+        self.metrics.incr("cache.machine.misses")
+        bit = MonoidAlgebra(one_bit_machine())
+        algebra = ProductAlgebra([bit] * n_bits)
+        with self._lock:
+            return self._algebras.setdefault(key, algebra)
+
+    # -- solve cache ---------------------------------------------------------
+
+    def _entry(self, key: Any) -> tuple[_Entry, bool]:
+        """The cache entry for ``key`` (created if absent) and hit flag."""
+        with self._lock:
+            entry = self._solved.get(key)
+            if entry is not None:
+                self._solved.move_to_end(key)
+                return entry, True
+            entry = _Entry()
+            self._solved[key] = entry
+            while len(self._solved) > self.cache_size:
+                self._solved.popitem(last=False)
+                self.metrics.incr("cache.solve.evictions")
+            return entry, False
+
+    def _solve(self, key: Any, builder: Callable[[], Any]) -> _Entry:
+        """Get or build the solved system for ``key``.
+
+        The build runs under the entry's lock, so concurrent requests
+        for the same key block until one of them has solved, then all
+        share the result.  ``builder`` returns the analysis object; it
+        must leave a ``solver`` attribute reachable (``.solver`` or
+        ``.system.solver``).
+        """
+        entry, _hit = self._entry(key)
+        with entry.lock:
+            if entry.analysis is None:
+                self.metrics.incr("cache.solve.misses")
+                with self.metrics.time("solve"):
+                    entry.analysis = builder()
+                entry.solver = getattr(entry.analysis, "solver", None)
+                if entry.solver is None:
+                    entry.solver = entry.analysis.system.solver
+            else:
+                self.metrics.incr("cache.solve.hits")
+        return entry
+
+    def _snapshot_path(self, fingerprint: str, phash: str) -> pathlib.Path | None:
+        if self.snapshot_dir is None:
+            return None
+        return self.snapshot_dir / f"check-{fingerprint}-{phash}.json"
+
+    # -- operations -----------------------------------------------------------
+
+    @staticmethod
+    def _parse_cfg(source: str):
+        try:
+            return build_cfg(source)
+        except ValueError as exc:  # ParseError / LexError
+            raise EngineError(protocol.E_PARSE, str(exc)) from exc
+
+    def check(
+        self,
+        program: str,
+        property: str,
+        traces: bool = False,
+        max_findings: int | None = None,
+    ) -> dict:
+        """Model-check ``program`` against a registered property."""
+        prop, fingerprint = self._property(property)
+        phash = program_hash(program)
+        key = ("check", fingerprint, phash)
+
+        def build() -> AnnotatedChecker:
+            cfg = self._parse_cfg(program)
+            snapshot = self._snapshot_path(fingerprint, phash)
+            if (
+                snapshot is not None
+                and snapshot.exists()
+                and not prop.parametric_symbols
+            ):
+                try:
+                    loaded = load_solver(
+                        snapshot.read_text(), expected_fingerprint=fingerprint
+                    )
+                except (ValueError, OSError):
+                    pass  # stale or corrupt snapshot: fall through to cold
+                else:
+                    self.metrics.incr("cache.snapshot.warm")
+                    return AnnotatedChecker(cfg, prop, solver=loaded)
+            checker = AnnotatedChecker(
+                cfg, prop, algebra=self._check_algebra(prop, fingerprint)
+            )
+            if snapshot is not None and not prop.parametric_symbols:
+                try:
+                    self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+                    snapshot.write_text(dump_solver(checker.solver))
+                    self.metrics.incr("cache.snapshot.saved")
+                except (TypeError, OSError):
+                    pass  # snapshots are best-effort
+            return checker
+
+        entry = self._solve(key, build)
+        with entry.lock:
+            cached = entry.results.get(("check", traces))
+            if cached is None:
+                result = entry.analysis.check(traces=traces)
+                violations = [
+                    {
+                        "where": v.node.describe(),
+                        "line": v.node.line,
+                        "instantiation": (
+                            dict(v.instantiation) if v.instantiation else None
+                        ),
+                        "trace": [step.describe() for step in v.trace],
+                    }
+                    for v in result.violations
+                ]
+                cached = {
+                    "property": property,
+                    "fingerprint": fingerprint,
+                    "program": phash,
+                    "has_violation": result.has_violation,
+                    "violations": violations,
+                    "constraints": result.constraints,
+                    "facts": result.facts,
+                }
+                entry.results[("check", traces)] = cached
+        response = dict(cached)
+        if max_findings is not None:
+            response["violations"] = response["violations"][:max_findings]
+        return response
+
+    def dataflow(self, program: str, track: list[str]) -> dict:
+        """Interprocedural gen/kill facts for the tracked primitives."""
+        from repro.dataflow import AnnotatedBitVectorAnalysis
+        from repro.dataflow.problems import call_tracking_problem
+
+        if not track:
+            raise EngineError(
+                protocol.E_BAD_REQUEST, "dataflow requires at least one primitive"
+            )
+        track = [str(name) for name in track]
+        fingerprint = f"bitvector{len(track)}-{machine_fingerprint(one_bit_machine())}"
+        phash = program_hash(program)
+        key = ("dataflow", fingerprint, phash, tuple(track))
+
+        def build() -> Any:
+            cfg = self._parse_cfg(program)
+            problem = call_tracking_problem(cfg, track)
+            return AnnotatedBitVectorAnalysis(
+                cfg, problem, algebra=self._bitvector_algebra(problem.n_bits)
+            )
+
+        entry = self._solve(key, build)
+        with entry.lock:
+            cached = entry.results.get("dataflow")
+            if cached is None:
+                analysis = entry.analysis
+                facts = list(analysis.problem.facts)
+                nodes = []
+                for node in analysis.cfg.all_nodes():
+                    if node.call is None:
+                        continue
+                    held = analysis.may_hold(node)
+                    nodes.append(
+                        {
+                            "where": node.describe(),
+                            "line": node.line,
+                            "may_hold": sorted(facts[i] for i in held),
+                        }
+                    )
+                cached = {
+                    "fingerprint": fingerprint,
+                    "program": phash,
+                    "facts": facts,
+                    "nodes": nodes,
+                }
+                entry.results["dataflow"] = cached
+        return cached
+
+    def flow(
+        self,
+        program: str,
+        query: list[str] | None = None,
+        pn: bool = False,
+        assume: list[list[str]] | None = None,
+    ) -> dict:
+        """Section 7 label flow; ``assume`` runs an incremental what-if."""
+        from repro.flow import FlowAnalysis
+
+        phash = program_hash(program)
+        key = ("flow", phash, bool(pn))
+
+        def build() -> Any:
+            try:
+                return FlowAnalysis(program, pn=pn)
+            except (ValueError, TypeError) as exc:
+                # FlowSyntaxError / FlowTypeError
+                raise EngineError(protocol.E_PARSE, str(exc)) from exc
+
+        entry = self._solve(key, build)
+        with entry.lock:
+            analysis = entry.analysis
+            result: dict[str, Any] = {
+                "fingerprint": machine_fingerprint(analysis.system.machine),
+                "program": phash,
+                "labels": sorted(analysis.labels),
+                "machine_states": analysis.machine_states,
+                "monoid_size": analysis.monoid_size,
+                "pn": bool(pn),
+            }
+            try:
+                if assume:
+                    if query is None:
+                        raise EngineError(
+                            protocol.E_BAD_REQUEST,
+                            "flow 'assume' requires a 'query' to answer",
+                        )
+                    self.metrics.incr("whatif.queries")
+                    src, dst = query
+                    result["assume"] = [list(pair) for pair in assume]
+                    result["flows"] = analysis.flows_assuming(
+                        [tuple(pair) for pair in assume], src, dst
+                    )
+                    result["query"] = [src, dst]
+                elif query is not None:
+                    src, dst = query
+                    result["flows"] = analysis.flows(src, dst)
+                    result["query"] = [src, dst]
+                else:
+                    result["pairs"] = sorted(
+                        [list(pair) for pair in analysis.flow_pairs()]
+                    )
+            except KeyError as exc:
+                raise EngineError(
+                    protocol.E_BAD_REQUEST, f"unknown label: {exc.args[0]}"
+                ) from exc
+        return result
+
+    def stats(self) -> dict:
+        """Metrics, cache occupancy, and aggregated solver counters."""
+        aggregate = SolverStats()
+        with self._lock:
+            entries = list(self._solved.values())
+            cache_info = {
+                "entries": len(self._solved),
+                "max_entries": self.cache_size,
+                "machines": len(self._algebras),
+                "properties": len(self._properties),
+            }
+        for entry in entries:
+            solver = entry.solver
+            if solver is None:
+                continue
+            stats = solver.stats
+            aggregate.edges_added += stats.edges_added
+            aggregate.lowers_added += stats.lowers_added
+            aggregate.uppers_added += stats.uppers_added
+            aggregate.projections_added += stats.projections_added
+            aggregate.compositions += stats.compositions
+            aggregate.marks += stats.marks
+            aggregate.rollbacks += stats.rollbacks
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = cache_info
+        snapshot["solver"] = aggregate.as_dict()
+        snapshot["protocol"] = protocol.PROTOCOL_VERSION
+        return snapshot
+
+    # -- dispatch (used by the server) ----------------------------------------
+
+    def dispatch(self, op: str, params: dict) -> dict:
+        """Route a validated protocol request to its operation."""
+        if op == "check":
+            return self.check(
+                params["program"],
+                params["property"],
+                traces=bool(params.get("traces", False)),
+                max_findings=params.get("max_findings"),
+            )
+        if op == "dataflow":
+            return self.dataflow(params["program"], params["track"])
+        if op == "flow":
+            return self.flow(
+                params["program"],
+                query=params.get("query"),
+                pn=bool(params.get("pn", False)),
+                assume=params.get("assume"),
+            )
+        if op == "stats":
+            return self.stats()
+        if op == "ping":
+            return {"pong": True, "protocol": protocol.PROTOCOL_VERSION}
+        raise EngineError(protocol.E_BAD_REQUEST, f"unknown op {op!r}")

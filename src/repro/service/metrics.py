@@ -1,0 +1,71 @@
+"""Thread-safe counters and timers for the analysis service.
+
+A single :class:`Metrics` instance is shared by the engine and the
+server.  Counters are plain named integers; timers accumulate wall
+seconds (and a count, so means can be derived).  The conventional keys:
+
+* ``requests.total`` / ``requests.failed`` / ``requests.<op>`` — server
+  traffic, per operation;
+* ``cache.machine.hits`` / ``cache.machine.misses`` — compiled
+  property-machine/monoid cache;
+* ``cache.solve.hits`` / ``cache.solve.misses`` — solved-system cache
+  keyed by (machine fingerprint, program hash);
+* ``cache.snapshot.warm`` — cold solves avoided by reloading a
+  :mod:`repro.core.persist` snapshot;
+* ``cache.solve.evictions`` — LRU pressure;
+* ``whatif.queries`` — speculative mark/rollback queries answered;
+* timer ``solve`` — wall time spent building + solving systems (cache
+  misses only); timer ``request`` — end-to-end handler time.
+
+The ``stats`` operation additionally reports aggregated
+:class:`repro.core.solver.SolverStats` counters (edges added,
+transitive compositions, rollbacks) summed over every live cached
+solver.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Metrics:
+    """Monotone named counters plus accumulating wall-time timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, tuple[int, float]] = {}  # name -> (count, seconds)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        with self._lock:
+            count, total = self._timers.get(name, (0, 0.0))
+            self._timers[name] = (count + 1, total + seconds)
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def snapshot(self) -> dict:
+        """A point-in-time copy, JSON-representable for the wire."""
+        with self._lock:
+            counters = dict(self._counters)
+            timers = {
+                name: {"count": count, "seconds": round(total, 6)}
+                for name, (count, total) in self._timers.items()
+            }
+        return {"counters": counters, "timers": timers}

@@ -1,0 +1,255 @@
+"""Concurrent JSON-lines server for the analysis engine.
+
+Two transports over the same :mod:`repro.service.protocol`:
+
+* **stdio** — requests on stdin, responses on stdout, one JSON object
+  per line.  The mode an editor/driver process embeds.
+* **TCP** — a listening socket; each connection is served by its own
+  reader thread and may pipeline requests (responses carry the request
+  id and may arrive out of order).
+
+All analysis work runs on a shared worker pool bounded by ``workers``,
+so a flood of connections cannot oversubscribe the process.  Each
+request gets:
+
+* a **timeout** (optional): if the analysis does not finish in time the
+  client receives a ``timeout`` error (the worker finishes in the
+  background and warms the cache for a retry);
+* **fault isolation**: any exception — a parse error in the submitted
+  program, an inconsistent system, a bug — is converted into an error
+  response on that request alone; the server keeps serving.
+
+Shutdown is graceful: the ``shutdown`` op (or :meth:`AnalysisServer.close`)
+stops accepting new work, acknowledges the requester, unblocks the
+accept loop, and drains the pool.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import IO, Any
+
+from repro.service import protocol
+from repro.service.engine import AnalysisEngine, EngineError
+from repro.service.metrics import Metrics
+
+
+class AnalysisServer:
+    """A front door serving protocol requests against one engine."""
+
+    def __init__(
+        self,
+        engine: AnalysisEngine | None = None,
+        workers: int = 4,
+        timeout: float | None = None,
+        metrics: Metrics | None = None,
+    ):
+        if engine is None:
+            engine = AnalysisEngine(metrics=metrics)
+        self.engine = engine
+        self.metrics = engine.metrics
+        self.timeout = timeout
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-worker"
+        )
+        self._shutdown = threading.Event()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+
+    @property
+    def closing(self) -> bool:
+        return self._shutdown.is_set()
+
+    # -- request handling ------------------------------------------------------
+
+    def _run(self, request: protocol.Request) -> protocol.Response:
+        """Execute one request on the calling thread (fault-isolated)."""
+        try:
+            result = self.engine.dispatch(request.op, request.params)
+            return protocol.ok_response(request.id, result)
+        except EngineError as exc:
+            return protocol.error_response(request.id, exc.code, exc.message)
+        except Exception as exc:  # fault isolation: never kill the server
+            return protocol.error_response(
+                request.id,
+                protocol.E_INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+            )
+
+    def process_line(self, line: str) -> str:
+        """Handle one raw request line, always returning a response line.
+
+        This is the whole per-request pipeline (decode → dispatch on the
+        pool with timeout → encode) and is what both transports call; it
+        is also handy for tests and in-process embedding.
+        """
+        self.metrics.incr("requests.total")
+        try:
+            request = protocol.decode_request(line)
+        except protocol.ProtocolError as exc:
+            self.metrics.incr("requests.failed")
+            return protocol.encode_response(
+                protocol.error_response(exc.request_id, exc.code, exc.message)
+            )
+        self.metrics.incr(f"requests.{request.op}")
+        if request.op == "shutdown":
+            self._shutdown.set()
+            return protocol.encode_response(
+                protocol.ok_response(request.id, {"closing": True})
+            )
+        if self._shutdown.is_set():
+            self.metrics.incr("requests.failed")
+            return protocol.encode_response(
+                protocol.error_response(
+                    request.id, protocol.E_SHUTTING_DOWN, "server is shutting down"
+                )
+            )
+        with self.metrics.time("request"):
+            future: Future = self._pool.submit(self._run, request)
+            try:
+                response = future.result(timeout=self.timeout)
+            except FutureTimeoutError:
+                self.metrics.incr("requests.timeout")
+                response = protocol.error_response(
+                    request.id,
+                    protocol.E_TIMEOUT,
+                    f"request did not finish within {self.timeout}s",
+                )
+        if not response.ok:
+            self.metrics.incr("requests.failed")
+        return protocol.encode_response(response)
+
+    # -- stdio transport -------------------------------------------------------
+
+    def serve_stdio(
+        self, stdin: IO[str] | None = None, stdout: IO[str] | None = None
+    ) -> None:
+        """Serve requests from ``stdin`` until EOF or shutdown."""
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            stdout.write(self.process_line(line) + "\n")
+            stdout.flush()
+            if self._shutdown.is_set():
+                break
+        self.close()
+
+    # -- TCP transport ---------------------------------------------------------
+
+    def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start accepting in a background thread.
+
+        Returns the bound ``(host, port)`` — pass ``port=0`` to let the
+        OS pick one (tests do).
+        """
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen()
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return listener.getsockname()[:2]
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._shutdown.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed
+            with self._conn_lock:
+                self._connections.add(conn)
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()
+        pending: list[threading.Thread] = []
+
+        def answer(raw: bytes) -> None:
+            reply = self.process_line(raw.decode("utf-8", "replace"))
+            with write_lock:
+                try:
+                    conn.sendall(reply.encode("utf-8") + b"\n")
+                except OSError:
+                    pass  # client went away; nothing to do
+
+        try:
+            buffer = b""
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    raw, buffer = buffer.split(b"\n", 1)
+                    if not raw.strip():
+                        continue
+                    # Pipelining: each request is answered from its own
+                    # thread; process_line already bounds real work via
+                    # the shared pool.
+                    worker = threading.Thread(
+                        target=answer, args=(raw,), daemon=True
+                    )
+                    worker.start()
+                    pending.append(worker)
+                if self._shutdown.is_set():
+                    break
+        except OSError:
+            pass
+        finally:
+            for worker in pending:
+                worker.join(timeout=5)
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._conn_lock:
+                self._connections.discard(conn)
+            if self._shutdown.is_set():
+                self.close()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until shutdown is requested; True if it was."""
+        return self._shutdown.wait(timeout)
+
+    def close(self) -> None:
+        """Stop accepting, close the listener and connections, drain."""
+        self._shutdown.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "AnalysisServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

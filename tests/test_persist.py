@@ -200,3 +200,60 @@ class TestBacktracking:
             solver.add(variables[a], variables[b], algebra.word("g"))
         solver.rollback()
         assert facts_snapshot(solver) == before
+
+
+class TestMachineFingerprint:
+    def test_stable_across_rebuilds(self):
+        from repro.core.persist import machine_fingerprint
+
+        assert machine_fingerprint(privilege_machine()) == machine_fingerprint(
+            privilege_machine()
+        )
+
+    def test_distinguishes_machines(self):
+        from repro.core.persist import machine_fingerprint
+
+        fingerprints = {
+            machine_fingerprint(m)
+            for m in (one_bit_machine(), privilege_machine(), pair_machine(), None)
+        }
+        assert len(fingerprints) == 4
+
+    def test_embedded_in_dump(self):
+        import json
+
+        from repro.core.persist import machine_fingerprint
+
+        solver = build_sample_solver()
+        data = json.loads(dump_solver(solver))
+        assert data["fingerprint"] == machine_fingerprint(privilege_machine())
+
+    def test_load_verifies_expected_fingerprint(self):
+        from repro.core.persist import machine_fingerprint
+
+        dump = dump_solver(build_sample_solver())
+        # the right machine loads fine
+        load_solver(dump, expected_fingerprint=machine_fingerprint(privilege_machine()))
+        # replaying against a different property machine is refused
+        with pytest.raises(ValueError, match="different property machine"):
+            load_solver(
+                dump, expected_fingerprint=machine_fingerprint(one_bit_machine())
+            )
+
+    def test_load_detects_swapped_machine(self):
+        import json
+
+        from repro.core.persist import dfa_to_dict
+
+        # tamper: replace the embedded machine but keep the old fingerprint
+        data = json.loads(dump_solver(build_sample_solver()))
+        data["machine"] = dfa_to_dict(privilege_machine().minimize().complement())
+        with pytest.raises(ValueError, match="corrupt"):
+            load_solver(json.dumps(data))
+
+    def test_unannotated_dump_round_trips_with_fingerprint(self):
+        from repro.core.persist import UNANNOTATED_FINGERPRINT
+
+        solver = Solver()
+        solver.add(constant("c"), Variable("X"))
+        load_solver(dump_solver(solver), expected_fingerprint=UNANNOTATED_FINGERPRINT)

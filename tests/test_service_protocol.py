@@ -1,0 +1,114 @@
+"""Tests for the analysis service wire protocol."""
+
+import json
+
+import pytest
+
+from repro.service import protocol
+
+
+class TestRequestRoundTrip:
+    def test_encode_decode(self):
+        request = protocol.Request(
+            op="check",
+            params={"program": "int main() {}", "property": "simple-privilege"},
+            id=42,
+        )
+        decoded = protocol.decode_request(protocol.encode_request(request))
+        assert decoded.op == "check"
+        assert decoded.id == 42
+        assert decoded.params["property"] == "simple-privilege"
+        assert decoded.version == protocol.PROTOCOL_VERSION
+
+    def test_one_line(self):
+        request = protocol.Request(op="ping", id="a\nb")
+        assert "\n" not in protocol.encode_request(request)
+
+    @pytest.mark.parametrize("op", sorted(protocol.OPS))
+    def test_all_ops_encode(self, op):
+        params = {
+            "check": {"program": "", "property": "p"},
+            "dataflow": {"program": "", "track": ["f"]},
+            "flow": {"program": ""},
+        }.get(op, {})
+        decoded = protocol.decode_request(
+            protocol.encode_request(protocol.Request(op=op, params=params))
+        )
+        assert decoded.op == op
+
+
+class TestRequestErrors:
+    def test_malformed_json(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_request("{not json")
+        assert err.value.code == protocol.E_MALFORMED
+
+    def test_non_object(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_request('["a", "list"]')
+        assert err.value.code == protocol.E_MALFORMED
+
+    def test_version_mismatch(self):
+        line = json.dumps({"v": 999, "id": 7, "op": "ping", "params": {}})
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_request(line)
+        assert err.value.code == protocol.E_VERSION
+        # the id is recovered so the error response can be correlated
+        assert err.value.request_id == 7
+
+    def test_missing_version(self):
+        line = json.dumps({"op": "ping", "params": {}})
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_request(line)
+        assert err.value.code == protocol.E_VERSION
+
+    def test_unknown_op(self):
+        line = json.dumps({"v": 1, "op": "frobnicate", "params": {}})
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_request(line)
+        assert err.value.code == protocol.E_BAD_REQUEST
+
+    def test_missing_required_params(self):
+        line = json.dumps({"v": 1, "op": "check", "params": {"program": "x"}})
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_request(line)
+        assert err.value.code == protocol.E_BAD_REQUEST
+        assert "property" in err.value.message
+
+    def test_params_must_be_object(self):
+        line = json.dumps({"v": 1, "op": "ping", "params": [1, 2]})
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_request(line)
+        assert err.value.code == protocol.E_BAD_REQUEST
+
+
+class TestResponseRoundTrip:
+    def test_ok(self):
+        response = protocol.ok_response(3, {"answer": 42})
+        decoded = protocol.decode_response(protocol.encode_response(response))
+        assert decoded.ok and decoded.id == 3
+        assert decoded.result == {"answer": 42}
+
+    def test_error(self):
+        response = protocol.error_response(9, protocol.E_PARSE, "line 3: nope")
+        decoded = protocol.decode_response(protocol.encode_response(response))
+        assert not decoded.ok
+        assert decoded.error == {"code": protocol.E_PARSE, "message": "line 3: nope"}
+
+    def test_error_codes_are_typed(self):
+        with pytest.raises(AssertionError):
+            protocol.error_response(1, "made-up-code", "nope")
+
+    def test_version_checked(self):
+        line = json.dumps({"v": 0, "id": 1, "ok": True, "result": {}})
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_response(line)
+        assert err.value.code == protocol.E_VERSION
+
+    def test_malformed_response(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_response("}{")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_response(json.dumps({"v": 1, "ok": True}))
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_response(json.dumps({"v": 1, "ok": False}))

@@ -214,3 +214,64 @@ class TestBookkeeping:
         count = solver.fact_count()
         solver.add(c, x)
         assert solver.fact_count() == count
+
+
+class TestSolverStats:
+    """The zero-overhead counters surfaced by the analysis service."""
+
+    def snapshot(self, solver):
+        return dict(solver.stats.as_dict())
+
+    def assert_monotone(self, before, after):
+        for name, value in before.items():
+            assert after[name] >= value, f"{name} decreased: {before} -> {after}"
+
+    def test_counts_edges_and_compositions(self):
+        algebra = MonoidAlgebra(one_bit_machine())
+        solver = Solver(algebra)
+        c = constant("c")
+        x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+        solver.add(c, x, algebra.word("g"))
+        assert solver.stats.lowers_added == 1
+        solver.add(x, y)
+        solver.add(y, z, algebra.word("g"))
+        assert solver.stats.edges_added == 2
+        # c crossed X->Y and Y->Z: at least two transitive compositions
+        assert solver.stats.compositions >= 2
+
+    def test_monotone_under_solving(self):
+        algebra = MonoidAlgebra(one_bit_machine())
+        solver = Solver(algebra)
+        variables = [Variable(f"v{i}") for i in range(5)]
+        solver.add(constant("c"), variables[0], algebra.word("g"))
+        previous = self.snapshot(solver)
+        for i in range(4):
+            solver.add(variables[i], variables[i + 1], algebra.word("k"))
+            current = self.snapshot(solver)
+            self.assert_monotone(previous, current)
+            previous = current
+
+    def test_monotone_across_rollback(self):
+        # rollback removes facts but never decrements a counter
+        solver = Solver(MonoidAlgebra(one_bit_machine()))
+        solver.add(constant("c"), Variable("X"))
+        solver.mark()
+        solver.add(Variable("X"), Variable("Y"))
+        before = self.snapshot(solver)
+        solver.rollback()
+        after = self.snapshot(solver)
+        self.assert_monotone(before, after)
+        assert after["rollbacks"] == before["rollbacks"] + 1
+        assert after["marks"] == 1
+
+    def test_as_dict_keys(self):
+        stats = Solver().stats.as_dict()
+        assert set(stats) == {
+            "edges_added",
+            "lowers_added",
+            "uppers_added",
+            "projections_added",
+            "compositions",
+            "marks",
+            "rollbacks",
+        }
