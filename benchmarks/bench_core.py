@@ -1,0 +1,243 @@
+"""Core solver benchmark: object-mode vs compiled annotation algebras.
+
+Runs a fixed workload matrix over the three solver-bound experiment
+families and writes a machine-readable result file:
+
+* ``privilege_*``   — E1 (Table 1): model-check the full-privilege
+  property on a synthetic package; object mode solves over
+  representative functions with provenance on (the pre-specializer
+  default), compiled mode over table indices with provenance off.
+* ``genkill_*``     — E2 (Fig 1 / §3.3): interprocedural n-bit gen/kill
+  dataflow; object mode uses the tuple ``ProductAlgebra``, compiled
+  mode the packed-int ``CompiledGenKillAlgebra``.
+* ``flow_*``        — E7/E11 (Fig 11 / §7): label-flow analysis of a
+  chain of instantiated pair functions; object vs compiled monoid
+  algebra over the generated bracket machine.
+
+Output schema (``BENCH_solver.json`` at the repo root by default)::
+
+    {
+      "<bench>": {
+        "wall_s": <float>,        # best-of-N wall-clock seconds
+        "facts": <int>,           # solver.fact_count() after solving
+        "compositions": <int>     # solver.stats.compositions
+      },
+      ...
+    }
+
+Bench names are ``<family>_<mode>`` with ``mode`` in ``object`` /
+``compiled``; both modes of a family run the identical workload, so
+``facts`` must agree between them (asserted here — the specializer is
+an equivalence-preserving representation change, §8).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_core.py             # full matrix
+    PYTHONPATH=src python benchmarks/bench_core.py --quick     # CI smoke sizes
+    PYTHONPATH=src python benchmarks/bench_core.py --quick \\
+        --compare BENCH_solver.json --tolerance 3.0            # regression gate
+
+``--compare`` exits non-zero if any bench shared with the committed
+file is slower than ``tolerance ×`` its committed ``wall_s`` — the CI
+smoke gate.  Quick-mode workloads are strictly smaller than the
+committed full-matrix ones, so the gate only fires on real regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cfg import build_cfg  # noqa: E402
+from repro.dataflow import AnnotatedBitVectorAnalysis  # noqa: E402
+from repro.dataflow.problems import call_tracking_problem  # noqa: E402
+from repro.flow import FlowAnalysis  # noqa: E402
+from repro.modelcheck import AnnotatedChecker, full_privilege_property  # noqa: E402
+from repro.synth import PackageSpec, generate_package  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_solver.json"
+
+PRIMITIVES = [
+    "seteuid",
+    "execl",
+    "setuid",
+    "system",
+    "log_message",
+    "read_config",
+    "setreuid",
+    "getuid",
+]
+
+
+def wide_flow_program(n_functions: int) -> str:
+    """Chain of single-pair functions (benchmarks/test_fig11_flow.py)."""
+    lines = []
+    for i in range(n_functions):
+        lines.append(f"f{i}(y : int) : b{i} = (y@In{i}, {i})@P{i};")
+    body = "1@Seed"
+    for i in range(n_functions):
+        body = f"(f{i}^s{i}({body})).1"
+    lines.append(f"main() : int = {body}@V;")
+    return "\n".join(lines)
+
+
+def _measure(run, repeats: int) -> dict:
+    """Best-of-``repeats`` wall time; facts/compositions from the last run."""
+    best = float("inf")
+    solver = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        solver = run()
+        best = min(best, time.perf_counter() - start)
+    return {
+        "wall_s": round(best, 4),
+        "facts": solver.fact_count(),
+        "compositions": solver.stats.compositions,
+    }
+
+
+def run_matrix(quick: bool, repeats: int) -> dict[str, dict]:
+    results: dict[str, dict] = {}
+
+    # -- E1: privilege model checking ------------------------------------
+    lines, functions = (3_000, 30) if quick else (20_000, 150)
+    source = generate_package(
+        PackageSpec("bench-privilege", lines, functions, seed=7)
+    )
+    cfg = build_cfg(source)
+    prop = full_privilege_property()
+
+    def privilege(compiled: bool):
+        checker = AnnotatedChecker(
+            cfg, prop, compiled=compiled, record_reasons=not compiled
+        )
+        checker.check()
+        return checker.solver
+
+    results["privilege_object"] = _measure(lambda: privilege(False), repeats)
+    results["privilege_compiled"] = _measure(lambda: privilege(True), repeats)
+
+    # -- E2: n-bit gen/kill dataflow -------------------------------------
+    n_bits = 4 if quick else 8
+    df_source = generate_package(
+        PackageSpec("bench-dataflow", 1_500 if quick else 3_000, 40, seed=19)
+    )
+    df_cfg = build_cfg(df_source)
+    problem = call_tracking_problem(df_cfg, PRIMITIVES[:n_bits])
+
+    def genkill(compiled: bool):
+        analysis = AnnotatedBitVectorAnalysis(df_cfg, problem, compiled=compiled)
+        analysis.solution()
+        return analysis.solver
+
+    results["genkill_object"] = _measure(lambda: genkill(False), repeats)
+    results["genkill_compiled"] = _measure(lambda: genkill(True), repeats)
+
+    # -- E7/E11: Fig 11 label flow ---------------------------------------
+    flow_source = wide_flow_program(8 if quick else 14)
+
+    def flow(compiled: bool):
+        analysis = FlowAnalysis(flow_source, compiled=compiled)
+        assert analysis.flows("Seed", "V")
+        return analysis.system.solver
+
+    results["flow_object"] = _measure(lambda: flow(False), repeats)
+    results["flow_compiled"] = _measure(lambda: flow(True), repeats)
+
+    for family in ("privilege", "genkill", "flow"):
+        obj, comp = results[f"{family}_object"], results[f"{family}_compiled"]
+        assert obj["facts"] == comp["facts"], (
+            f"{family}: compiled mode derived {comp['facts']} facts, "
+            f"object mode {obj['facts']} — the specializer changed semantics"
+        )
+    return results
+
+
+def print_table(results: dict[str, dict]) -> None:
+    print(f"{'bench':22} {'wall_s':>9} {'facts':>9} {'compositions':>13}")
+    for name, row in results.items():
+        print(
+            f"{name:22} {row['wall_s']:9.4f} {row['facts']:9d} "
+            f"{row['compositions']:13d}"
+        )
+    for family in ("privilege", "genkill", "flow"):
+        obj = results[f"{family}_object"]["wall_s"]
+        comp = results[f"{family}_compiled"]["wall_s"]
+        if comp > 0:
+            print(f"{family}: compiled speedup {obj / comp:.2f}x")
+
+
+def compare(
+    results: dict[str, dict], baseline_path: pathlib.Path, tolerance: float
+) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, row in results.items():
+        committed = baseline.get(name)
+        if committed is None:
+            continue
+        limit = tolerance * committed["wall_s"]
+        if row["wall_s"] > limit:
+            failures.append(
+                f"{name}: {row['wall_s']:.4f}s exceeds {tolerance:.1f}x "
+                f"committed {committed['wall_s']:.4f}s"
+            )
+    if failures:
+        print("REGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"no bench exceeded {tolerance:.1f}x its committed wall_s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small CI-smoke workloads"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="take best-of-N wall time"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="result JSON path (default: BENCH_solver.json at repo root)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure and print only"
+    )
+    parser.add_argument(
+        "--compare",
+        type=pathlib.Path,
+        default=None,
+        help="committed BENCH_solver.json to gate against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="fail --compare when wall_s exceeds tolerance x committed",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_matrix(quick=args.quick, repeats=args.repeats)
+    print_table(results)
+    if args.compare is not None:
+        return compare(results, args.compare, args.tolerance)
+    if not args.no_write:
+        args.output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,7 +45,7 @@ from repro.core import (
 )
 from repro.dfa import DFA, TransitionMonoid, parse_spec, regex_to_dfa
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnnotatedConstraintSystem",

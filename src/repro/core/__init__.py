@@ -7,9 +7,12 @@ solver and the query engine; the pieces are also usable à la carte.
 """
 
 from repro.core.annotations import (
+    CompiledGenKillAlgebra,
+    CompiledMonoidAlgebra,
     MonoidAlgebra,
     ProductAlgebra,
     UnannotatedAlgebra,
+    compile_algebra,
 )
 from repro.core.errors import ConstraintError, Inconsistency, NoSolutionError
 from repro.core.parametric import ParametricAlgebra, SubstitutionEnvironment
@@ -39,6 +42,8 @@ __all__ = [
     "AnnotatedConstraintSystem",
     "AnnotatedGraph",
     "BackwardSolver",
+    "CompiledGenKillAlgebra",
+    "CompiledMonoidAlgebra",
     "ConstraintError",
     "DemandBackwardSolver",
     "DemandForwardSolver",
@@ -62,6 +67,7 @@ __all__ = [
     "Variable",
     "VariableFactory",
     "WordConstraint",
+    "compile_algebra",
     "constant",
     "dfa_from_dict",
     "dfa_to_dict",

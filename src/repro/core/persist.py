@@ -16,7 +16,14 @@ provides the persistence half as plain JSON:
   no re-closure — and the system remains open: adding constraints
   afterwards resumes online solving on top of the loaded facts.
 
-Only :class:`~repro.core.annotations.MonoidAlgebra` and
+Format version 2 stores each *distinct* annotation once in an
+``elements`` table (a solved form repeats the same few monoid elements
+across tens of thousands of facts) and every fact carries just an index
+into it — the on-disk analog of the compiled algebra's representation.
+Version-1 dumps (inline state-mapping tuples per fact) still load.
+
+Only :class:`~repro.core.annotations.MonoidAlgebra`,
+:class:`~repro.core.annotations.CompiledMonoidAlgebra` and
 :class:`~repro.core.annotations.UnannotatedAlgebra` systems are
 supported (parametric substitution environments would need their own
 encoding; nothing in the applications serializes those).
@@ -26,15 +33,20 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any
+from typing import Any, Callable
 
-from repro.core.annotations import MonoidAlgebra, UnannotatedAlgebra
+from repro.core.annotations import (
+    CompiledMonoidAlgebra,
+    MonoidAlgebra,
+    UnannotatedAlgebra,
+)
 from repro.core.solver import Solver
 from repro.core.terms import Constructed, Constructor, Variable
 from repro.dfa.automaton import DFA
 from repro.dfa.monoid import RepresentativeFunction
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
 # -- symbols: JSON-safe encoding of hashable alphabet symbols -----------------
@@ -134,6 +146,27 @@ def _decode_annotation(data: Any) -> Any:
     return RepresentativeFunction(tuple(data))
 
 
+class _ElementTable:
+    """Dump-side interning of distinct annotations into an index table.
+
+    A solved form repeats the same handful of monoid elements across
+    thousands of facts; version-2 dumps store each element's state
+    mapping once and let every fact carry just an index.
+    """
+
+    def __init__(self, to_object: Callable[[Any], Any]):
+        self._to_object = to_object
+        self._indices: dict[Any, int] = {}
+        self.encoded: list[Any] = []
+
+    def index_of(self, ann: Any) -> int:
+        idx = self._indices.get(ann)
+        if idx is None:
+            idx = self._indices[ann] = len(self.encoded)
+            self.encoded.append(_encode_annotation(self._to_object(ann)))
+        return idx
+
+
 def _encode_constructed(expr: Constructed) -> dict:
     ctor = expr.constructor
     return {
@@ -153,14 +186,24 @@ def _decode_constructed(data: dict) -> Constructed:
 def dump_solver(solver: Solver) -> str:
     """Serialize a solver's solved form (and its machine, if any)."""
     algebra = solver.algebra
-    if isinstance(algebra, MonoidAlgebra):
-        machine_data: dict | None = dfa_to_dict(algebra.machine)
+    if isinstance(algebra, CompiledMonoidAlgebra):
+        algebra_tag = "compiled"
+        machine: DFA | None = algebra.monoid.machine
+        to_object: Callable[[Any], Any] = algebra.decode
+    elif isinstance(algebra, MonoidAlgebra):
+        algebra_tag = "monoid"
+        machine = algebra.machine
+        to_object = lambda ann: ann  # noqa: E731 — already an object annotation
     elif isinstance(algebra, UnannotatedAlgebra):
-        machine_data = None
+        algebra_tag = "unannotated"
+        machine = None
+        to_object = lambda ann: ann  # noqa: E731
     else:
         raise TypeError(
             f"cannot serialize systems over {type(algebra).__name__}"
         )
+    machine_data = dfa_to_dict(machine) if machine is not None else None
+    elements = _ElementTable(to_object)
     lowers = []
     uppers = []
     edges = []
@@ -168,14 +211,14 @@ def dump_solver(solver: Solver) -> str:
     for var in sorted(solver.variables(), key=lambda v: v.name):
         for src, ann in solver.lower_bounds(var):
             lowers.append(
-                [var.name, _encode_constructed(src), _encode_annotation(ann)]
+                [var.name, _encode_constructed(src), elements.index_of(ann)]
             )
         for snk, ann in solver.upper_bounds(var):
             uppers.append(
-                [var.name, _encode_constructed(snk), _encode_annotation(ann)]
+                [var.name, _encode_constructed(snk), elements.index_of(ann)]
             )
         for dst, ann in solver.edges_from(var):
-            edges.append([var.name, dst.name, _encode_annotation(ann)])
+            edges.append([var.name, dst.name, elements.index_of(ann)])
         for ctor, index, target, ann in solver.projection_sinks(var):
             projections.append(
                 [
@@ -189,18 +232,18 @@ def dump_solver(solver: Solver) -> str:
                     },
                     index,
                     target.name,
-                    _encode_annotation(ann),
+                    elements.index_of(ann),
                 ]
             )
     return json.dumps(
         {
             "version": FORMAT_VERSION,
+            "algebra": algebra_tag,
             "machine": machine_data,
-            "fingerprint": machine_fingerprint(
-                algebra.machine if isinstance(algebra, MonoidAlgebra) else None
-            ),
+            "fingerprint": machine_fingerprint(machine),
             "pn_projections": solver.pn_projections,
             "prune_dead": solver.prune_dead,
+            "elements": elements.encoded,
             "lowers": lowers,
             "uppers": uppers,
             "edges": edges,
@@ -225,11 +268,18 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
     :class:`ValueError`.
     """
     data = json.loads(text)
-    if data.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported dump version {data.get('version')!r}")
+    version = data.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported dump version {version!r}")
+    algebra_tag = data.get("algebra")
+    if algebra_tag is None:  # version-1 dumps carry no tag
+        algebra_tag = "monoid" if data["machine"] is not None else "unannotated"
     if data["machine"] is not None:
         machine = dfa_from_dict(data["machine"])
-        algebra: Any = MonoidAlgebra(machine)
+        if algebra_tag == "compiled":
+            algebra: Any = CompiledMonoidAlgebra(machine)
+        else:
+            algebra = MonoidAlgebra(machine)
     else:
         machine = None
         algebra = UnannotatedAlgebra()
@@ -284,25 +334,54 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
             )
         return expr
 
+    def to_domain(ann: Any) -> Any:
+        # Map an object-mode annotation into the loaded algebra's domain
+        # (a compiled algebra solves over table indices, not functions).
+        if algebra_tag == "compiled":
+            return algebra.encode(ann)
+        return ann
+
     def intern_annotation(adata: Any) -> Any:
         key = None if adata is None else tuple(adata)
         ann = annotations.get(key)
         if ann is None:
-            ann = annotations[key] = _decode_annotation(adata)
+            ann = annotations[key] = to_domain(_decode_annotation(adata))
         return ann
+
+    if version >= 2:
+        elements = [
+            to_domain(_decode_annotation(adata)) for adata in data["elements"]
+        ]
+
+        def annotation_of(ann_data: Any) -> Any:
+            return elements[ann_data]
+
+    else:
+
+        def annotation_of(ann_data: Any) -> Any:
+            return intern_annotation(ann_data)
 
     for var_name, src_data, ann_data in data["lowers"]:
         var = intern_var(var_name)
-        key = (intern_constructed(src_data), intern_annotation(ann_data))
-        solver._lower.setdefault(var, {})[key] = None
+        key = (intern_constructed(src_data), annotation_of(ann_data))
+        bucket = solver._lower.setdefault(var, {})
+        if key not in bucket:
+            bucket[key] = None
+            solver._lower_seq.setdefault(var, []).append(key)
     for var_name, snk_data, ann_data in data["uppers"]:
         var = intern_var(var_name)
-        key = (intern_constructed(snk_data), intern_annotation(ann_data))
-        solver._upper.setdefault(var, {})[key] = None
+        key = (intern_constructed(snk_data), annotation_of(ann_data))
+        bucket = solver._upper.setdefault(var, {})
+        if key not in bucket:
+            bucket[key] = None
+            solver._upper_seq.setdefault(var, []).append(key)
     for src_name, dst_name, ann_data in data["edges"]:
         src, dst = intern_var(src_name), intern_var(dst_name)
-        ann = intern_annotation(ann_data)
-        solver._succ.setdefault(src, {})[(dst, ann)] = None
+        ann = annotation_of(ann_data)
+        bucket = solver._succ.setdefault(src, {})
+        if (dst, ann) not in bucket:
+            bucket[(dst, ann)] = None
+            solver._succ_seq.setdefault(src, []).append((dst, ann))
         solver._pred.setdefault(dst, {})[(src, ann)] = None
     for var_name, ctor_data, index, target_name, ann_data in data["projections"]:
         var = intern_var(var_name)
@@ -312,6 +391,9 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
             else None
         )
         ctor = Constructor(ctor_data["name"], ctor_data["arity"], variance)
-        key = (ctor, index, intern_var(target_name), intern_annotation(ann_data))
-        solver._proj.setdefault(var, {})[key] = None
+        key = (ctor, index, intern_var(target_name), annotation_of(ann_data))
+        bucket = solver._proj.setdefault(var, {})
+        if key not in bucket:
+            bucket[key] = None
+            solver._proj_seq.setdefault(var, []).append(key)
     return solver

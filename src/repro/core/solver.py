@@ -68,6 +68,7 @@ class SolverStats:
     uppers_added: int = 0
     projections_added: int = 0
     compositions: int = 0
+    facts_deduped: int = 0
     marks: int = 0
     rollbacks: int = 0
 
@@ -78,6 +79,7 @@ class SolverStats:
             "uppers_added": self.uppers_added,
             "projections_added": self.projections_added,
             "compositions": self.compositions,
+            "facts_deduped": self.facts_deduped,
             "marks": self.marks,
             "rollbacks": self.rollbacks,
         }
@@ -105,6 +107,7 @@ class Solver:
         algebra: Any | None = None,
         pn_projections: bool = False,
         prune_dead: bool = True,
+        record_reasons: bool = True,
     ):
         self.algebra = algebra if algebra is not None else UnannotatedAlgebra()
         #: Drop facts whose annotation is necessarily non-accepting (the
@@ -117,15 +120,35 @@ class Solver:
         #: value created inside a callee escapes to any caller.  Matched
         #: solving (the default) only extracts properly wrapped terms.
         self.pn_projections = pn_projections
+        #: Provenance is only needed by clients that extract witnesses
+        #: (the model checker's traces).  Dataflow, flow analysis and the
+        #: service's reachability queries never do; with
+        #: ``record_reasons=False`` the solver skips the per-fact
+        #: :class:`Reason` allocation and the ``_reasons`` dict entirely,
+        #: and :meth:`reason` returns ``None`` for every fact.
+        self.record_reasons = record_reasons
+        self._identity = self.algebra.identity
+        self._is_live = self.algebra.is_live
         self._fresh = VariableFactory("tmp")
         # var -> {(source Constructed, annotation)} and so on; values are
-        # insertion-ordered dicts so iteration is deterministic.
+        # insertion-ordered dicts so membership tests are O(1) and
+        # iteration is deterministic.  The *_seq lists mirror each bucket
+        # in insertion order: the drain loop iterates them by index under
+        # a length snapshot, which tolerates appends without the per-fact
+        # ``list(...)`` copy the dicts would force.  They only diverge
+        # from the dicts during rollback, which rebuilds them.
         self._lower: dict[Variable, dict[tuple[Constructed, Annotation], None]] = {}
         self._upper: dict[Variable, dict[tuple[Constructed, Annotation], None]] = {}
         self._succ: dict[Variable, dict[tuple[Variable, Annotation], None]] = {}
         self._pred: dict[Variable, dict[tuple[Variable, Annotation], None]] = {}
         self._proj: dict[
             Variable, dict[tuple[Any, int, Variable, Annotation], None]
+        ] = {}
+        self._lower_seq: dict[Variable, list[tuple[Constructed, Annotation]]] = {}
+        self._upper_seq: dict[Variable, list[tuple[Constructed, Annotation]]] = {}
+        self._succ_seq: dict[Variable, list[tuple[Variable, Annotation]]] = {}
+        self._proj_seq: dict[
+            Variable, list[tuple[Any, int, Variable, Annotation]]
         ] = {}
         self._met: set[tuple[Constructed, Constructed, Annotation]] = set()
         self._reasons: dict[FactKey, Reason] = {}
@@ -159,11 +182,40 @@ class Solver:
         unannotated constraint).  ``info`` is attached to the
         constraint's provenance for witness extraction.
         """
-        ann = self.algebra.identity if annotation is None else annotation
-        reason = Reason("given", (), info)
+        ann = self._identity if annotation is None else annotation
+        reason = Reason("given", (), info) if self.record_reasons else None
         lhs = self._normalize_lower(lhs, reason)
         rhs = self._normalize_upper(rhs, reason)
         self._dispatch(lhs, rhs, ann, reason)
+        self._drain()
+
+    def add_many(
+        self,
+        constraints: Iterable[tuple],
+    ) -> None:
+        """Batch form of :meth:`add`: dispatch every constraint, then drain once.
+
+        Each item is ``(lhs, rhs)``, ``(lhs, rhs, annotation)`` or
+        ``(lhs, rhs, annotation, info)``, with the same defaults as
+        :meth:`add`.  Solving is still online afterwards — the batch
+        merely amortizes the worklist drain over the whole group, which
+        is how encoders (a few thousand given constraints, queries only
+        at the end) avoid paying a drain per constraint.
+        """
+        record = self.record_reasons
+        for item in constraints:
+            n = len(item)
+            lhs, rhs = item[0], item[1]
+            annotation = item[2] if n > 2 else None
+            info = item[3] if n > 3 else None
+            ann = self._identity if annotation is None else annotation
+            reason = Reason("given", (), info) if record else None
+            self._dispatch(
+                self._normalize_lower(lhs, reason),
+                self._normalize_upper(rhs, reason),
+                ann,
+                reason,
+            )
         self._drain()
 
     @property
@@ -230,31 +282,47 @@ class Solver:
             raise RuntimeError("rollback() without a matching mark()")
         self.stats.rollbacks += 1
         epoch = self._journal.pop()
+        touched: set[tuple[str, Variable]] = set()
         for record in reversed(epoch):
             tag = record[0]
             if tag == "lower":
                 _t, var, key = record
                 self._lower.get(var, {}).pop(key, None)
                 self._reasons.pop(("lower", var, *key), None)
+                touched.add((tag, var))
             elif tag == "upper":
                 _t, var, key = record
                 self._upper.get(var, {}).pop(key, None)
                 self._reasons.pop(("upper", var, *key), None)
+                touched.add((tag, var))
             elif tag == "edge":
                 _t, src_var, key = record
                 self._succ.get(src_var, {}).pop(key, None)
                 dst_var, ann = key
                 self._pred.get(dst_var, {}).pop((src_var, ann), None)
                 self._reasons.pop(("edge", src_var, dst_var, ann), None)
+                touched.add((tag, src_var))
             elif tag == "proj":
                 _t, var, key = record
                 self._proj.get(var, {}).pop(key, None)
                 self._reasons.pop(("proj", var, *key), None)
+                touched.add((tag, var))
             elif tag == "met":
                 self._met.discard(record[1])
             elif tag == "inconsistency":
                 if self.inconsistencies:
                     self.inconsistencies.pop()
+        # Re-sync the iteration sequences with the pruned buckets (the
+        # only point where they can diverge; drains never remove facts).
+        tables = {
+            "lower": (self._lower, self._lower_seq),
+            "upper": (self._upper, self._upper_seq),
+            "edge": (self._succ, self._succ_seq),
+            "proj": (self._proj, self._proj_seq),
+        }
+        for tag, var in touched:
+            table, seq = tables[tag]
+            seq[var] = list(table.get(var, {}))
 
     def _record(self, entry: tuple) -> None:
         if self._journal:
@@ -272,7 +340,7 @@ class Solver:
     # -- normalization ---------------------------------------------------------
 
     def _normalize_lower(
-        self, expr: SetExpression, reason: Reason
+        self, expr: SetExpression, reason: Reason | None
     ) -> SetExpression:
         """Reduce a left-hand side to the paper's grammar.
 
@@ -289,13 +357,13 @@ class Solver:
                 else:
                     var = self.fresh("arg")
                     inner = self._normalize_lower(arg, reason)
-                    self._dispatch(inner, var, self.algebra.identity, reason)
+                    self._dispatch(inner, var, self._identity, reason)
                     args.append(var)
             return Constructed(expr.constructor, tuple(args))
         raise ConstraintError(f"unsupported left-hand side: {expr!r}")
 
     def _normalize_upper(
-        self, expr: SetExpression, reason: Reason
+        self, expr: SetExpression, reason: Reason | None
     ) -> SetExpression:
         """Reduce a right-hand side; projections are rejected (Section 2.1)."""
         if isinstance(expr, Variable):
@@ -310,7 +378,7 @@ class Solver:
                 else:
                     var = self.fresh("arg")
                     inner = self._normalize_upper(arg, reason)
-                    self._dispatch(var, inner, self.algebra.identity, reason)
+                    self._dispatch(var, inner, self._identity, reason)
                     args.append(var)
             return Constructed(expr.constructor, tuple(args))
         raise ConstraintError(f"unsupported right-hand side: {expr!r}")
@@ -320,7 +388,7 @@ class Solver:
         lhs: SetExpression,
         rhs: SetExpression,
         ann: Annotation,
-        reason: Reason,
+        reason: Reason | None,
     ) -> None:
         if isinstance(lhs, Variable) and isinstance(rhs, Variable):
             self._enqueue(("edge", lhs, rhs, ann), reason)
@@ -337,7 +405,7 @@ class Solver:
                     ("proj", lhs.operand, lhs.constructor, lhs.index, bridge, ann),
                     reason,
                 )
-                self._enqueue(("upper", bridge, rhs, self.algebra.identity), reason)
+                self._enqueue(("upper", bridge, rhs, self._identity), reason)
             else:
                 self._enqueue(
                     ("proj", lhs.operand, lhs.constructor, lhs.index, rhs, ann),
@@ -348,42 +416,47 @@ class Solver:
 
     # -- worklist machinery -----------------------------------------------------
 
-    def _enqueue(self, fact: FactKey, reason: Reason) -> None:
+    def _enqueue(self, fact: FactKey, reason: Reason | None) -> None:
         kind = fact[0]
-        ann = fact[-1]
-        if self.prune_dead and not self.algebra.is_live(ann):
+        if self.prune_dead and not self._is_live(fact[-1]):
             return  # necessarily non-accepting annotation: prune
-        if kind == "edge":
-            _tag, src_var, dst_var, ann = fact
-            if src_var == dst_var:
-                # A reflexive edge adds nothing for idempotent-free
-                # annotations only when the annotation is the identity.
-                if self._is_identity(ann):
-                    return
-            table = self._succ.setdefault(src_var, {})
-            key = (dst_var, ann)
-            if key in table:
-                return
-            table[key] = None
-            self._pred.setdefault(dst_var, {})[(src_var, ann)] = None
-            self._record(("edge", src_var, key))
-            self.stats.edges_added += 1
-        elif kind == "lower":
+        if kind == "lower":
             _tag, var, src, ann = fact
             table = self._lower.setdefault(var, {})
             key = (src, ann)
             if key in table:
+                self.stats.facts_deduped += 1
                 return
             table[key] = None
+            self._lower_seq.setdefault(var, []).append(key)
             self._record(("lower", var, key))
             self.stats.lowers_added += 1
+        elif kind == "edge":
+            _tag, src_var, dst_var, ann = fact
+            if src_var == dst_var:
+                # A reflexive edge adds nothing for idempotent-free
+                # annotations only when the annotation is the identity.
+                if ann == self._identity:
+                    return
+            table = self._succ.setdefault(src_var, {})
+            key = (dst_var, ann)
+            if key in table:
+                self.stats.facts_deduped += 1
+                return
+            table[key] = None
+            self._succ_seq.setdefault(src_var, []).append(key)
+            self._pred.setdefault(dst_var, {})[(src_var, ann)] = None
+            self._record(("edge", src_var, key))
+            self.stats.edges_added += 1
         elif kind == "upper":
             _tag, var, snk, ann = fact
             table = self._upper.setdefault(var, {})
             key = (snk, ann)
             if key in table:
+                self.stats.facts_deduped += 1
                 return
             table[key] = None
+            self._upper_seq.setdefault(var, []).append(key)
             self._record(("upper", var, key))
             self.stats.uppers_added += 1
         elif kind == "proj":
@@ -391,105 +464,181 @@ class Solver:
             table = self._proj.setdefault(var, {})
             key = (ctor, index, target, ann)
             if key in table:
+                self.stats.facts_deduped += 1
                 return
             table[key] = None
+            self._proj_seq.setdefault(var, []).append(key)
             self._record(("proj", var, key))
             self.stats.projections_added += 1
         else:  # pragma: no cover - defensive
             raise AssertionError(f"unknown fact kind {kind!r}")
-        self._reasons.setdefault(fact, reason)
+        if reason is not None:
+            self._reasons.setdefault(fact, reason)
         self._work.append(fact)
 
     def _is_identity(self, ann: Annotation) -> bool:
-        return ann == self.algebra.identity
+        return ann == self._identity
 
     def _drain(self) -> None:
+        # Everything this loop touches per derived fact is hoisted into
+        # locals: the composition operation, the counters, the iteration
+        # sequences.  The sequences are walked by index under a length
+        # snapshot — appends made while a fact is being processed are
+        # deliberately *not* seen here, exactly like the list(...) copies
+        # this replaces: a newly derived fact pairs with its neighbors
+        # when its own turn on the worklist comes.
         then = self.algebra.then
         stats = self.stats
-        while self._work:
-            fact = self._work.popleft()
+        enqueue = self._enqueue
+        meet = self._meet
+        lower_seq = self._lower_seq
+        upper_seq = self._upper_seq
+        succ_seq = self._succ_seq
+        proj_seq = self._proj_seq
+        work = self._work
+        record = self.record_reasons
+        pn = self.pn_projections
+        while work:
+            fact = work.popleft()
             self.facts_processed += 1
             kind = fact[0]
-            if kind == "edge":
-                _tag, src_var, dst_var, g = fact
-                for lower_src, f in list(self._lower.get(src_var, {})):
-                    stats.compositions += 1
-                    self._enqueue(
-                        ("lower", dst_var, lower_src, then(f, g)),
-                        Reason(
-                            "trans",
-                            (("lower", src_var, lower_src, f), fact),
-                        ),
-                    )
-            elif kind == "lower":
+            if kind == "lower":
                 _tag, var, src, f = fact
-                for dst_var, g in list(self._succ.get(var, {})):
-                    stats.compositions += 1
-                    self._enqueue(
-                        ("lower", dst_var, src, then(f, g)),
-                        Reason("trans", (fact, ("edge", var, dst_var, g))),
-                    )
-                for snk, g in list(self._upper.get(var, {})):
-                    stats.compositions += 1
-                    self._meet(
-                        src,
-                        snk,
-                        then(f, g),
-                        None,
-                        antecedents=(fact, ("upper", var, snk, g)),
-                    )
-                if isinstance(src, Constructed) and src.args:
-                    for ctor, index, target, g in list(self._proj.get(var, {})):
-                        if ctor == src.constructor:
-                            stats.compositions += 1
-                            self._enqueue(
-                                (
-                                    "edge",
-                                    src.args[index - 1],
-                                    target,
-                                    then(f, g),
-                                ),
-                                Reason(
-                                    "project",
-                                    (fact, ("proj", var, ctor, index, target, g)),
-                                ),
-                            )
-                elif self.pn_projections and isinstance(src, Constructed):
-                    for ctor, index, target, g in list(self._proj.get(var, {})):
+                seq = succ_seq.get(var)
+                if seq:
+                    i, n = 0, len(seq)
+                    while i < n:
+                        dst_var, g = seq[i]
+                        i += 1
                         stats.compositions += 1
-                        self._enqueue(
-                            ("lower", target, src, then(f, g)),
+                        enqueue(
+                            ("lower", dst_var, src, then(f, g)),
+                            Reason("trans", (fact, ("edge", var, dst_var, g)))
+                            if record
+                            else None,
+                        )
+                seq = upper_seq.get(var)
+                if seq:
+                    i, n = 0, len(seq)
+                    while i < n:
+                        snk, g = seq[i]
+                        i += 1
+                        stats.compositions += 1
+                        meet(
+                            src,
+                            snk,
+                            then(f, g),
+                            None,
+                            antecedents=(fact, ("upper", var, snk, g)),
+                        )
+                seq = proj_seq.get(var)
+                if seq:
+                    if isinstance(src, Constructed) and src.args:
+                        src_ctor = src.constructor
+                        i, n = 0, len(seq)
+                        while i < n:
+                            ctor, index, target, g = seq[i]
+                            i += 1
+                            if ctor == src_ctor:
+                                stats.compositions += 1
+                                enqueue(
+                                    (
+                                        "edge",
+                                        src.args[index - 1],
+                                        target,
+                                        then(f, g),
+                                    ),
+                                    Reason(
+                                        "project",
+                                        (
+                                            fact,
+                                            ("proj", var, ctor, index, target, g),
+                                        ),
+                                    )
+                                    if record
+                                    else None,
+                                )
+                    elif pn and isinstance(src, Constructed):
+                        i, n = 0, len(seq)
+                        while i < n:
+                            ctor, index, target, g = seq[i]
+                            i += 1
+                            stats.compositions += 1
+                            enqueue(
+                                ("lower", target, src, then(f, g)),
+                                Reason(
+                                    "pn-project",
+                                    (fact, ("proj", var, ctor, index, target, g)),
+                                )
+                                if record
+                                else None,
+                            )
+            elif kind == "edge":
+                _tag, src_var, dst_var, g = fact
+                seq = lower_seq.get(src_var)
+                if seq:
+                    i, n = 0, len(seq)
+                    while i < n:
+                        lower_src, f = seq[i]
+                        i += 1
+                        stats.compositions += 1
+                        enqueue(
+                            ("lower", dst_var, lower_src, then(f, g)),
                             Reason(
-                                "pn-project",
-                                (fact, ("proj", var, ctor, index, target, g)),
-                            ),
+                                "trans",
+                                (("lower", src_var, lower_src, f), fact),
+                            )
+                            if record
+                            else None,
                         )
             elif kind == "upper":
                 _tag, var, snk, g = fact
-                for src, f in list(self._lower.get(var, {})):
-                    stats.compositions += 1
-                    self._meet(
-                        src,
-                        snk,
-                        then(f, g),
-                        None,
-                        antecedents=(("lower", var, src, f), fact),
-                    )
+                seq = lower_seq.get(var)
+                if seq:
+                    i, n = 0, len(seq)
+                    while i < n:
+                        src, f = seq[i]
+                        i += 1
+                        stats.compositions += 1
+                        meet(
+                            src,
+                            snk,
+                            then(f, g),
+                            None,
+                            antecedents=(("lower", var, src, f), fact),
+                        )
             elif kind == "proj":
                 _tag, var, ctor, index, target, g = fact
-                for src, f in list(self._lower.get(var, {})):
-                    if isinstance(src, Constructed) and src.constructor == ctor and src.args:
-                        stats.compositions += 1
-                        self._enqueue(
-                            ("edge", src.args[index - 1], target, then(f, g)),
-                            Reason("project", (("lower", var, src, f), fact)),
-                        )
-                    elif self.pn_projections and src.is_constant:
-                        stats.compositions += 1
-                        self._enqueue(
-                            ("lower", target, src, then(f, g)),
-                            Reason("pn-project", (("lower", var, src, f), fact)),
-                        )
+                seq = lower_seq.get(var)
+                if seq:
+                    i, n = 0, len(seq)
+                    while i < n:
+                        src, f = seq[i]
+                        i += 1
+                        if (
+                            isinstance(src, Constructed)
+                            and src.constructor == ctor
+                            and src.args
+                        ):
+                            stats.compositions += 1
+                            enqueue(
+                                ("edge", src.args[index - 1], target, then(f, g)),
+                                Reason(
+                                    "project", (("lower", var, src, f), fact)
+                                )
+                                if record
+                                else None,
+                            )
+                        elif pn and src.is_constant:
+                            stats.compositions += 1
+                            enqueue(
+                                ("lower", target, src, then(f, g)),
+                                Reason(
+                                    "pn-project", (("lower", var, src, f), fact)
+                                )
+                                if record
+                                else None,
+                            )
 
     def _meet(
         self,
@@ -509,7 +658,11 @@ class Solver:
             self.inconsistencies.append(Inconsistency(src, snk, ann))
             self._record(("inconsistency",))
             return
-        reason = Reason("decompose", antecedents, info)
+        reason = (
+            Reason("decompose", antecedents, info)
+            if self.record_reasons
+            else None
+        )
         ctor = src.constructor
         for index, (arg_src, arg_snk) in enumerate(
             zip(src.args, snk.args), start=1

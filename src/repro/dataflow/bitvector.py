@@ -19,7 +19,11 @@ program entry to ``s`` ends with the bit set.
 from __future__ import annotations
 
 from repro.cfg.graph import CFGNode, ProgramCFG
-from repro.core.annotations import MonoidAlgebra, ProductAlgebra
+from repro.core.annotations import (
+    CompiledGenKillAlgebra,
+    MonoidAlgebra,
+    ProductAlgebra,
+)
 from repro.core.queries import Reachability
 from repro.core.solver import Solver
 from repro.core.terms import Constructor, Variable
@@ -30,35 +34,52 @@ from repro.dfa.gallery import one_bit_machine
 class AnnotatedBitVectorAnalysis:
     """Solve a bit-vector problem with the annotated-constraint solver.
 
-    ``algebra`` reuses a prebuilt :class:`ProductAlgebra` of one-bit
-    monoid algebras (the analysis service shares one per bit width so
-    repeated requests skip recompiling the monoids); it must have
-    exactly ``problem.n_bits`` components.
+    ``algebra`` reuses a prebuilt annotation domain (the analysis
+    service shares one per bit width so repeated requests skip
+    recompiling the monoids): either a :class:`ProductAlgebra` of
+    one-bit monoid algebras with exactly ``problem.n_bits`` components,
+    or a :class:`CompiledGenKillAlgebra` of the same width.  With
+    ``compiled=True`` (and no shared algebra) the compiled packed-int
+    domain is built here.
+
+    Dataflow queries never extract witness traces, so the solver runs
+    with provenance recording off.
     """
 
     def __init__(
         self,
         cfg: ProgramCFG,
         problem: BitVectorProblem,
-        algebra: ProductAlgebra | None = None,
+        algebra: ProductAlgebra | CompiledGenKillAlgebra | None = None,
+        compiled: bool = False,
     ):
         self.cfg = cfg
         self.problem = problem
-        if algebra is not None:
+        if algebra is None:
+            if compiled:
+                algebra = CompiledGenKillAlgebra(problem.n_bits)
+            else:
+                bit_algebra = MonoidAlgebra(one_bit_machine())
+                algebra = ProductAlgebra([bit_algebra] * problem.n_bits)
+        self._compiled = isinstance(algebra, CompiledGenKillAlgebra)
+        if self._compiled:
+            if algebra.n_bits != problem.n_bits:
+                raise ValueError(
+                    f"shared algebra packs {algebra.n_bits} bits "
+                    f"but the problem tracks {problem.n_bits} facts"
+                )
+        else:
             if len(algebra.components) != problem.n_bits:
                 raise ValueError(
                     f"shared algebra has {len(algebra.components)} components "
                     f"but the problem tracks {problem.n_bits} facts"
                 )
             bit_algebra = algebra.components[0]
-            self.algebra = algebra
-        else:
-            bit_algebra = MonoidAlgebra(one_bit_machine())
-            self.algebra = ProductAlgebra([bit_algebra] * problem.n_bits)
-        self._gen = bit_algebra.symbol("g")
-        self._kill = bit_algebra.symbol("k")
-        self._eps = bit_algebra.identity
-        self.solver = Solver(self.algebra)
+            self._gen = bit_algebra.symbol("g")
+            self._kill = bit_algebra.symbol("k")
+            self._eps = bit_algebra.identity
+        self.algebra = algebra
+        self.solver = Solver(self.algebra, record_reasons=False)
         self.pc = Constructor("pc", 0)()
         self._vars: dict[int, Variable] = {}
         self._encode()
@@ -71,10 +92,12 @@ class AnnotatedBitVectorAnalysis:
             self._vars[node.id] = var
         return var
 
-    def _annotation_of(self, node: CFGNode) -> tuple:
+    def _annotation_of(self, node: CFGNode):
         gen, kill = self.problem.effect_of(node)
         if not gen and not kill:
             return self.algebra.identity
+        if self._compiled:
+            return self.algebra.of_effect(gen, kill)
         return tuple(
             self._gen if i in gen else self._kill if i in kill else self._eps
             for i in range(self.problem.n_bits)
@@ -82,21 +105,21 @@ class AnnotatedBitVectorAnalysis:
 
     def _encode(self) -> None:
         cfg = self.cfg
-        solver = self.solver
-        solver.add(self.pc, self.node_var(cfg.main.entry))
+        batch: list[tuple] = [(self.pc, self.node_var(cfg.main.entry))]
         for node in cfg.all_nodes():
             src = self.node_var(node)
             if node.kind == "call":
                 callee = cfg.functions[node.call.callee]
                 wrapper = Constructor(f"o{node.site}", 1)
-                solver.add(wrapper(src), self.node_var(callee.entry))
+                batch.append((wrapper(src), self.node_var(callee.entry)))
                 exit_var = self.node_var(callee.exit)
                 for succ in cfg.successors(node):
-                    solver.add(wrapper.proj(1, exit_var), self.node_var(succ))
+                    batch.append((wrapper.proj(1, exit_var), self.node_var(succ)))
                 continue
             annotation = self._annotation_of(node)
             for succ in cfg.successors(node):
-                solver.add(src, self.node_var(succ), annotation)
+                batch.append((src, self.node_var(succ), annotation))
+        self.solver.add_many(batch)
 
     # -- queries -------------------------------------------------------------
 

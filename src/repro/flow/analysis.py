@@ -20,17 +20,24 @@ from repro.flow.infer import GeneratedSystem, generate
 class FlowAnalysis:
     """Context- and field-sensitive label flow for a Section 7 program."""
 
-    def __init__(self, program: lang.FlowProgram | str, pn: bool = False):
+    def __init__(
+        self,
+        program: lang.FlowProgram | str,
+        pn: bool = False,
+        compiled: bool = False,
+    ):
         if isinstance(program, str):
             program = lang.parse_flow_program(program)
         self.program = program
         self.pn = pn
-        self.system: GeneratedSystem = generate(program, pn=pn)
+        self.system: GeneratedSystem = generate(program, pn=pn, compiled=compiled)
         self._markers: dict[str, Constructed] = {}
+        marker_batch: list[tuple] = []
         for name, label in self.system.labels.items():
             marker = Constructor(f"mk_{name}", 0)()
             self._markers[name] = marker
-            self.system.solver.add(marker, label)
+            marker_batch.append((marker, label))
+        self.system.solver.add_many(marker_batch)
         self._reachability = Reachability(
             self.system.solver, through_constructors=pn
         )

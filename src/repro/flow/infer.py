@@ -31,8 +31,9 @@ The generated constraints follow Section 7 exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
-from repro.core.annotations import MonoidAlgebra
+from repro.core.annotations import CompiledMonoidAlgebra, MonoidAlgebra
 from repro.core.solver import Solver
 from repro.core.terms import Constructor, Variable
 from repro.dfa.automaton import DFA
@@ -280,22 +281,35 @@ def build_type_bracket_machine(pair_shapes: set[Shape]) -> DFA:
 
 @dataclass
 class GeneratedSystem:
-    """Phase B output: a solver loaded with the program's constraints."""
+    """Phase B output: a solver loaded with the program's constraints.
+
+    ``algebra`` is a :class:`MonoidAlgebra` by default, or a
+    :class:`~repro.core.annotations.CompiledMonoidAlgebra` when the
+    system was generated in compiled mode.
+    """
 
     solver: Solver
-    algebra: MonoidAlgebra
+    algebra: Any
     machine: DFA
     labels: dict[str, Variable]
     sites: dict[str, str]
     constraints: int = 0
 
 
-def generate(program: lang.FlowProgram, pn: bool = False) -> GeneratedSystem:
-    """Run both phases: infer, build the machine, emit constraints."""
+def generate(
+    program: lang.FlowProgram, pn: bool = False, compiled: bool = False
+) -> GeneratedSystem:
+    """Run both phases: infer, build the machine, emit constraints.
+
+    Flow queries are pure reachability (no witness extraction), so the
+    solver skips provenance recording.  ``compiled=True`` specializes
+    the bracket machine into table-indexed annotations first.
+    """
     inference = Inferencer(program).run()
     machine = build_type_bracket_machine(inference.pair_shapes)
-    algebra = MonoidAlgebra(machine)
-    solver = Solver(algebra, pn_projections=pn)
+    algebra = CompiledMonoidAlgebra(machine) if compiled else MonoidAlgebra(machine)
+    solver = Solver(algebra, pn_projections=pn, record_reasons=False)
+    batch: list[tuple] = []
     for constraint in inference.constraints:
         if constraint.kind == "sub":
             if constraint.bracket is None:
@@ -307,15 +321,16 @@ def generate(program: lang.FlowProgram, pn: bool = False) -> GeneratedSystem:
                     open_bracket(kind) if direction == "[" else close_bracket(kind)
                 )
                 annotation = algebra.symbol(symbol)
-            solver.add(constraint.lhs, constraint.rhs, annotation)
+            batch.append((constraint.lhs, constraint.rhs, annotation))
         elif constraint.kind == "wrap":
             wrapper = Constructor(f"o_{constraint.site}", 1)
-            solver.add(wrapper(constraint.lhs), constraint.rhs)
+            batch.append((wrapper(constraint.lhs), constraint.rhs))
         elif constraint.kind == "unwrap":
             wrapper = Constructor(f"o_{constraint.site}", 1)
-            solver.add(wrapper.proj(1, constraint.lhs), constraint.rhs)
+            batch.append((wrapper.proj(1, constraint.lhs), constraint.rhs))
         else:  # pragma: no cover - defensive
             raise AssertionError(constraint.kind)
+    solver.add_many(batch)
     return GeneratedSystem(
         solver=solver,
         algebra=algebra,

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.cfg.graph import CFGNode, ProgramCFG
-from repro.core.annotations import Annotation, MonoidAlgebra
+from repro.core.annotations import Annotation, CompiledMonoidAlgebra, MonoidAlgebra
 from repro.core.parametric import EntryKey, ParametricAlgebra
 from repro.core.queries import Reachability
 from repro.core.solver import Solver
@@ -157,6 +157,8 @@ class AnnotatedChecker:
         collapse_cycles: bool = False,
         algebra: Any | None = None,
         solver: Solver | None = None,
+        compiled: bool = False,
+        record_reasons: bool = True,
     ):
         self.cfg = cfg
         self.property = prop
@@ -170,9 +172,12 @@ class AnnotatedChecker:
                 self.algebra = ParametricAlgebra(
                     prop.machine, prop.parametric_symbols, eager=eager
                 )
+            elif compiled:
+                # The §8 specializer: annotations become table indices.
+                self.algebra = CompiledMonoidAlgebra(prop.machine)
             else:
                 self.algebra = MonoidAlgebra(prop.machine, eager=eager)
-            self.solver = Solver(self.algebra)
+            self.solver = Solver(self.algebra, record_reasons=record_reasons)
         self.pc = Constructor("pc", 0)()
         self._vars: dict[int, Variable] = {}
         self._constraints = 0
@@ -218,31 +223,27 @@ class AnnotatedChecker:
 
     def _encode(self) -> None:
         cfg = self.cfg
-        solver = self.solver
-        solver.add(self.pc, self.node_var(cfg.main.entry))
-        self._constraints += 1
+        batch: list[tuple] = [(self.pc, self.node_var(cfg.main.entry))]
         for node in cfg.all_nodes():
             src = self.node_var(node)
             if node.kind == "call":
                 callee = cfg.functions[node.call.callee]
                 wrapper = Constructor(f"o{node.site}", 1)
-                solver.add(
-                    wrapper(src), self.node_var(callee.entry), info=node
+                batch.append(
+                    (wrapper(src), self.node_var(callee.entry), None, node)
                 )
                 exit_var = self.node_var(callee.exit)
                 for succ in cfg.successors(node):
-                    solver.add(
-                        wrapper.proj(1, exit_var),
-                        self.node_var(succ),
-                        info=node,
+                    batch.append(
+                        (wrapper.proj(1, exit_var), self.node_var(succ), None, node)
                     )
-                    self._constraints += 1
-                self._constraints += 1
                 continue
             annotation = self._annotation_of(node)
             for succ in cfg.successors(node):
-                solver.add(src, self.node_var(succ), annotation, info=node)
-                self._constraints += 1
+                batch.append((src, self.node_var(succ), annotation, node))
+        self._constraints = len(batch)
+        # One drain for the whole program instead of one per constraint.
+        self.solver.add_many(batch)
 
     # -- queries ------------------------------------------------------------------
 
@@ -333,8 +334,9 @@ class AnnotatedChecker:
         var = self.node_var(node)
         annotations = reach.annotations_of(var, self.pc)
         if not isinstance(self.algebra, ParametricAlgebra):
-            start = self.property.machine.start
-            return {ann(start) for ann in annotations}
+            # state_after handles both representations: representative
+            # functions (object mode) and table indices (compiled mode).
+            return {self.algebra.state_after(ann) for ann in annotations}
         states: dict[EntryKey, set[int]] = {}
         start = self.property.machine.start
         for env in annotations:

@@ -37,7 +37,10 @@ from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.cfg import build_cfg
-from repro.core.annotations import MonoidAlgebra, ProductAlgebra
+from repro.core.annotations import (
+    CompiledGenKillAlgebra,
+    CompiledMonoidAlgebra,
+)
 from repro.core.parametric import ParametricAlgebra
 from repro.core.persist import dump_solver, load_solver, machine_fingerprint
 from repro.core.solver import Solver, SolverStats
@@ -120,11 +123,17 @@ class AnalysisEngine:
             return self._properties[name]
 
     def _check_algebra(self, prop: Property, fingerprint: str) -> Any:
-        """The shared (per-fingerprint) algebra for a check property."""
+        """The shared (per-fingerprint) algebra for a check property.
+
+        Non-parametric properties get the §8-specialized
+        :class:`CompiledMonoidAlgebra`; its composition table is cached
+        alongside the machine fingerprint, so the compile cost is paid
+        once per property and every request runs table-driven.
+        """
         key = (
             ("param", fingerprint, tuple(sorted(prop.parametric_symbols)))
             if prop.parametric_symbols
-            else ("monoid", fingerprint)
+            else ("compiled", fingerprint)
         )
         with self._lock:
             algebra = self._algebras.get(key)
@@ -135,11 +144,11 @@ class AnalysisEngine:
         if prop.parametric_symbols:
             algebra = ParametricAlgebra(prop.machine, prop.parametric_symbols)
         else:
-            algebra = MonoidAlgebra(prop.machine)
+            algebra = CompiledMonoidAlgebra(prop.machine)
         with self._lock:
             return self._algebras.setdefault(key, algebra)
 
-    def _bitvector_algebra(self, n_bits: int) -> ProductAlgebra:
+    def _bitvector_algebra(self, n_bits: int) -> CompiledGenKillAlgebra:
         key = ("bitvector", n_bits)
         with self._lock:
             algebra = self._algebras.get(key)
@@ -147,8 +156,7 @@ class AnalysisEngine:
             self.metrics.incr("cache.machine.hits")
             return algebra
         self.metrics.incr("cache.machine.misses")
-        bit = MonoidAlgebra(one_bit_machine())
-        algebra = ProductAlgebra([bit] * n_bits)
+        algebra = CompiledGenKillAlgebra(n_bits, bit_machine=one_bit_machine())
         with self._lock:
             return self._algebras.setdefault(key, algebra)
 
@@ -339,7 +347,7 @@ class AnalysisEngine:
 
         def build() -> Any:
             try:
-                return FlowAnalysis(program, pn=pn)
+                return FlowAnalysis(program, pn=pn, compiled=True)
             except (ValueError, TypeError) as exc:
                 # FlowSyntaxError / FlowTypeError
                 raise EngineError(protocol.E_PARSE, str(exc)) from exc
@@ -398,14 +406,8 @@ class AnalysisEngine:
             solver = entry.solver
             if solver is None:
                 continue
-            stats = solver.stats
-            aggregate.edges_added += stats.edges_added
-            aggregate.lowers_added += stats.lowers_added
-            aggregate.uppers_added += stats.uppers_added
-            aggregate.projections_added += stats.projections_added
-            aggregate.compositions += stats.compositions
-            aggregate.marks += stats.marks
-            aggregate.rollbacks += stats.rollbacks
+            for field, value in solver.stats.as_dict().items():
+                setattr(aggregate, field, getattr(aggregate, field) + value)
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = cache_info
         snapshot["solver"] = aggregate.as_dict()

@@ -272,6 +272,7 @@ class TestSolverStats:
             "uppers_added",
             "projections_added",
             "compositions",
+            "facts_deduped",
             "marks",
             "rollbacks",
         }
