@@ -38,20 +38,30 @@ Quickstart::
 
 from repro.core import (
     AnnotatedConstraintSystem,
+    Budget,
+    CancellationToken,
     Constructor,
     Solver,
+    SolverBudgetExceeded,
+    SolverCancelled,
+    SolverInterrupted,
     Variable,
     constant,
 )
 from repro.dfa import DFA, TransitionMonoid, parse_spec, regex_to_dfa
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnnotatedConstraintSystem",
+    "Budget",
+    "CancellationToken",
     "Constructor",
     "DFA",
     "Solver",
+    "SolverBudgetExceeded",
+    "SolverCancelled",
+    "SolverInterrupted",
     "TransitionMonoid",
     "Variable",
     "constant",

@@ -31,6 +31,7 @@ from typing import Callable
 
 import repro
 from repro.cfg import build_cfg
+from repro.core.errors import SolverInterrupted
 from repro.dfa.gallery import (
     adversarial_machine,
     file_state_machine,
@@ -63,8 +64,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
         source = handle.read()
     cfg = build_cfg(source)
     prop = PROPERTIES[args.property]()
+    budget = None
+    if args.budget_steps is not None or args.budget_seconds is not None:
+        from repro.core.budget import Budget
+
+        budget = Budget(
+            max_steps=args.budget_steps, max_seconds=args.budget_seconds
+        )
     if args.engine in ("annotated", "both"):
-        checker = AnnotatedChecker(cfg, prop, collapse_cycles=args.collapse_cycles)
+        checker = AnnotatedChecker(
+            cfg, prop, collapse_cycles=args.collapse_cycles, budget=budget
+        )
         result = checker.check(traces=args.traces)
         print(f"[annotated] {'VIOLATION' if result.has_violation else 'clean'} "
               f"({len(result.violations)} finding(s), "
@@ -211,7 +221,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size, snapshot_dir=args.snapshot_dir
     )
     server = AnalysisServer(
-        engine, workers=args.workers, timeout=args.timeout
+        engine,
+        workers=args.workers,
+        timeout=args.timeout,
+        max_queue=args.max_queue,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     if args.tcp:
         host, _sep, port_text = args.tcp.rpartition(":")
@@ -271,7 +286,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         except ValueError:
             raise CLIError(f"invalid --connect address {args.connect!r}")
         try:
-            with ServiceClient(host, port) as client:
+            with ServiceClient(host, port, retries=args.retries) as client:
                 result = client.request(args.op, **params)
         except ServiceError as exc:
             raise CLIError(f"service error {exc.code}: {exc.message}")
@@ -309,6 +324,18 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--traces", action="store_true", help="print witnesses")
     check.add_argument("--collapse-cycles", action="store_true")
     check.add_argument("--max-findings", type=int, default=10)
+    check.add_argument(
+        "--budget-steps",
+        type=int,
+        metavar="N",
+        help="abort the solve after N worklist steps (exit status 3)",
+    )
+    check.add_argument(
+        "--budget-seconds",
+        type=float,
+        metavar="S",
+        help="abort the solve after S wall-clock seconds (exit status 3)",
+    )
     check.set_defaults(handler=_cmd_check)
 
     dataflow = commands.add_parser("dataflow", help="interprocedural gen/kill")
@@ -354,6 +381,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--cache-size", type=int, default=64)
     serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="analysis requests queued beyond the workers before shedding",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive failures before a request fingerprint is refused",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds a tripped fingerprint stays refused before a probe",
+    )
+    serve.add_argument(
         "--snapshot-dir", help="persist/reload solved systems in this directory"
     )
     serve.set_defaults(handler=_cmd_serve)
@@ -377,6 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="speculative label flows for a what-if flow query",
     )
     query.add_argument("--pn", action="store_true")
+    query.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="reconnect attempts on connection failure (--connect only)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     return parser
@@ -393,6 +444,14 @@ def main(argv: list[str] | None = None) -> int:
     except CLIError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
+    except SolverInterrupted as exc:
+        # Budget exhaustion / cancellation is a governed outcome, not a
+        # crash: distinct exit status so drivers can tell it apart.
+        print(
+            f"repro: interrupted: {exc} (progress: {exc.progress})",
+            file=sys.stderr,
+        )
+        return 3
     except OSError as exc:
         target = getattr(exc, "filename", None)
         where = f" {target!r}" if target else ""

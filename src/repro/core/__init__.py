@@ -14,9 +14,27 @@ from repro.core.annotations import (
     UnannotatedAlgebra,
     compile_algebra,
 )
-from repro.core.errors import ConstraintError, Inconsistency, NoSolutionError
+from repro.core.budget import Budget, CancellationToken
+from repro.core.errors import (
+    ConstraintError,
+    Inconsistency,
+    NoSolutionError,
+    SnapshotCorrupt,
+    SolverBudgetExceeded,
+    SolverCancelled,
+    SolverInterrupted,
+)
 from repro.core.parametric import ParametricAlgebra, SubstitutionEnvironment
-from repro.core.persist import dfa_from_dict, dfa_to_dict, dump_solver, load_solver
+from repro.core.persist import (
+    dfa_from_dict,
+    dfa_to_dict,
+    dump_solver,
+    load_solver,
+    load_solver_snapshot,
+    read_snapshot,
+    write_snapshot,
+    write_solver_snapshot,
+)
 from repro.core.demand import (
     DemandBackwardSolver,
     DemandForwardSolver,
@@ -42,6 +60,12 @@ __all__ = [
     "AnnotatedConstraintSystem",
     "AnnotatedGraph",
     "BackwardSolver",
+    "Budget",
+    "CancellationToken",
+    "SnapshotCorrupt",
+    "SolverBudgetExceeded",
+    "SolverCancelled",
+    "SolverInterrupted",
     "CompiledGenKillAlgebra",
     "CompiledMonoidAlgebra",
     "ConstraintError",
@@ -75,5 +99,9 @@ __all__ = [
     "ground",
     "least_solution_terms",
     "load_solver",
+    "load_solver_snapshot",
+    "read_snapshot",
     "trace_lower",
+    "write_snapshot",
+    "write_solver_snapshot",
 ]

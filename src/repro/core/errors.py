@@ -15,6 +15,59 @@ class NoSolutionError(RuntimeError):
     resolution rules discovered a manifest contradiction."""
 
 
+class SolverInterrupted(RuntimeError):
+    """A solve stopped before reaching the fixpoint.
+
+    Raised only *between* facts, never mid-resolution, so the solver is
+    left in a consistent state: every fact already in the solved form
+    has been fully recorded, and everything still to be processed sits
+    on the worklist.  The interrupted solve can be checkpointed with
+    :func:`repro.core.persist.dump_solver` (the pending worklist is
+    serialized alongside the solved form) and resumed — in the same
+    process via :meth:`repro.core.solver.Solver.resume`, or in a later
+    one by loading the checkpoint and resuming there.
+
+    ``progress`` carries partial-progress statistics: ``steps`` (facts
+    processed under the interrupting budget), ``elapsed_s``, ``facts``
+    (solved-form size) and ``pending`` (worklist backlog), when the
+    interrupted solver could report them.
+    """
+
+    def __init__(self, message: str, progress: dict | None = None):
+        super().__init__(message)
+        self.progress: dict = dict(progress or {})
+
+
+class SolverBudgetExceeded(SolverInterrupted):
+    """A resource budget (steps, wall time, or fact count) ran out.
+
+    ``limit`` names the exhausted dimension: ``"steps"``, ``"seconds"``
+    or ``"facts"``.
+    """
+
+    def __init__(self, limit: str, message: str, progress: dict | None = None):
+        super().__init__(message, progress)
+        self.limit = limit
+
+
+class SolverCancelled(SolverInterrupted):
+    """The solve's :class:`~repro.core.budget.CancellationToken` fired."""
+
+
+class SnapshotCorrupt(ValueError):
+    """A persisted snapshot failed checksum or structural verification.
+
+    Derives from :class:`ValueError` so callers that already treat any
+    malformed dump as "fall back to a cold solve" keep working; callers
+    that care can catch this type to count corruption distinctly.
+    """
+
+    def __init__(self, path: str, detail: str):
+        super().__init__(f"corrupt snapshot {path}: {detail}")
+        self.path = path
+        self.detail = detail
+
+
 @dataclass(frozen=True)
 class Inconsistency:
     """A manifestly inconsistent constraint ``c^α(...) ⊆^f d^β(...)``.

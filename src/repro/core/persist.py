@@ -15,12 +15,27 @@ provides the persistence half as plain JSON:
   function annotations.  Loading restores the *solved form* directly —
   no re-closure — and the system remains open: adding constraints
   afterwards resumes online solving on top of the loaded facts.
+* :func:`write_snapshot` / :func:`read_snapshot` — crash-safe file IO
+  for dumps: write-temp-fsync-rename so a crash mid-dump can never
+  leave a half-written file under the snapshot's name, plus a checksum
+  header so truncation or bit rot is detected on load as a typed
+  :class:`~repro.core.errors.SnapshotCorrupt` instead of silently
+  wrong verdicts.
 
 Format version 2 stores each *distinct* annotation once in an
 ``elements`` table (a solved form repeats the same few monoid elements
 across tens of thousands of facts) and every fact carries just an index
 into it — the on-disk analog of the compiled algebra's representation.
 Version-1 dumps (inline state-mapping tuples per fact) still load.
+
+Format version 3 is emitted only for **checkpoints** — dumps of a
+solver whose worklist is non-empty, i.e. a solve interrupted by a
+:class:`~repro.core.budget.Budget` or cancellation.  It adds the
+pending worklist, the met-pair memo and any recorded inconsistencies,
+so a later :func:`load_solver` + :meth:`~repro.core.solver.Solver.resume`
+continues the solve exactly where it stopped and converges to the same
+fixpoint an uninterrupted run would have reached.  Fully solved dumps
+keep emitting version 2 unchanged.
 
 Only :class:`~repro.core.annotations.MonoidAlgebra`,
 :class:`~repro.core.annotations.CompiledMonoidAlgebra` and
@@ -33,6 +48,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import pathlib
+from collections import deque
 from typing import Any, Callable
 
 from repro.core.annotations import (
@@ -40,13 +58,17 @@ from repro.core.annotations import (
     MonoidAlgebra,
     UnannotatedAlgebra,
 )
+from repro.core.errors import Inconsistency, SnapshotCorrupt
 from repro.core.solver import Solver
 from repro.core.terms import Constructed, Constructor, Variable
 from repro.dfa.automaton import DFA
 from repro.dfa.monoid import RepresentativeFunction
 
 FORMAT_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+#: Emitted instead of :data:`FORMAT_VERSION` when the dump is a
+#: checkpoint of an interrupted solve (non-empty worklist).
+CHECKPOINT_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 # -- symbols: JSON-safe encoding of hashable alphabet symbols -----------------
@@ -183,8 +205,49 @@ def _decode_constructed(data: dict) -> Constructed:
     return Constructed(ctor, tuple(Variable(n) for n in data["args"]))
 
 
+def _encode_pending_fact(fact: tuple, elements: "_ElementTable") -> list:
+    """One worklist entry, for checkpoint dumps (version 3)."""
+    kind = fact[0]
+    if kind == "lower":
+        _tag, var, src, ann = fact
+        return ["lower", var.name, _encode_constructed(src), elements.index_of(ann)]
+    if kind == "upper":
+        _tag, var, snk, ann = fact
+        return ["upper", var.name, _encode_constructed(snk), elements.index_of(ann)]
+    if kind == "edge":
+        _tag, src_var, dst_var, ann = fact
+        return ["edge", src_var.name, dst_var.name, elements.index_of(ann)]
+    if kind == "proj":
+        _tag, var, ctor, index, target, ann = fact
+        return [
+            "proj",
+            var.name,
+            _encode_constructor(ctor),
+            index,
+            target.name,
+            elements.index_of(ann),
+        ]
+    raise TypeError(f"cannot serialize pending fact {fact!r}")
+
+
+def _encode_constructor(ctor: Constructor) -> dict:
+    return {
+        "name": ctor.name,
+        "arity": ctor.arity,
+        "variance": list(ctor.variance) if ctor.variance is not None else None,
+    }
+
+
 def dump_solver(solver: Solver) -> str:
-    """Serialize a solver's solved form (and its machine, if any)."""
+    """Serialize a solver's solved form (and its machine, if any).
+
+    A solver at its fixpoint dumps as format version 2, exactly as
+    before.  A solver with a non-empty worklist — a solve interrupted by
+    budget exhaustion or cancellation — dumps as a version-3
+    *checkpoint* carrying the pending worklist, the met-pair memo and
+    recorded inconsistencies; loading one restores the interrupted state
+    and :meth:`~repro.core.solver.Solver.resume` finishes the solve.
+    """
     algebra = solver.algebra
     if isinstance(algebra, CompiledMonoidAlgebra):
         algebra_tag = "compiled"
@@ -235,21 +298,44 @@ def dump_solver(solver: Solver) -> str:
                     elements.index_of(ann),
                 ]
             )
-    return json.dumps(
-        {
-            "version": FORMAT_VERSION,
-            "algebra": algebra_tag,
-            "machine": machine_data,
-            "fingerprint": machine_fingerprint(machine),
-            "pn_projections": solver.pn_projections,
-            "prune_dead": solver.prune_dead,
-            "elements": elements.encoded,
-            "lowers": lowers,
-            "uppers": uppers,
-            "edges": edges,
-            "projections": projections,
-        }
-    )
+    payload: dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "algebra": algebra_tag,
+        "machine": machine_data,
+        "fingerprint": machine_fingerprint(machine),
+        "pn_projections": solver.pn_projections,
+        "prune_dead": solver.prune_dead,
+        "elements": elements.encoded,
+        "lowers": lowers,
+        "uppers": uppers,
+        "edges": edges,
+        "projections": projections,
+    }
+    if solver.pending_count():
+        payload["version"] = CHECKPOINT_VERSION
+        payload["pending"] = [
+            _encode_pending_fact(fact, elements) for fact in solver._work
+        ]
+        # The met memo keeps a resumed drain from re-deriving (and the
+        # inconsistency list from double-recording) meets the
+        # interrupted run already resolved.
+        payload["met"] = [
+            [
+                _encode_constructed(src),
+                _encode_constructed(snk),
+                elements.index_of(ann),
+            ]
+            for src, snk, ann in solver._met
+        ]
+        payload["inconsistencies"] = [
+            [
+                _encode_constructed(inc.source),
+                _encode_constructed(inc.sink),
+                elements.index_of(inc.annotation),
+            ]
+            for inc in solver.inconsistencies
+        ]
+    return json.dumps(payload)
 
 
 def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
@@ -257,7 +343,10 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
 
     Facts are installed directly (the dump was closed, so re-closing is
     unnecessary work the loader skips); further ``add`` calls resume
-    online solving from this state.
+    online solving from this state.  Version-3 checkpoints additionally
+    restore the pending worklist of an interrupted solve;
+    :meth:`~repro.core.solver.Solver.resume` (or any ``add``) finishes
+    it.
 
     The dump embeds a :func:`machine_fingerprint` of its property
     machine.  It is verified against the machine actually stored in the
@@ -383,17 +472,206 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
             bucket[(dst, ann)] = None
             solver._succ_seq.setdefault(src, []).append((dst, ann))
         solver._pred.setdefault(dst, {})[(src, ann)] = None
+    def intern_constructor(cdata: dict) -> Constructor:
+        variance = (
+            tuple(cdata["variance"]) if cdata["variance"] is not None else None
+        )
+        return Constructor(cdata["name"], cdata["arity"], variance)
+
     for var_name, ctor_data, index, target_name, ann_data in data["projections"]:
         var = intern_var(var_name)
-        variance = (
-            tuple(ctor_data["variance"])
-            if ctor_data["variance"] is not None
-            else None
-        )
-        ctor = Constructor(ctor_data["name"], ctor_data["arity"], variance)
+        ctor = intern_constructor(ctor_data)
         key = (ctor, index, intern_var(target_name), annotation_of(ann_data))
         bucket = solver._proj.setdefault(var, {})
         if key not in bucket:
             bucket[key] = None
             solver._proj_seq.setdefault(var, []).append(key)
+
+    # Checkpoint sections (version 3): the interrupted drain's backlog,
+    # met memo and inconsistency record.  Restoring them makes resume()
+    # continue the solve exactly where the dumping process stopped.
+    if data.get("pending"):
+        work: deque = deque()
+        for entry in data["pending"]:
+            kind = entry[0]
+            if kind == "lower":
+                _tag, var_name, src_data, ann_data = entry
+                work.append(
+                    (
+                        "lower",
+                        intern_var(var_name),
+                        intern_constructed(src_data),
+                        annotation_of(ann_data),
+                    )
+                )
+            elif kind == "upper":
+                _tag, var_name, snk_data, ann_data = entry
+                work.append(
+                    (
+                        "upper",
+                        intern_var(var_name),
+                        intern_constructed(snk_data),
+                        annotation_of(ann_data),
+                    )
+                )
+            elif kind == "edge":
+                _tag, src_name, dst_name, ann_data = entry
+                work.append(
+                    (
+                        "edge",
+                        intern_var(src_name),
+                        intern_var(dst_name),
+                        annotation_of(ann_data),
+                    )
+                )
+            elif kind == "proj":
+                _tag, var_name, ctor_data, index, target_name, ann_data = entry
+                work.append(
+                    (
+                        "proj",
+                        intern_var(var_name),
+                        intern_constructor(ctor_data),
+                        index,
+                        intern_var(target_name),
+                        annotation_of(ann_data),
+                    )
+                )
+            else:
+                raise ValueError(f"unknown pending fact kind {kind!r}")
+        solver._work = work
+    for src_data, snk_data, ann_data in data.get("met", ()):
+        solver._met.add(
+            (
+                intern_constructed(src_data),
+                intern_constructed(snk_data),
+                annotation_of(ann_data),
+            )
+        )
+    for src_data, snk_data, ann_data in data.get("inconsistencies", ()):
+        solver.inconsistencies.append(
+            Inconsistency(
+                intern_constructed(src_data),
+                intern_constructed(snk_data),
+                annotation_of(ann_data),
+            )
+        )
     return solver
+
+
+# -- crash-safe snapshot files -----------------------------------------------
+
+#: First bytes of a checksummed snapshot file.  Files without it are
+#: treated as legacy bare-JSON dumps (readable, but unverifiable).
+SNAPSHOT_MAGIC = "#repro-snapshot"
+
+#: Seam for fault injection (:mod:`repro.testing.faults` patches this to
+#: simulate a crash at the commit point); always ``os.replace`` in
+#: production.
+_rename = os.replace
+
+
+def snapshot_digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def write_snapshot(path: str | pathlib.Path, text: str) -> None:
+    """Atomically persist a dump to ``path`` with a checksum header.
+
+    The write-temp → flush → fsync → rename dance guarantees a reader
+    (or a restarted process) only ever sees either the previous complete
+    snapshot or the new complete snapshot — never a torn one, no matter
+    when the writer crashes.  The header records a SHA-256 of the
+    payload so damage *after* a successful write (truncation, bit rot)
+    is caught by :func:`read_snapshot`.
+    """
+    path = pathlib.Path(path)
+    payload = text.encode("utf-8")
+    header = (
+        f"{SNAPSHOT_MAGIC} sha256={snapshot_digest(payload)} "
+        f"size={len(payload)}\n"
+    ).encode("ascii")
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        fd = os.open(str(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, header + payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        _rename(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    # Make the rename itself durable where the platform allows it.
+    try:
+        dir_fd = os.open(str(path.parent), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def read_snapshot(path: str | pathlib.Path) -> str:
+    """Read a snapshot file, verifying its checksum header.
+
+    Raises :class:`~repro.core.errors.SnapshotCorrupt` when the header
+    is malformed, the recorded size disagrees (truncation), or the
+    checksum does not match (bit flips).  Files that never had a header
+    (legacy bare dumps) are returned as-is — their internal fingerprint
+    check in :func:`load_solver` is then the only guard.
+    """
+    path = pathlib.Path(path)
+    raw = path.read_bytes()
+    if not raw.startswith(SNAPSHOT_MAGIC.encode("ascii")):
+        return raw.decode("utf-8")
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise SnapshotCorrupt(str(path), "header line is truncated")
+    header = raw[:newline].decode("ascii", "replace")
+    payload = raw[newline + 1 :]
+    fields = dict(
+        part.split("=", 1) for part in header.split()[1:] if "=" in part
+    )
+    expected_digest = fields.get("sha256")
+    expected_size = fields.get("size")
+    if expected_digest is None or expected_size is None:
+        raise SnapshotCorrupt(str(path), f"malformed header {header!r}")
+    try:
+        size = int(expected_size)
+    except ValueError:
+        raise SnapshotCorrupt(str(path), f"malformed size in header {header!r}")
+    if len(payload) != size:
+        raise SnapshotCorrupt(
+            str(path),
+            f"payload is {len(payload)} bytes but header promised {size} "
+            "(truncated or padded)",
+        )
+    actual = snapshot_digest(payload)
+    if actual != expected_digest:
+        raise SnapshotCorrupt(
+            str(path),
+            f"checksum mismatch (header {expected_digest[:12]}…, "
+            f"payload {actual[:12]}…)",
+        )
+    return payload.decode("utf-8")
+
+
+def write_solver_snapshot(path: str | pathlib.Path, solver: Solver) -> None:
+    """Convenience: :func:`dump_solver` + :func:`write_snapshot`."""
+    write_snapshot(path, dump_solver(solver))
+
+
+def load_solver_snapshot(
+    path: str | pathlib.Path, expected_fingerprint: str | None = None
+) -> Solver:
+    """Convenience: :func:`read_snapshot` + :func:`load_solver`."""
+    return load_solver(
+        read_snapshot(path), expected_fingerprint=expected_fingerprint
+    )

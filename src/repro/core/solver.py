@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable, Iterator
 
 from repro.core.annotations import Annotation, UnannotatedAlgebra
+from repro.core.budget import Budget
 from repro.core.errors import ConstraintError, Inconsistency, NoSolutionError
 from repro.core.terms import (
     Constructed,
@@ -108,8 +109,14 @@ class Solver:
         pn_projections: bool = False,
         prune_dead: bool = True,
         record_reasons: bool = True,
+        budget: Budget | None = None,
     ):
         self.algebra = algebra if algebra is not None else UnannotatedAlgebra()
+        #: Optional resource governor (see :mod:`repro.core.budget`).
+        #: Checked between facts at amortized intervals by every drain;
+        #: may be attached or replaced at any point between drains —
+        #: warm-started solvers get theirs after loading.
+        self.budget = budget
         #: Drop facts whose annotation is necessarily non-accepting (the
         #: Section 3.1 pruning justified by minimality of M).  Disabled
         #: only by the ablation benchmark.
@@ -328,6 +335,24 @@ class Solver:
         if self._journal:
             self._journal[-1].append(entry)
 
+    def pending_count(self) -> int:
+        """Worklist backlog: facts recorded but not yet resolved against
+        their neighbors.  Zero at the fixpoint; nonzero only after an
+        interrupted drain (or on a loaded checkpoint)."""
+        return len(self._work)
+
+    def resume(self, budget: Budget | None = None) -> None:
+        """Continue an interrupted solve to the fixpoint (or next limit).
+
+        After a :class:`~repro.core.errors.SolverInterrupted` the
+        worklist still holds everything unprocessed; ``resume`` drains
+        it, optionally under a fresh budget (the old one has, by
+        definition, just run out).  A no-op when nothing is pending.
+        """
+        if budget is not None:
+            self.budget = budget
+        self._drain()
+
     def fact_count(self) -> int:
         """Number of distinct facts in the solved form (for benchmarks)."""
         return (
@@ -498,7 +523,25 @@ class Solver:
         work = self._work
         record = self.record_reasons
         pn = self.pn_projections
+        # Budget governance: with no budget the loop pays one
+        # predictable ``is not None`` branch per fact; with one, the
+        # full limit evaluation runs at drain start and then every
+        # ``check_interval`` facts.  Charges happen *before* a fact is
+        # popped, so an interrupt always leaves the worklist holding
+        # exactly the unresolved facts — the invariant checkpoint/resume
+        # relies on.
+        budget = self.budget
+        check_every = countdown = 0
+        if budget is not None and work:
+            check_every = budget.check_interval
+            countdown = check_every
+            budget.charge(0, self)
         while work:
+            if budget is not None:
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = check_every
+                    budget.charge(check_every, self)
             fact = work.popleft()
             self.facts_processed += 1
             kind = fact[0]
@@ -639,6 +682,11 @@ class Solver:
                                 if record
                                 else None,
                             )
+        if budget is not None:
+            # Account for the partial interval so step totals stay exact
+            # across the online solver's many small drains; the *next*
+            # drain's opening charge enforces limits against the total.
+            budget.settle(check_every - countdown)
 
     def _meet(
         self,

@@ -35,6 +35,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Hashable, Iterable, Sequence
 
+from repro.core.budget import Budget
 from repro.dfa.automaton import DFA, Symbol
 
 Node = Hashable
@@ -79,21 +80,55 @@ class ForwardSolver:
     prefix-language domain ``T^{M^pre}``.
     """
 
-    def __init__(self, graph: AnnotatedGraph):
+    def __init__(self, graph: AnnotatedGraph, budget: Budget | None = None):
         self.graph = graph
         self.machine = graph.machine
         self._live = self.machine.coreachable_states()
         self.states: dict[Node, set[int]] = {}
         self.facts_processed = 0
+        #: Optional resource governor; checked between facts, exactly
+        #: like the bidirectional solver's drain (see repro.core.budget).
+        self.budget = budget
+        # The worklist lives on the instance so a budget interrupt keeps
+        # its backlog and resume() continues where solving stopped.
+        self._work: deque[tuple[Node, int]] = deque()
 
-    def solve(self, sources: Iterable[Node]) -> None:
+    def fact_count(self) -> int:
+        """Derived (node, state) facts so far — for budget progress."""
+        return sum(len(bucket) for bucket in self.states.values())
+
+    def pending_count(self) -> int:
+        return len(self._work)
+
+    def resume(self, budget: Budget | None = None) -> None:
+        """Continue an interrupted solve (no new sources)."""
+        if budget is not None:
+            self.budget = budget
+        self.solve(())
+
+    def solve(
+        self, sources: Iterable[Node] = (), budget: Budget | None = None
+    ) -> None:
+        if budget is not None:
+            self.budget = budget
         machine = self.machine
-        work: deque[tuple[Node, int]] = deque()
+        work = self._work
         for src in sources:
             if machine.start in self._live and machine.start not in self.states.setdefault(src, set()):
                 self.states[src].add(machine.start)
                 work.append((src, machine.start))
+        budget = self.budget
+        check_every = countdown = 0
+        if budget is not None and work:
+            check_every = budget.check_interval
+            countdown = check_every
+            budget.charge(0, self)
         while work:
+            if budget is not None:
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = check_every
+                    budget.charge(check_every, self)
             node, state = work.popleft()
             self.facts_processed += 1
             for succ, word in self.graph.successors(node):
@@ -104,6 +139,8 @@ class ForwardSolver:
                 if nxt not in bucket:
                     bucket.add(nxt)
                     work.append((succ, nxt))
+        if budget is not None:
+            budget.settle(check_every - countdown)
 
     def states_of(self, node: Node) -> set[int]:
         return set(self.states.get(node, set()))
@@ -123,23 +160,53 @@ class BackwardSolver:
     (checked with :meth:`reaches_accepting`).
     """
 
-    def __init__(self, graph: AnnotatedGraph):
+    def __init__(self, graph: AnnotatedGraph, budget: Budget | None = None):
         self.graph = graph
         self.machine = graph.machine
         self._reachable = self.machine.reachable_states()
         self.classes: dict[Node, set[frozenset[int]]] = {}
         self.facts_processed = 0
+        self.budget = budget
+        self._work: deque[tuple[Node, frozenset[int]]] = deque()
 
-    def solve(self, sinks: Iterable[Node]) -> None:
+    def fact_count(self) -> int:
+        """Derived (node, class) facts so far — for budget progress."""
+        return sum(len(bucket) for bucket in self.classes.values())
+
+    def pending_count(self) -> int:
+        return len(self._work)
+
+    def resume(self, budget: Budget | None = None) -> None:
+        """Continue an interrupted solve (no new sinks)."""
+        if budget is not None:
+            self.budget = budget
+        self.solve(())
+
+    def solve(
+        self, sinks: Iterable[Node] = (), budget: Budget | None = None
+    ) -> None:
+        if budget is not None:
+            self.budget = budget
         machine = self.machine
         everything = frozenset(machine.accepting)
-        work: deque[tuple[Node, frozenset[int]]] = deque()
+        work = self._work
         for sink in sinks:
             bucket = self.classes.setdefault(sink, set())
             if everything not in bucket:
                 bucket.add(everything)
                 work.append((sink, everything))
+        budget = self.budget
+        check_every = countdown = 0
+        if budget is not None and work:
+            check_every = budget.check_interval
+            countdown = check_every
+            budget.charge(0, self)
         while work:
+            if budget is not None:
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = check_every
+                    budget.charge(check_every, self)
             node, cls = work.popleft()
             self.facts_processed += 1
             for pred, word in self.graph.predecessors(node):
@@ -154,6 +221,8 @@ class BackwardSolver:
                 if prepended not in bucket:
                     bucket.add(prepended)
                     work.append((pred, prepended))
+        if budget is not None:
+            budget.settle(check_every - countdown)
 
     def classes_of(self, node: Node) -> set[frozenset[int]]:
         return set(self.classes.get(node, set()))

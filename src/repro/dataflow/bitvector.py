@@ -19,6 +19,7 @@ program entry to ``s`` ends with the bit set.
 from __future__ import annotations
 
 from repro.cfg.graph import CFGNode, ProgramCFG
+from repro.core.budget import Budget
 from repro.core.annotations import (
     CompiledGenKillAlgebra,
     MonoidAlgebra,
@@ -52,6 +53,7 @@ class AnnotatedBitVectorAnalysis:
         problem: BitVectorProblem,
         algebra: ProductAlgebra | CompiledGenKillAlgebra | None = None,
         compiled: bool = False,
+        budget: Budget | None = None,
     ):
         self.cfg = cfg
         self.problem = problem
@@ -79,7 +81,7 @@ class AnnotatedBitVectorAnalysis:
             self._kill = bit_algebra.symbol("k")
             self._eps = bit_algebra.identity
         self.algebra = algebra
-        self.solver = Solver(self.algebra, record_reasons=False)
+        self.solver = Solver(self.algebra, record_reasons=False, budget=budget)
         self.pc = Constructor("pc", 0)()
         self._vars: dict[int, Variable] = {}
         self._encode()

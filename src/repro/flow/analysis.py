@@ -11,6 +11,7 @@ callee-created values may escape to any caller.
 
 from __future__ import annotations
 
+from repro.core.budget import Budget
 from repro.core.queries import Reachability, least_solution_terms
 from repro.core.terms import Constructed, Constructor, Variable
 from repro.flow import lang
@@ -25,12 +26,15 @@ class FlowAnalysis:
         program: lang.FlowProgram | str,
         pn: bool = False,
         compiled: bool = False,
+        budget: Budget | None = None,
     ):
         if isinstance(program, str):
             program = lang.parse_flow_program(program)
         self.program = program
         self.pn = pn
-        self.system: GeneratedSystem = generate(program, pn=pn, compiled=compiled)
+        self.system: GeneratedSystem = generate(
+            program, pn=pn, compiled=compiled, budget=budget
+        )
         self._markers: dict[str, Constructed] = {}
         marker_batch: list[tuple] = []
         for name, label in self.system.labels.items():

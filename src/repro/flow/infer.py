@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.annotations import CompiledMonoidAlgebra, MonoidAlgebra
+from repro.core.budget import Budget
 from repro.core.solver import Solver
 from repro.core.terms import Constructor, Variable
 from repro.dfa.automaton import DFA
@@ -297,7 +298,10 @@ class GeneratedSystem:
 
 
 def generate(
-    program: lang.FlowProgram, pn: bool = False, compiled: bool = False
+    program: lang.FlowProgram,
+    pn: bool = False,
+    compiled: bool = False,
+    budget: Budget | None = None,
 ) -> GeneratedSystem:
     """Run both phases: infer, build the machine, emit constraints.
 
@@ -308,7 +312,7 @@ def generate(
     inference = Inferencer(program).run()
     machine = build_type_bracket_machine(inference.pair_shapes)
     algebra = CompiledMonoidAlgebra(machine) if compiled else MonoidAlgebra(machine)
-    solver = Solver(algebra, pn_projections=pn, record_reasons=False)
+    solver = Solver(algebra, pn_projections=pn, record_reasons=False, budget=budget)
     batch: list[tuple] = []
     for constraint in inference.constraints:
         if constraint.kind == "sub":

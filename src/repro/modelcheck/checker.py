@@ -27,6 +27,7 @@ from typing import Any, Iterable
 
 from repro.cfg.graph import CFGNode, ProgramCFG
 from repro.core.annotations import Annotation, CompiledMonoidAlgebra, MonoidAlgebra
+from repro.core.budget import Budget
 from repro.core.parametric import EntryKey, ParametricAlgebra
 from repro.core.queries import Reachability
 from repro.core.solver import Solver
@@ -159,12 +160,15 @@ class AnnotatedChecker:
         solver: Solver | None = None,
         compiled: bool = False,
         record_reasons: bool = True,
+        budget: Budget | None = None,
     ):
         self.cfg = cfg
         self.property = prop
         if solver is not None:
             self.algebra = solver.algebra
             self.solver = solver
+            if budget is not None:
+                self.solver.budget = budget
         else:
             if algebra is not None:
                 self.algebra = algebra
@@ -177,7 +181,9 @@ class AnnotatedChecker:
                 self.algebra = CompiledMonoidAlgebra(prop.machine)
             else:
                 self.algebra = MonoidAlgebra(prop.machine, eager=eager)
-            self.solver = Solver(self.algebra, record_reasons=record_reasons)
+            self.solver = Solver(
+                self.algebra, record_reasons=record_reasons, budget=budget
+            )
         self.pc = Constructor("pc", 0)()
         self._vars: dict[int, Variable] = {}
         self._constraints = 0

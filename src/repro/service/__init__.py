@@ -11,26 +11,32 @@ package serves that workload:
 * :mod:`~repro.service.protocol` — the versioned JSON-lines request/
   response schema with typed error codes;
 * :class:`~repro.service.server.AnalysisServer` — stdio + TCP server
-  with a bounded worker pool, per-request timeouts, and per-request
-  fault isolation;
-* :class:`~repro.service.client.ServiceClient` — the matching client;
+  with a bounded worker pool, per-request deadlines that *cancel* the
+  underlying solve, bounded-queue admission control (load shedding), a
+  per-fingerprint circuit breaker, and per-request fault isolation;
+* :class:`~repro.service.client.ServiceClient` — the matching client,
+  with jittered-exponential-backoff reconnect/retry;
 * :class:`~repro.service.metrics.Metrics` — request/cache/solver
   counters surfaced by the ``stats`` operation.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service import protocol
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
 from repro.service.engine import AnalysisEngine, EngineError, program_hash
 from repro.service.metrics import Metrics
 from repro.service.protocol import PROTOCOL_VERSION
-from repro.service.server import AnalysisServer
+from repro.service.server import AnalysisServer, CircuitBreaker
 
 __all__ = [
     "AnalysisEngine",
     "AnalysisServer",
+    "CircuitBreaker",
     "EngineError",
     "Metrics",
     "PROTOCOL_VERSION",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailable",
     "program_hash",
+    "protocol",
 ]

@@ -12,12 +12,23 @@ response's ``result`` dict or raises :class:`ServiceError` carrying the
 typed error code.  The client is thread-safe: a lock serializes the
 socket, and responses are matched to requests by id (the server may
 answer pipelined requests out of order).
+
+Connection failures — refused connects, a server that dies mid-request,
+a dropped socket — are retried with jittered exponential backoff up to
+``retries`` times, reconnecting each attempt; when every attempt fails
+the client raises :class:`ServiceUnavailable` (wire code
+``unavailable``).  Retrying re-sends the request, which is safe because
+every operation is idempotent (analyses are cached by content hash).
+*Error responses* from a live server are never retried — they are
+answers, not failures.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
 from typing import Any
 
 from repro.service import protocol
@@ -32,13 +43,41 @@ class ServiceError(Exception):
         self.message = message
 
 
+class ServiceUnavailable(ServiceError):
+    """No attempt reached a live server; retries are exhausted."""
+
+    def __init__(self, message: str):
+        super().__init__(protocol.E_UNAVAILABLE, message)
+
+
+class _ConnectionLost(Exception):
+    """Internal: the transport died mid-request (retryable)."""
+
+
 class ServiceClient:
     """A blocking TCP client for :class:`repro.service.server.AnalysisServer`."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7432, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7432,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_seed: int | None = None,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        # Seedable so tests (and the fault harness) get deterministic
+        # backoff schedules.
+        self._rng = random.Random(retry_seed)
         self._lock = threading.Lock()
         self._sock: socket.socket | None = None
         self._buffer = b""
@@ -64,6 +103,17 @@ class ServiceClient:
             except OSError:
                 pass
 
+    def _reset(self) -> None:
+        """Drop the dead transport so the next attempt reconnects clean.
+
+        Buffered bytes and mailboxed responses belong to the old
+        connection's request ids; keeping them would mis-correlate
+        replies after the reconnect.
+        """
+        self.close()
+        self._buffer = b""
+        self._mailbox.clear()
+
     def __enter__(self) -> "ServiceClient":
         return self.connect()
 
@@ -75,32 +125,59 @@ class ServiceClient:
         while b"\n" not in self._buffer:
             chunk = self._sock.recv(65536)
             if not chunk:
-                raise ServiceError(
-                    protocol.E_INTERNAL, "connection closed by server"
-                )
+                raise _ConnectionLost("connection closed by server")
             self._buffer += chunk
         line, self._buffer = self._buffer.split(b"\n", 1)
         return line.decode("utf-8")
 
-    def request(self, op: str, **params: Any) -> dict:
-        """Send one request and return its ``result`` (or raise)."""
+    def _request_once(self, op: str, params: dict) -> protocol.Response:
+        """One attempt over the current (or a fresh) connection."""
         self.connect()
+        self._next_id += 1
+        request_id = self._next_id
+        line = protocol.encode_request(
+            protocol.Request(op=op, params=params, id=request_id)
+        )
+        assert self._sock is not None
+        self._sock.sendall(line.encode("utf-8") + b"\n")
+        while True:
+            response = self._mailbox.pop(request_id, None)
+            if response is None:
+                response = protocol.decode_response(self._read_line())
+                if response.id != request_id:
+                    self._mailbox[response.id] = response
+                    continue
+            return response
+
+    def request(self, op: str, **params: Any) -> dict:
+        """Send one request and return its ``result`` (or raise).
+
+        Transport failures are retried with jittered exponential
+        backoff; ``shutdown`` is the exception (a connection that dies
+        right after a shutdown is the expected outcome, not a failure
+        worth re-sending).
+        """
+        attempts = 1 if op == "shutdown" else self.retries + 1
+        delay = self.backoff
+        last_error: Exception | None = None
         with self._lock:
-            self._next_id += 1
-            request_id = self._next_id
-            line = protocol.encode_request(
-                protocol.Request(op=op, params=params, id=request_id)
-            )
-            assert self._sock is not None
-            self._sock.sendall(line.encode("utf-8") + b"\n")
-            while True:
-                response = self._mailbox.pop(request_id, None)
-                if response is None:
-                    response = protocol.decode_response(self._read_line())
-                    if response.id != request_id:
-                        self._mailbox[response.id] = response
-                        continue
-                break
+            for attempt in range(attempts):
+                if attempt:
+                    # Equal jitter: half the deterministic delay plus a
+                    # random half, so synchronized clients fan out.
+                    time.sleep(delay * (0.5 + self._rng.random() * 0.5))
+                    delay = min(delay * 2, self.backoff_cap)
+                try:
+                    response = self._request_once(op, params)
+                    break
+                except (_ConnectionLost, OSError) as exc:
+                    last_error = exc
+                    self._reset()
+            else:
+                raise ServiceUnavailable(
+                    f"{op!r} failed after {attempts} attempt(s): "
+                    f"{type(last_error).__name__}: {last_error}"
+                )
         if not response.ok:
             assert response.error is not None
             raise ServiceError(response.error["code"], response.error["message"])

@@ -41,8 +41,20 @@ from repro.core.annotations import (
     CompiledGenKillAlgebra,
     CompiledMonoidAlgebra,
 )
+from repro.core.budget import Budget
+from repro.core.errors import (
+    SnapshotCorrupt,
+    SolverBudgetExceeded,
+    SolverCancelled,
+)
 from repro.core.parametric import ParametricAlgebra
-from repro.core.persist import dump_solver, load_solver, machine_fingerprint
+from repro.core.persist import (
+    dump_solver,
+    load_solver,
+    machine_fingerprint,
+    read_snapshot,
+    write_snapshot,
+)
 from repro.core.solver import Solver, SolverStats
 from repro.dfa.gallery import one_bit_machine
 from repro.modelcheck import PROPERTY_FACTORIES, AnnotatedChecker
@@ -189,8 +201,23 @@ class AnalysisEngine:
         with entry.lock:
             if entry.analysis is None:
                 self.metrics.incr("cache.solve.misses")
-                with self.metrics.time("solve"):
-                    entry.analysis = builder()
+                # Interrupts surface as typed wire errors; the entry is
+                # left unbuilt, so a retry (with a fresh budget) re-runs
+                # the builder rather than reusing a half-solved system.
+                try:
+                    with self.metrics.time("solve"):
+                        entry.analysis = builder()
+                except SolverCancelled as exc:
+                    self.metrics.incr("solve.cancelled")
+                    raise EngineError(
+                        protocol.E_CANCELLED, f"solve cancelled: {exc.progress}"
+                    ) from exc
+                except SolverBudgetExceeded as exc:
+                    self.metrics.incr("solve.budget_exceeded")
+                    raise EngineError(
+                        protocol.E_BUDGET,
+                        f"{exc} (progress: {exc.progress})",
+                    ) from exc
                 entry.solver = getattr(entry.analysis, "solver", None)
                 if entry.solver is None:
                     entry.solver = entry.analysis.system.solver
@@ -218,6 +245,7 @@ class AnalysisEngine:
         property: str,
         traces: bool = False,
         max_findings: int | None = None,
+        budget: Budget | None = None,
     ) -> dict:
         """Model-check ``program`` against a registered property."""
         prop, fingerprint = self._property(property)
@@ -234,20 +262,38 @@ class AnalysisEngine:
             ):
                 try:
                     loaded = load_solver(
-                        snapshot.read_text(), expected_fingerprint=fingerprint
+                        read_snapshot(snapshot), expected_fingerprint=fingerprint
                     )
+                except SnapshotCorrupt:
+                    # Checksum/size mismatch: quarantine the file so the
+                    # corruption is counted once, then solve cold.
+                    self.metrics.incr("cache.snapshot.corrupt")
+                    try:
+                        snapshot.unlink()
+                    except OSError:
+                        pass
                 except (ValueError, OSError):
-                    pass  # stale or corrupt snapshot: fall through to cold
+                    pass  # stale snapshot: fall through to cold
                 else:
                     self.metrics.incr("cache.snapshot.warm")
-                    return AnnotatedChecker(cfg, prop, solver=loaded)
+                    checker = AnnotatedChecker(
+                        cfg, prop, solver=loaded, budget=budget
+                    )
+                    if loaded.pending_count():
+                        # A checkpoint of an interrupted solve: finish the
+                        # drain (under this request's budget) before queries.
+                        loaded.resume(budget)
+                    return checker
             checker = AnnotatedChecker(
-                cfg, prop, algebra=self._check_algebra(prop, fingerprint)
+                cfg,
+                prop,
+                algebra=self._check_algebra(prop, fingerprint),
+                budget=budget,
             )
             if snapshot is not None and not prop.parametric_symbols:
                 try:
                     self.snapshot_dir.mkdir(parents=True, exist_ok=True)
-                    snapshot.write_text(dump_solver(checker.solver))
+                    write_snapshot(snapshot, dump_solver(checker.solver))
                     self.metrics.incr("cache.snapshot.saved")
                 except (TypeError, OSError):
                     pass  # snapshots are best-effort
@@ -284,7 +330,9 @@ class AnalysisEngine:
             response["violations"] = response["violations"][:max_findings]
         return response
 
-    def dataflow(self, program: str, track: list[str]) -> dict:
+    def dataflow(
+        self, program: str, track: list[str], budget: Budget | None = None
+    ) -> dict:
         """Interprocedural gen/kill facts for the tracked primitives."""
         from repro.dataflow import AnnotatedBitVectorAnalysis
         from repro.dataflow.problems import call_tracking_problem
@@ -302,7 +350,10 @@ class AnalysisEngine:
             cfg = self._parse_cfg(program)
             problem = call_tracking_problem(cfg, track)
             return AnnotatedBitVectorAnalysis(
-                cfg, problem, algebra=self._bitvector_algebra(problem.n_bits)
+                cfg,
+                problem,
+                algebra=self._bitvector_algebra(problem.n_bits),
+                budget=budget,
             )
 
         entry = self._solve(key, build)
@@ -338,6 +389,7 @@ class AnalysisEngine:
         query: list[str] | None = None,
         pn: bool = False,
         assume: list[list[str]] | None = None,
+        budget: Budget | None = None,
     ) -> dict:
         """Section 7 label flow; ``assume`` runs an incremental what-if."""
         from repro.flow import FlowAnalysis
@@ -347,7 +399,7 @@ class AnalysisEngine:
 
         def build() -> Any:
             try:
-                return FlowAnalysis(program, pn=pn, compiled=True)
+                return FlowAnalysis(program, pn=pn, compiled=True, budget=budget)
             except (ValueError, TypeError) as exc:
                 # FlowSyntaxError / FlowTypeError
                 raise EngineError(protocol.E_PARSE, str(exc)) from exc
@@ -416,23 +468,74 @@ class AnalysisEngine:
 
     # -- dispatch (used by the server) ----------------------------------------
 
-    def dispatch(self, op: str, params: dict) -> dict:
-        """Route a validated protocol request to its operation."""
+    @staticmethod
+    def _request_budget(params: dict, budget: Budget | None) -> Budget | None:
+        """Fold the wire ``budget`` param into the server-provided budget.
+
+        The server's budget (deadline + cancellation token) is the outer
+        bound; a client-requested budget can only tighten it.  With no
+        server budget a fresh one is built from the wire spec alone.
+        """
+        spec = params.get("budget")
+        if spec is None:
+            return budget
+        if not isinstance(spec, dict):
+            raise EngineError(
+                protocol.E_BAD_REQUEST, "budget param must be an object"
+            )
+        limits: dict[str, Any] = {}
+        for wire_key, kwarg, types in (
+            ("steps", "max_steps", (int,)),
+            ("seconds", "max_seconds", (int, float)),
+            ("facts", "max_facts", (int,)),
+        ):
+            value = spec.get(wire_key)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, types) or value <= 0:
+                raise EngineError(
+                    protocol.E_BAD_REQUEST,
+                    f"budget.{wire_key} must be a positive number",
+                )
+            limits[kwarg] = value
+        unknown = set(spec) - {"steps", "seconds", "facts"}
+        if unknown:
+            raise EngineError(
+                protocol.E_BAD_REQUEST,
+                f"unknown budget key(s): {', '.join(sorted(unknown))}",
+            )
+        if budget is None:
+            return Budget(**limits) if limits else None
+        return budget.tighten(**limits)
+
+    def dispatch(
+        self, op: str, params: dict, budget: Budget | None = None
+    ) -> dict:
+        """Route a validated protocol request to its operation.
+
+        ``budget`` is the per-request resource governor the server built
+        (deadline, cancellation token); the wire-level ``budget`` param,
+        if present, tightens it further.
+        """
+        if op in ("check", "dataflow", "flow"):
+            budget = self._request_budget(params, budget)
         if op == "check":
             return self.check(
                 params["program"],
                 params["property"],
                 traces=bool(params.get("traces", False)),
                 max_findings=params.get("max_findings"),
+                budget=budget,
             )
         if op == "dataflow":
-            return self.dataflow(params["program"], params["track"])
+            return self.dataflow(params["program"], params["track"], budget=budget)
         if op == "flow":
             return self.flow(
                 params["program"],
                 query=params.get("query"),
                 pn=bool(params.get("pn", False)),
                 assume=params.get("assume"),
+                budget=budget,
             )
         if op == "stats":
             return self.stats()

@@ -13,9 +13,20 @@ seconds (and a count, so means can be derived).  The conventional keys:
 * ``cache.snapshot.warm`` — cold solves avoided by reloading a
   :mod:`repro.core.persist` snapshot;
 * ``cache.solve.evictions`` — LRU pressure;
+* ``cache.snapshot.corrupt`` — snapshots rejected by checksum
+  verification (each falls back to a cold solve);
 * ``whatif.queries`` — speculative mark/rollback queries answered;
+* ``requests.shed`` / ``requests.cancelled`` /
+  ``requests.budget_exceeded`` / ``breaker.open`` — resource-governance
+  outcomes (admission-queue overflow, revoked work that stopped, budget
+  exhaustion, circuit-breaker refusals);
 * timer ``solve`` — wall time spent building + solving systems (cache
   misses only); timer ``request`` — end-to-end handler time.
+
+Gauges are instantaneous levels rather than monotone counts — the
+conventional keys are ``requests.inflight`` (admitted requests not yet
+answered) and ``queue.depth`` (admitted requests beyond the worker
+count, i.e. waiting for a pool slot).
 
 The ``stats`` operation additionally reports aggregated
 :class:`repro.core.solver.SolverStats` counters (edges added,
@@ -37,6 +48,7 @@ class Metrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, int] = {}
         self._timers: dict[str, tuple[int, float]] = {}  # name -> (count, seconds)
 
     def incr(self, name: str, amount: int = 1) -> None:
@@ -46,6 +58,21 @@ class Metrics:
     def get(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: int) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def adjust_gauge(self, name: str, delta: int) -> int:
+        """Add ``delta`` to a gauge and return the new level."""
+        with self._lock:
+            value = self._gauges.get(name, 0) + delta
+            self._gauges[name] = value
+            return value
+
+    def gauge(self, name: str) -> int:
+        with self._lock:
+            return self._gauges.get(name, 0)
 
     def add_time(self, name: str, seconds: float) -> None:
         with self._lock:
@@ -64,8 +91,9 @@ class Metrics:
         """A point-in-time copy, JSON-representable for the wire."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             timers = {
                 name: {"count": count, "seconds": round(total, 6)}
                 for name, (count, total) in self._timers.items()
             }
-        return {"counters": counters, "timers": timers}
+        return {"counters": counters, "gauges": gauges, "timers": timers}

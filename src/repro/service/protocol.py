@@ -26,6 +26,13 @@ Operations
 ``check``
     params: ``program`` (mini-C source), ``property`` (registry name),
     optional ``traces`` (bool), ``max_findings`` (int).
+
+The three analysis ops (``check``, ``dataflow``, ``flow``) accept a
+reserved optional ``budget`` param — an object with any of ``steps``
+(int) and ``seconds`` (float) — bounding the solve; exhaustion yields
+the ``budget-exceeded`` error code.  Servers additionally enforce their
+own per-request deadline and admission limits (``timeout``,
+``overloaded``, ``cancelled``, ``circuit-open``).
 ``dataflow``
     params: ``program``, ``track`` (list of primitive names).
 ``flow``
@@ -58,6 +65,20 @@ E_UNSUPPORTED = "unsupported"
 E_TIMEOUT = "timeout"
 E_SHUTTING_DOWN = "shutting-down"
 E_INTERNAL = "internal-error"
+#: Resource-governance codes (PR 3).  ``overloaded`` — the admission
+#: queue is full and the request was shed without queueing;
+#: ``cancelled`` — the server revoked the request (deadline passed or
+#: shutdown) and the worker observed the cancellation; ``budget-exceeded``
+#: — the solve hit a per-request step/time/fact budget;
+#: ``circuit-open`` — this exact request fingerprint has failed
+#: repeatedly and is being refused until a cooldown elapses;
+#: ``unavailable`` — client-side: retries were exhausted without ever
+#: reaching a healthy server.
+E_OVERLOADED = "overloaded"
+E_CANCELLED = "cancelled"
+E_BUDGET = "budget-exceeded"
+E_CIRCUIT_OPEN = "circuit-open"
+E_UNAVAILABLE = "unavailable"
 
 ERROR_CODES = frozenset(
     {
@@ -69,6 +90,11 @@ ERROR_CODES = frozenset(
         E_TIMEOUT,
         E_SHUTTING_DOWN,
         E_INTERNAL,
+        E_OVERLOADED,
+        E_CANCELLED,
+        E_BUDGET,
+        E_CIRCUIT_OPEN,
+        E_UNAVAILABLE,
     }
 )
 

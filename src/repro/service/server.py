@@ -13,29 +13,114 @@ so a flood of connections cannot oversubscribe the process.  Each
 request gets:
 
 * a **timeout** (optional): if the analysis does not finish in time the
-  client receives a ``timeout`` error (the worker finishes in the
-  background and warms the cache for a retry);
+  client receives a ``timeout`` error *and* the worker is actually
+  revoked — a :class:`~repro.core.budget.CancellationToken` is
+  cancelled, the solver stops at its next budget check point, and the
+  pool slot is released (no leaked busy thread warming a cache nobody
+  asked for);
+* **admission control**: at most ``workers + max_queue`` analysis
+  requests are in flight; beyond that new work is shed immediately with
+  the ``overloaded`` error instead of queueing unboundedly;
+* a **circuit breaker**: a request fingerprint (op + params) that keeps
+  failing on resource grounds is refused with ``circuit-open`` until a
+  cooldown elapses, then a single probe is admitted (half-open);
 * **fault isolation**: any exception — a parse error in the submitted
   program, an inconsistent system, a bug — is converted into an error
   response on that request alone; the server keeps serving.
 
 Shutdown is graceful: the ``shutdown`` op (or :meth:`AnalysisServer.close`)
 stops accepting new work, acknowledges the requester, unblocks the
-accept loop, and drains the pool.
+accept loop, cancels every outstanding request's token, and drains the
+pool.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import socket
 import sys
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import IO, Any
 
+from repro.core.budget import Budget, CancellationToken
 from repro.service import protocol
 from repro.service.engine import AnalysisEngine, EngineError
 from repro.service.metrics import Metrics
+
+#: Ops that run real analysis work — governed by admission control,
+#: budgets, and the circuit breaker.  ``ping``/``stats`` stay exempt so
+#: health checks keep answering while the server sheds load.
+ANALYSIS_OPS = frozenset({"check", "dataflow", "flow"})
+
+#: Error codes that count as breaker failures: resource exhaustion and
+#: crashes, not deterministic client mistakes like parse errors.
+_BREAKER_CODES = frozenset(
+    {
+        protocol.E_TIMEOUT,
+        protocol.E_CANCELLED,
+        protocol.E_BUDGET,
+        protocol.E_INTERNAL,
+    }
+)
+
+
+def request_fingerprint(op: str, params: dict) -> str:
+    """A stable identity for "the same request" (breaker bucketing)."""
+    payload = json.dumps(
+        {"op": op, "params": params}, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker keyed by request fingerprint.
+
+    After ``threshold`` consecutive failures the fingerprint is *open*:
+    requests are refused without running.  Once ``cooldown`` seconds
+    have passed one probe request is admitted (*half-open*); success
+    closes the circuit, another failure re-opens it for a fresh
+    cooldown.  Thread-safe.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: float = 30.0):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold!r}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown!r}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        # fingerprint -> (consecutive failures, time of last transition)
+        self._state: dict[str, tuple[int, float]] = {}
+
+    def is_open(self, fingerprint: str) -> bool:
+        """True if the request must be refused (and no probe is due)."""
+        with self._lock:
+            entry = self._state.get(fingerprint)
+            if entry is None:
+                return False
+            failures, stamp = entry
+            if failures < self.threshold:
+                return False
+            if time.monotonic() - stamp >= self.cooldown:
+                # Half-open: admit this one probe and restart the clock
+                # so concurrent callers don't all pile onto it.
+                self._state[fingerprint] = (failures, time.monotonic())
+                return False
+            return True
+
+    def record_success(self, fingerprint: str) -> None:
+        with self._lock:
+            self._state.pop(fingerprint, None)
+
+    def record_failure(self, fingerprint: str) -> None:
+        with self._lock:
+            failures, _stamp = self._state.get(fingerprint, (0, 0.0))
+            self._state[fingerprint] = (failures + 1, time.monotonic())
 
 
 class AnalysisServer:
@@ -47,12 +132,20 @@ class AnalysisServer:
         workers: int = 4,
         timeout: float | None = None,
         metrics: Metrics | None = None,
+        max_queue: int = 32,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
     ):
         if engine is None:
             engine = AnalysisEngine(metrics=metrics)
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue!r}")
         self.engine = engine
         self.metrics = engine.metrics
         self.timeout = timeout
+        self.workers = workers
+        self.max_queue = max_queue
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-worker"
         )
@@ -61,33 +154,76 @@ class AnalysisServer:
         self._accept_thread: threading.Thread | None = None
         self._connections: set[socket.socket] = set()
         self._conn_lock = threading.Lock()
+        # Admission state: analysis requests currently admitted (queued
+        # or running) and their cancellation tokens (for shutdown).
+        self._admit_lock = threading.Lock()
+        self._inflight = 0
+        self._tokens: set[CancellationToken] = set()
 
     @property
     def closing(self) -> bool:
         return self._shutdown.is_set()
 
+    # -- admission -------------------------------------------------------------
+
+    def _admit(self, token: CancellationToken) -> bool:
+        """Claim an admission slot; False means shed (queue full)."""
+        with self._admit_lock:
+            if self._inflight >= self.workers + self.max_queue:
+                return False
+            self._inflight += 1
+            self._tokens.add(token)
+            inflight = self._inflight
+        self.metrics.set_gauge("requests.inflight", inflight)
+        self.metrics.set_gauge("queue.depth", max(0, inflight - self.workers))
+        return True
+
+    def _release(self, token: CancellationToken) -> None:
+        with self._admit_lock:
+            self._inflight -= 1
+            self._tokens.discard(token)
+            inflight = self._inflight
+        self.metrics.set_gauge("requests.inflight", inflight)
+        self.metrics.set_gauge("queue.depth", max(0, inflight - self.workers))
+
     # -- request handling ------------------------------------------------------
 
-    def _run(self, request: protocol.Request) -> protocol.Response:
+    def _run(
+        self,
+        request: protocol.Request,
+        budget: Budget | None = None,
+        fingerprint: str | None = None,
+    ) -> protocol.Response:
         """Execute one request on the calling thread (fault-isolated)."""
         try:
-            result = self.engine.dispatch(request.op, request.params)
-            return protocol.ok_response(request.id, result)
+            result = self.engine.dispatch(request.op, request.params, budget=budget)
+            response = protocol.ok_response(request.id, result)
         except EngineError as exc:
-            return protocol.error_response(request.id, exc.code, exc.message)
+            if exc.code == protocol.E_CANCELLED:
+                self.metrics.incr("requests.cancelled")
+            elif exc.code == protocol.E_BUDGET:
+                self.metrics.incr("requests.budget_exceeded")
+            response = protocol.error_response(request.id, exc.code, exc.message)
         except Exception as exc:  # fault isolation: never kill the server
-            return protocol.error_response(
+            response = protocol.error_response(
                 request.id,
                 protocol.E_INTERNAL,
                 f"{type(exc).__name__}: {exc}",
             )
+        if fingerprint is not None:
+            if response.ok:
+                self.breaker.record_success(fingerprint)
+            elif response.error is not None and response.error["code"] in _BREAKER_CODES:
+                self.breaker.record_failure(fingerprint)
+        return response
 
     def process_line(self, line: str) -> str:
         """Handle one raw request line, always returning a response line.
 
-        This is the whole per-request pipeline (decode → dispatch on the
-        pool with timeout → encode) and is what both transports call; it
-        is also handy for tests and in-process embedding.
+        This is the whole per-request pipeline (decode → breaker →
+        admission → dispatch on the pool with timeout/cancellation →
+        encode) and is what both transports call; it is also handy for
+        tests and in-process embedding.
         """
         self.metrics.incr("requests.total")
         try:
@@ -110,12 +246,76 @@ class AnalysisServer:
                     request.id, protocol.E_SHUTTING_DOWN, "server is shutting down"
                 )
             )
+        governed = request.op in ANALYSIS_OPS
+        fingerprint = (
+            request_fingerprint(request.op, request.params) if governed else None
+        )
+        if fingerprint is not None and self.breaker.is_open(fingerprint):
+            self.metrics.incr("breaker.open")
+            self.metrics.incr("requests.failed")
+            return protocol.encode_response(
+                protocol.error_response(
+                    request.id,
+                    protocol.E_CIRCUIT_OPEN,
+                    "request fingerprint is failing repeatedly; "
+                    f"retry after {self.breaker.cooldown}s",
+                )
+            )
+        token: CancellationToken | None = None
+        budget: Budget | None = None
+        if governed:
+            token = CancellationToken()
+            if not self._admit(token):
+                self.metrics.incr("requests.shed")
+                self.metrics.incr("requests.failed")
+                return protocol.encode_response(
+                    protocol.error_response(
+                        request.id,
+                        protocol.E_OVERLOADED,
+                        f"admission queue full "
+                        f"({self.workers} workers + {self.max_queue} queued)",
+                    )
+                )
+            # The token (cancelled when the waiter times out) is the
+            # real deadline; max_seconds at 2× is a dead-man's switch in
+            # case the waiting thread itself is gone.
+            backstop = None if self.timeout is None else self.timeout * 2
+            budget = Budget(max_seconds=backstop, token=token)
         with self.metrics.time("request"):
-            future: Future = self._pool.submit(self._run, request)
+            if not governed:
+                # ping/stats answer inline on the transport thread, so
+                # health stays observable even when every pool worker is
+                # busy (or wedged) with analysis work.
+                response = self._run(request)
+                if not response.ok:
+                    self.metrics.incr("requests.failed")
+                return protocol.encode_response(response)
+            assert token is not None
+
+            def run_and_release(
+                request=request,
+                budget=budget,
+                fingerprint=fingerprint,
+                token=token,
+            ) -> protocol.Response:
+                try:
+                    return self._run(request, budget, fingerprint)
+                finally:
+                    self._release(token)
+
+            future: Future = self._pool.submit(run_and_release)
             try:
                 response = future.result(timeout=self.timeout)
             except FutureTimeoutError:
                 self.metrics.incr("requests.timeout")
+                if token is not None:
+                    # Revoke the work: a queued future is dropped (and
+                    # its slot released here); a running one observes
+                    # the token at its next budget check, stops, and
+                    # records the breaker failure itself (E_CANCELLED).
+                    token.cancel()
+                    if future.cancel():
+                        self._release(token)
                 response = protocol.error_response(
                     request.id,
                     protocol.E_TIMEOUT,
@@ -227,8 +427,17 @@ class AnalysisServer:
         return self._shutdown.wait(timeout)
 
     def close(self) -> None:
-        """Stop accepting, close the listener and connections, drain."""
+        """Stop accepting, close the listener and connections, drain.
+
+        Outstanding analysis requests are revoked via their cancellation
+        tokens so workers wind down at their next budget check point
+        instead of solving on into a dead process.
+        """
         self._shutdown.set()
+        with self._admit_lock:
+            tokens = list(self._tokens)
+        for token in tokens:
+            token.cancel()
         listener, self._listener = self._listener, None
         if listener is not None:
             try:

@@ -1,0 +1,20 @@
+"""Test support: deterministic fault injection for robustness tests.
+
+Nothing in here is imported by the library proper — it exists for
+``tests/test_faults.py`` and for downstream users who want to torture
+their own deployments the same way.
+"""
+
+from repro.testing.faults import (
+    FaultError,
+    FaultInjector,
+    FlakyProxy,
+    SpinningEngine,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultInjector",
+    "FlakyProxy",
+    "SpinningEngine",
+]

@@ -1,0 +1,279 @@
+"""Deterministic fault injection for the solver, persistence, and service.
+
+Robustness claims are only as good as the failures they were tested
+against.  This module manufactures those failures *reproducibly*: every
+randomized choice flows from one :class:`FaultInjector` seed, so a
+failing CI run names the seed and the exact same corruption replays
+locally.
+
+What can be injected:
+
+* **mid-dump crashes** — :meth:`FaultInjector.crash_during_dump`
+  patches the commit-point rename inside :mod:`repro.core.persist`, so
+  a snapshot write dies after the temp file is written but before it
+  becomes visible (the atomicity window the
+  write-temp → fsync → rename dance must protect);
+* **snapshot damage** — :meth:`FaultInjector.truncate_file` and
+  :meth:`FaultInjector.flip_bits` model torn writes and bit rot, which
+  :func:`repro.core.persist.read_snapshot` must detect by checksum;
+* **slow/hung workers** — :class:`SpinningEngine` stands in for an
+  analysis engine whose work never finishes unless the server's budget
+  or cancellation token stops it (the worker-leak scenario);
+* **dropped connections** — :class:`FlakyProxy` sits between a
+  :class:`~repro.service.client.ServiceClient` and a real server,
+  refusing the first *k* connects and/or severing a connection after a
+  fixed number of responses, exercising the client's retry/backoff.
+
+Budget exhaustion and cancellation need no machinery beyond
+:class:`repro.core.budget.Budget` itself — tests construct tiny budgets
+directly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import socket
+import threading
+from typing import Any, Iterator
+
+from repro.core import persist
+from repro.core.budget import Budget
+from repro.core.errors import SolverBudgetExceeded, SolverCancelled
+from repro.service import protocol
+from repro.service.engine import EngineError
+from repro.service.metrics import Metrics
+
+
+class FaultError(RuntimeError):
+    """The injected failure itself — never raised by real code paths."""
+
+
+class FaultInjector:
+    """A seeded source of file corruption and crash points."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # -- file corruption -------------------------------------------------------
+
+    def truncate_file(self, path: Any, keep_fraction: float | None = None) -> int:
+        """Cut ``path`` to a prefix (a torn write); returns the new size.
+
+        With no ``keep_fraction`` a random cut point is drawn — always
+        strictly inside the file, so the damage is real.
+        """
+        raw = open(path, "rb").read()
+        if len(raw) < 2:
+            raise ValueError(f"{path} is too small to truncate meaningfully")
+        if keep_fraction is None:
+            cut = self.rng.randrange(1, len(raw))
+        else:
+            cut = max(1, min(len(raw) - 1, int(len(raw) * keep_fraction)))
+        with open(path, "wb") as handle:
+            handle.write(raw[:cut])
+        return cut
+
+    def flip_bits(self, path: Any, n_flips: int = 1, skip: int = 0) -> list[int]:
+        """Flip ``n_flips`` random bits (bit rot); returns byte offsets.
+
+        ``skip`` protects a prefix (e.g. the checksum header) so the
+        corruption lands in the payload the checksum must defend.
+        """
+        raw = bytearray(open(path, "rb").read())
+        if len(raw) <= skip:
+            raise ValueError(f"{path} has no bytes past offset {skip}")
+        offsets = []
+        for _ in range(n_flips):
+            offset = self.rng.randrange(skip, len(raw))
+            raw[offset] ^= 1 << self.rng.randrange(8)
+            offsets.append(offset)
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+        return offsets
+
+    # -- crash points ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def crash_during_dump(self) -> Iterator[None]:
+        """Simulate a crash at the snapshot commit point.
+
+        Inside the context, :func:`repro.core.persist.write_snapshot`
+        raises :class:`FaultError` *after* writing its temp file but
+        *before* the rename — exactly where a power loss would leave a
+        completed temp file and an untouched (or absent) destination.
+        """
+
+        def exploding_rename(src: Any, dst: Any) -> None:
+            raise FaultError(f"injected crash before rename {src!r} -> {dst!r}")
+
+        original = persist._rename
+        persist._rename = exploding_rename
+        try:
+            yield
+        finally:
+            persist._rename = original
+
+
+class SpinningEngine:
+    """An engine double whose analysis ops run forever unless governed.
+
+    Mirrors :class:`repro.service.engine.AnalysisEngine`'s dispatch
+    contract — including the translation of solver interrupts into
+    typed :class:`EngineError`\\ s — but the "solve" is an infinite loop
+    that charges the budget once per iteration.  If the server's
+    timeout/cancellation plumbing leaks, tests using this engine hang a
+    worker measurably (slot never released) instead of silently passing.
+    """
+
+    def __init__(self, metrics: Metrics | None = None):
+        self.metrics = metrics if metrics is not None else Metrics()
+        #: Set once an analysis op has started spinning (tests sync on it).
+        self.started = threading.Event()
+        #: Escape hatch so a misbehaving test cannot hang the suite.
+        self.abort = threading.Event()
+
+    def dispatch(
+        self, op: str, params: dict, budget: Budget | None = None
+    ) -> dict:
+        if op == "ping":
+            return {"pong": True, "protocol": protocol.PROTOCOL_VERSION}
+        if op == "stats":
+            return self.metrics.snapshot()
+        self.started.set()
+        try:
+            while not self.abort.is_set():
+                if budget is not None:
+                    budget.charge(1)
+        except SolverCancelled as exc:
+            raise EngineError(
+                protocol.E_CANCELLED, f"solve cancelled: {exc.progress}"
+            ) from exc
+        except SolverBudgetExceeded as exc:
+            raise EngineError(protocol.E_BUDGET, str(exc)) from exc
+        raise EngineError(protocol.E_INTERNAL, "spinning engine aborted")
+
+
+class FlakyProxy:
+    """A TCP proxy that injects connection failures deterministically.
+
+    * the first ``fail_connects`` accepted connections are closed
+      immediately (server "crashing" on connect);
+    * with ``drop_after`` set, each surviving connection is severed as
+      soon as that many response lines have been relayed back to the
+      client (server "dying" mid-conversation).
+
+    Counters are shared across connections, so a client that retries
+    eventually gets through — which is the behavior under test.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        fail_connects: int = 0,
+        drop_after: int | None = None,
+    ):
+        self.upstream = (upstream_host, upstream_port)
+        self.fail_connects = fail_connects
+        self.drop_after = drop_after
+        self.connects = 0
+        self._lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._closing = threading.Event()
+
+    def start(self, host: str = "127.0.0.1") -> tuple[str, int]:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, 0))
+        listener.listen()
+        self._listener = listener
+        accept = threading.Thread(
+            target=self._accept_loop, name="flaky-proxy", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        return listener.getsockname()[:2]
+
+    def stop(self) -> None:
+        self._closing.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FlakyProxy":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break
+            with self._lock:
+                self.connects += 1
+                refuse = self.connects <= self.fail_connects
+            if refuse:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            worker = threading.Thread(
+                target=self._relay, args=(conn,), daemon=True
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def _relay(self, client: socket.socket) -> None:
+        try:
+            upstream = socket.create_connection(self.upstream, timeout=10)
+        except OSError:
+            client.close()
+            return
+
+        def sever() -> None:
+            for sock in (client, upstream):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+        def pump_requests() -> None:
+            try:
+                while True:
+                    chunk = client.recv(65536)
+                    if not chunk:
+                        break
+                    upstream.sendall(chunk)
+            except OSError:
+                pass
+
+        forward = threading.Thread(target=pump_requests, daemon=True)
+        forward.start()
+        responses = 0
+        try:
+            while True:
+                chunk = upstream.recv(65536)
+                if not chunk:
+                    break
+                client.sendall(chunk)
+                responses += chunk.count(b"\n")
+                if self.drop_after is not None and responses >= self.drop_after:
+                    break  # injected mid-conversation death
+        except OSError:
+            pass
+        finally:
+            sever()

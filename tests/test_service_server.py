@@ -77,7 +77,7 @@ class TestProcessLine:
 
     def test_fault_isolation_internal_error(self):
         # force an unexpected exception inside the engine
-        def boom(op, params):
+        def boom(op, params, budget=None):
             raise RuntimeError("kaboom")
 
         self.server.engine.dispatch = boom
@@ -90,13 +90,19 @@ class TestProcessLine:
         server = AnalysisServer(workers=1, timeout=0.05)
         slow = threading.Event()
 
-        def sleepy(op, params):
+        def sleepy(op, params, budget=None):
             slow.wait(2)
             return {}
 
         server.engine.dispatch = sleepy
         try:
-            reply = json.loads(server.process_line(make_request("ping")))
+            reply = json.loads(
+                server.process_line(
+                    make_request(
+                        "check", {"program": "x", "property": "simple-privilege"}
+                    )
+                )
+            )
             assert not reply["ok"]
             assert reply["error"]["code"] == protocol.E_TIMEOUT
         finally:
