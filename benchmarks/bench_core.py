@@ -13,6 +13,12 @@ families and writes a machine-readable result file:
 * ``flow_*``        — E7/E11 (Fig 11 / §7): label-flow analysis of a
   chain of instantiated pair functions; object vs compiled monoid
   algebra over the generated bracket machine.
+* ``privilege_cycles_*`` — online cycle elimination ablation: a chain
+  of identity-edge rings (``repro.synth.cycle_chain``) solved with the
+  online collapser on (``elim``) and off (``noelim``), measured
+  round-robin.  Their ``facts`` fields differ by construction (the
+  elim run reports the quotient count); equivalence is asserted on the
+  canonical solved forms instead.
 
 Output schema (``BENCH_solver.json`` at the repo root by default)::
 
@@ -66,8 +72,14 @@ from repro.core.budget import Budget  # noqa: E402
 from repro.dataflow import AnnotatedBitVectorAnalysis  # noqa: E402
 from repro.dataflow.problems import call_tracking_problem  # noqa: E402
 from repro.flow import FlowAnalysis  # noqa: E402
+from repro.dfa.gallery import privilege_machine  # noqa: E402
 from repro.modelcheck import AnnotatedChecker, full_privilege_property  # noqa: E402
-from repro.synth import PackageSpec, generate_package  # noqa: E402
+from repro.synth import (  # noqa: E402
+    PackageSpec,
+    cycle_chain,
+    generate_package,
+    solve_bidirectional,
+)
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_solver.json"
 
@@ -213,6 +225,42 @@ def run_matrix(quick: bool, repeats: int) -> dict[str, dict]:
     results["flow_object"] = _measure(lambda: flow(False), repeats)
     results["flow_compiled"] = _measure(lambda: flow(True), repeats)
 
+    # -- cycle elimination ablation --------------------------------------
+    n_cycles, size, sources = (4, 12, 12) if quick else (10, 48, 48)
+    ring_machine = privilege_machine()
+    workload = cycle_chain(
+        ring_machine, n_cycles=n_cycles, cycle_size=size, seed=3,
+        n_sources=sources,
+    )
+
+    results.update(
+        _measure_interleaved(
+            {
+                "privilege_cycles_elim": lambda: solve_bidirectional(
+                    ring_machine, workload, cycle_elim=True
+                ),
+                "privilege_cycles_noelim": lambda: solve_bidirectional(
+                    ring_machine, workload, cycle_elim=False
+                ),
+            },
+            repeats,
+        )
+    )
+    # Collapsing is only admissible because it preserves the solution:
+    # check it, on the canonical (identity-SCC quotient) solved forms.
+    elim_form = set(
+        solve_bidirectional(ring_machine, workload, cycle_elim=True)
+        .canonical_facts()
+    )
+    noelim_form = set(
+        solve_bidirectional(ring_machine, workload, cycle_elim=False)
+        .canonical_facts()
+    )
+    assert elim_form == noelim_form, (
+        "cycle elimination changed the canonical solved form "
+        f"({len(elim_form)} vs {len(noelim_form)} facts)"
+    )
+
     for family in ("privilege", "genkill", "flow"):
         obj, comp = results[f"{family}_object"], results[f"{family}_compiled"]
         assert obj["facts"] == comp["facts"], (
@@ -234,6 +282,11 @@ def print_table(results: dict[str, dict]) -> None:
         comp = results[f"{family}_compiled"]["wall_s"]
         if comp > 0:
             print(f"{family}: compiled speedup {obj / comp:.2f}x")
+    if "privilege_cycles_elim" in results:
+        on = results["privilege_cycles_elim"]["wall_s"]
+        off = results["privilege_cycles_noelim"]["wall_s"]
+        if on > 0:
+            print(f"privilege_cycles: cycle-elim speedup {off / on:.2f}x")
 
 
 def compare(

@@ -73,12 +73,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
     if args.engine in ("annotated", "both"):
         checker = AnnotatedChecker(
-            cfg, prop, collapse_cycles=args.collapse_cycles, budget=budget
+            cfg,
+            prop,
+            collapse_cycles=args.collapse_cycles,
+            budget=budget,
+            cycle_elim=not args.no_cycle_elim,
         )
         result = checker.check(traces=args.traces)
         print(f"[annotated] {'VIOLATION' if result.has_violation else 'clean'} "
               f"({len(result.violations)} finding(s), "
               f"{result.facts} solved-form facts)")
+        if args.verbose:
+            for field, value in checker.solver.stats.as_dict().items():
+                print(f"  {field:22} {value}")
         shown = 0
         for violation in result.violations:
             if shown >= args.max_findings:
@@ -323,6 +330,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--traces", action="store_true", help="print witnesses")
     check.add_argument("--collapse-cycles", action="store_true")
+    check.add_argument(
+        "--no-cycle-elim",
+        action="store_true",
+        help="disable online cycle elimination (identity-annotated SCC merging)",
+    )
+    check.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print solver statistics (facts, merges, find calls, ...)",
+    )
     check.add_argument("--max-findings", type=int, default=10)
     check.add_argument(
         "--budget-steps",

@@ -132,6 +132,9 @@ class CompiledMonoidAlgebra:
             fn: i for i, fn in enumerate(self.elements)
         }
         self.identity: int = self._index[self.monoid.identity]
+        #: The identity's table index, exposed so the solver's per-edge
+        #: identity test (cycle elimination) is a plain int comparison.
+        self.identity_index: int = self.identity
         self._live: tuple[bool, ...] = tuple(
             self.monoid.is_live(fn) for fn in self.elements
         )
@@ -311,6 +314,9 @@ class CompiledGenKillAlgebra:
         self.n_bits = n_bits
         self._mask = (1 << n_bits) - 1
         self.identity = 0
+        #: Packed identity (every bit ε), as an int for the solver's O(1)
+        #: identity test in cycle elimination.
+        self.identity_index = 0
         # Per-element predicates of the one-bit monoid, used to assemble
         # the packed predicates below.
         accepting = {

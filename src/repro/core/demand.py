@@ -34,6 +34,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
+from repro.core.cycles import DEFAULT_SEARCH_BOUND, UnionFind, find_identity_cycle
 from repro.core.errors import ConstraintError
 from repro.core.terms import (
     Constructed,
@@ -64,13 +65,67 @@ class _Graph:
     )
 
 
-class DemandForwardSolver:
-    """Forward, demand-driven solving over states of the property DFA."""
+def _empty_word(word: tuple) -> bool:
+    return not word
 
-    def __init__(self, machine: DFA):
+
+class DemandForwardSolver:
+    """Forward, demand-driven solving over states of the property DFA.
+
+    Cycles of empty-word plain edges collapse online (see
+    :mod:`repro.core.cycles`): their members receive identical state
+    sets, so tabulation runs over the merged node once.  Queries resolve
+    merged variables through :meth:`find`.
+    """
+
+    def __init__(
+        self,
+        machine: DFA,
+        cycle_elim: bool = True,
+        cycle_search_bound: int = DEFAULT_SEARCH_BOUND,
+    ):
         self.machine = machine
+        self.cycle_elim = cycle_elim
+        self.cycle_search_bound = cycle_search_bound
         self._live = machine.coreachable_states()
         self._graph = _Graph()
+        self._uf = UnionFind()
+        # Reverse index of empty-word plain edges, for cycle detection.
+        self._eps_pred: dict[Variable, list[tuple[Variable, tuple]]] = {}
+
+    def find(self, var: Variable) -> Variable:
+        uf = self._uf
+        if not uf.parent:
+            return var
+        return uf.find(var)
+
+    def _collapse(self, cycle: list[Variable]) -> None:
+        winner = min(cycle, key=lambda v: v.name)
+        find = self.find
+        graph = self._graph
+        for loser in cycle:
+            if loser == winner:
+                continue
+            self._uf.union(winner, loser)
+            plain = graph.plain.pop(loser, None)
+            if plain:
+                bucket = graph.plain.setdefault(winner, [])
+                for dst, word in plain:
+                    dst = find(dst)
+                    if dst == winner and not word:
+                        continue
+                    bucket.append((dst, word))
+            for table in (graph.wraps, graph.unwraps):
+                moved = table.pop(loser, None)
+                if moved:
+                    table.setdefault(winner, []).extend(moved)
+            eps = self._eps_pred.pop(loser, None)
+            if eps:
+                bucket = self._eps_pred.setdefault(winner, [])
+                for pred, word in eps:
+                    pred = find(pred)
+                    if pred != winner:
+                        bucket.append((pred, word))
 
     # -- constraint loading -----------------------------------------------------
 
@@ -83,7 +138,23 @@ class DemandForwardSolver:
         """Load one constraint of the supported forward fragment."""
         word = tuple(word)
         if isinstance(lhs, Variable) and isinstance(rhs, Variable):
-            self._graph.plain.setdefault(lhs, []).append((rhs, word))
+            src, dst = self.find(lhs), self.find(rhs)
+            if src == dst and not word:
+                return  # an empty-word self-loop adds nothing
+            self._graph.plain.setdefault(src, []).append((dst, word))
+            if not word:
+                self._eps_pred.setdefault(dst, []).append((src, ()))
+                if self.cycle_elim:
+                    cycle = find_identity_cycle(
+                        self._eps_pred,
+                        self.find,
+                        _empty_word,
+                        src,
+                        dst,
+                        self.cycle_search_bound,
+                    )
+                    if cycle is not None:
+                        self._collapse(cycle)
             return
         if isinstance(lhs, Constructed) and isinstance(rhs, Variable):
             if word:
@@ -99,7 +170,7 @@ class DemandForwardSolver:
                 if not isinstance(arg, Variable):
                     raise ConstraintError("constructor arguments must be variables")
                 site: Site = (lhs.constructor.name, lhs.constructor.arity, position)
-                self._graph.wraps.setdefault(arg, []).append((site, rhs))
+                self._graph.wraps.setdefault(self.find(arg), []).append((site, rhs))
             return
         if isinstance(lhs, Projection) and isinstance(rhs, Variable):
             if word:
@@ -107,7 +178,9 @@ class DemandForwardSolver:
                     "annotated projections are not in the forward fragment"
                 )
             site = (lhs.constructor.name, lhs.constructor.arity, lhs.index)
-            self._graph.unwraps.setdefault(lhs.operand, []).append((site, rhs))
+            self._graph.unwraps.setdefault(self.find(lhs.operand), []).append(
+                (site, rhs)
+            )
             return
         raise ConstraintError(f"unsupported constraint {lhs!r} ⊆ {rhs!r}")
 
@@ -127,6 +200,7 @@ class DemandForwardSolver:
         plain = graph.plain
         wraps = graph.wraps
         unwraps = graph.unwraps
+        find = self.find
 
         path_edges: set[tuple[Anchor, Fact]] = set()
         work: deque[tuple[Anchor, Fact]] = deque()
@@ -149,7 +223,7 @@ class DemandForwardSolver:
         for var, word in graph.sources.get(source, ()):
             state = machine.run(word)
             if state in live:
-                root: Anchor = (var, state)
+                root: Anchor = (find(var), state)
                 roots.add(root)
                 propagate(root, root)
 
@@ -159,17 +233,20 @@ class DemandForwardSolver:
             for succ, word in plain.get(var, ()):
                 next_state = machine.run(word, state)
                 if next_state in live:
-                    propagate(anchor, (succ, next_state), edge)
+                    # Edges recorded before a later merge may still name
+                    # a merged-away variable; resolve at use.
+                    propagate(anchor, (find(succ), next_state), edge)
             for site, entry in wraps.get(var, ()):
-                callee_anchor: Anchor = (entry, state)
+                callee_anchor: Anchor = (find(entry), state)
                 callers.setdefault(callee_anchor, set()).add((site, anchor))
                 propagate(callee_anchor, callee_anchor, edge)
                 for summary_site, target, exit_state in summaries.get(
                     callee_anchor, ()
                 ):
                     if summary_site == site:
-                        propagate(anchor, (target, exit_state), edge)
+                        propagate(anchor, (find(target), exit_state), edge)
             for site, target in unwraps.get(var, ()):
+                target = find(target)
                 summary = (site, target, state)
                 bucket = summaries.setdefault(anchor, set())
                 if summary not in bucket:
@@ -215,7 +292,7 @@ class DemandSolution:
         restricts to root-level (fully matched) facts.
         """
         table = self._matched if matched_only else self._pn
-        return set(table.get(var, set()))
+        return set(table.get(self.solver.find(var), set()))
 
     def reaches(
         self,
@@ -242,7 +319,7 @@ class DemandSolution:
         source to the queried fact (the tabulation's parent chain).
         Empty if the fact was never derived.
         """
-        edge = self._edges_at.get((var, state))
+        edge = self._edges_at.get((self.solver.find(var), state))
         if edge is None:
             return []
         steps: list[Fact] = []
@@ -280,10 +357,19 @@ class DemandBackwardSolver:
 
     _TARGET = "__target__"
 
-    def __init__(self, machine: DFA):
+    def __init__(
+        self,
+        machine: DFA,
+        cycle_elim: bool = True,
+        cycle_search_bound: int = DEFAULT_SEARCH_BOUND,
+    ):
         self.machine = machine
         self.reversed_machine = machine.reverse()
-        self._forward = DemandForwardSolver(self.reversed_machine)
+        self._forward = DemandForwardSolver(
+            self.reversed_machine,
+            cycle_elim=cycle_elim,
+            cycle_search_bound=cycle_search_bound,
+        )
 
     def add(
         self,

@@ -205,26 +205,48 @@ def _decode_constructed(data: dict) -> Constructed:
     return Constructed(ctor, tuple(Variable(n) for n in data["args"]))
 
 
-def _encode_pending_fact(fact: tuple, elements: "_ElementTable") -> list:
-    """One worklist entry, for checkpoint dumps (version 3)."""
+def _encode_pending_fact(
+    fact: tuple, elements: "_ElementTable", canon_var, canon_term
+) -> list:
+    """One worklist entry, for checkpoint dumps (version 3).
+
+    Variable slots are canonicalized through the dump's collapse map:
+    the dumped tables are keyed by representatives, so a pending fact
+    naming a merged-away variable would pair with nothing after reload.
+    """
     kind = fact[0]
     if kind == "lower":
         _tag, var, src, ann = fact
-        return ["lower", var.name, _encode_constructed(src), elements.index_of(ann)]
+        return [
+            "lower",
+            canon_var(var).name,
+            _encode_constructed(canon_term(src)),
+            elements.index_of(ann),
+        ]
     if kind == "upper":
         _tag, var, snk, ann = fact
-        return ["upper", var.name, _encode_constructed(snk), elements.index_of(ann)]
+        return [
+            "upper",
+            canon_var(var).name,
+            _encode_constructed(canon_term(snk)),
+            elements.index_of(ann),
+        ]
     if kind == "edge":
         _tag, src_var, dst_var, ann = fact
-        return ["edge", src_var.name, dst_var.name, elements.index_of(ann)]
+        return [
+            "edge",
+            canon_var(src_var).name,
+            canon_var(dst_var).name,
+            elements.index_of(ann),
+        ]
     if kind == "proj":
         _tag, var, ctor, index, target, ann = fact
         return [
             "proj",
-            var.name,
+            canon_var(var).name,
             _encode_constructor(ctor),
             index,
-            target.name,
+            canon_var(target).name,
             elements.index_of(ann),
         ]
     raise TypeError(f"cannot serialize pending fact {fact!r}")
@@ -271,28 +293,65 @@ def dump_solver(solver: Solver) -> str:
     uppers = []
     edges = []
     projections = []
-    for var in sorted(solver.variables(), key=lambda v: v.name):
-        for src, ann in solver.lower_bounds(var):
+    # Dumps canonicalize through the *full* identity-cycle quotient
+    # (canonical_facts): the on-disk solved form is then a function of
+    # the solution alone, not of which cycles the bounded online
+    # sampler happened to merge during this particular run.  The
+    # loser → representative map rides along so merged-away variables
+    # stay queryable after reload.
+    merged: dict[str, str] = {}
+    if solver.cycle_elim:
+        cmap = solver.collapse_map()
+        merged = {var.name: rep.name for var, rep in cmap.items() if var != rep}
+
+        def canon_var(v: Variable) -> Variable:
+            return cmap.get(v, v)
+
+        def canon_term(term: Constructed) -> Constructed:
+            if term.args and any(cmap.get(a, a) != a for a in term.args):
+                return Constructed(
+                    term.constructor, tuple(cmap.get(a, a) for a in term.args)
+                )
+            return term
+
+        fact_iter = solver.canonical_facts()
+    else:
+        canon_var = lambda v: v  # noqa: E731
+        canon_term = lambda t: t  # noqa: E731
+
+        def _raw_facts():
+            for var in sorted(solver.variables(), key=lambda v: v.name):
+                for src, ann in solver.lower_bounds(var):
+                    yield ("lower", var, src, ann)
+                for snk, ann in solver.upper_bounds(var):
+                    yield ("upper", var, snk, ann)
+                for dst, ann in solver.edges_from(var):
+                    yield ("edge", var, dst, ann)
+                for ctor, index, target, ann in solver.projection_sinks(var):
+                    yield ("proj", var, ctor, index, target, ann)
+
+        fact_iter = _raw_facts()
+    for fact in fact_iter:
+        kind = fact[0]
+        if kind == "lower":
+            _tag, var, src, ann = fact
             lowers.append(
                 [var.name, _encode_constructed(src), elements.index_of(ann)]
             )
-        for snk, ann in solver.upper_bounds(var):
+        elif kind == "upper":
+            _tag, var, snk, ann = fact
             uppers.append(
                 [var.name, _encode_constructed(snk), elements.index_of(ann)]
             )
-        for dst, ann in solver.edges_from(var):
+        elif kind == "edge":
+            _tag, var, dst, ann = fact
             edges.append([var.name, dst.name, elements.index_of(ann)])
-        for ctor, index, target, ann in solver.projection_sinks(var):
+        else:
+            _tag, var, ctor, index, target, ann = fact
             projections.append(
                 [
                     var.name,
-                    {
-                        "name": ctor.name,
-                        "arity": ctor.arity,
-                        "variance": list(ctor.variance)
-                        if ctor.variance is not None
-                        else None,
-                    },
+                    _encode_constructor(ctor),
                     index,
                     target.name,
                     elements.index_of(ann),
@@ -305,24 +364,30 @@ def dump_solver(solver: Solver) -> str:
         "fingerprint": machine_fingerprint(machine),
         "pn_projections": solver.pn_projections,
         "prune_dead": solver.prune_dead,
+        "cycle_elim": solver.cycle_elim,
         "elements": elements.encoded,
         "lowers": lowers,
         "uppers": uppers,
         "edges": edges,
         "projections": projections,
     }
+    if merged:
+        payload["merged"] = merged
     if solver.pending_count():
         payload["version"] = CHECKPOINT_VERSION
         payload["pending"] = [
-            _encode_pending_fact(fact, elements) for fact in solver._work
+            _encode_pending_fact(fact, elements, canon_var, canon_term)
+            for fact in solver._work
         ]
         # The met memo keeps a resumed drain from re-deriving (and the
         # inconsistency list from double-recording) meets the
-        # interrupted run already resolved.
+        # interrupted run already resolved.  Its terms canonicalize like
+        # the facts, so resumed meets over the reloaded (canonical)
+        # tables hit the memo.
         payload["met"] = [
             [
-                _encode_constructed(src),
-                _encode_constructed(snk),
+                _encode_constructed(canon_term(src)),
+                _encode_constructed(canon_term(snk)),
                 elements.index_of(ann),
             ]
             for src, snk, ann in solver._met
@@ -389,6 +454,7 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
         algebra,
         pn_projections=data.get("pn_projections", False),
         prune_dead=data.get("prune_dead", True),
+        cycle_elim=data.get("cycle_elim", True),
     )
 
     # A solved form repeats the same few terms, variables and
@@ -486,6 +552,12 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
         if key not in bucket:
             bucket[key] = None
             solver._proj_seq.setdefault(var, []).append(key)
+
+    # Collapse map from cycle elimination: merged-away variables resolve
+    # to the representative their facts were dumped under, keeping them
+    # queryable (and countable) exactly as in the dumping process.
+    for loser_name, rep_name in data.get("merged", {}).items():
+        solver._uf.parent[intern_var(loser_name)] = intern_var(rep_name)
 
     # Checkpoint sections (version 3): the interrupted drain's backlog,
     # met memo and inconsistency record.  Restoring them makes resume()

@@ -83,7 +83,14 @@ class Reachability:
         # this is exactly why the paper's domain carries ⊥.
         wrappers: dict[Variable, list[tuple[Variable, Constructed, Annotation]]] = {}
         work: deque[tuple[Variable, Constructed, Annotation]] = deque()
+        find = solver.find
+        # Iterate representatives only: merged-away variables share their
+        # representative's solved form, and every lookup resolves through
+        # find(), so propagating their (identical) buckets again would
+        # only duplicate work.
         for var in solver.variables():
+            if find(var) != var:
+                continue
             bucket = table.setdefault(var, {})
             for src, ann in solver.lower_bounds(var):
                 if src.is_constant:
@@ -93,7 +100,7 @@ class Reachability:
                         work.append((var, src, ann))
                 elif self.through_constructors:
                     for arg in src.args:
-                        wrappers.setdefault(arg, []).append((var, src, ann))
+                        wrappers.setdefault(find(arg), []).append((var, src, ann))
         if not self.through_constructors:
             return
         while work:
@@ -114,23 +121,26 @@ class Reachability:
 
     # -- lookups ---------------------------------------------------------------
 
+    def _bucket(self, var: Variable) -> dict[tuple[Constructed, Annotation], Origin]:
+        # Queries may be phrased with variables that cycle elimination
+        # merged away; their solved form lives at the representative.
+        return self._table.get(self.solver.find(var), {})
+
     def facts(
         self, var: Variable
     ) -> Iterator[tuple[Constructed, Annotation, Origin]]:
-        for (const, ann), origin in self._table.get(var, {}).items():
+        for (const, ann), origin in self._bucket(var).items():
             yield const, ann, origin
 
     def annotations_of(
         self, var: Variable, const: Constructed
     ) -> set[Annotation]:
         return {
-            ann
-            for (c, ann), _origin in self._table.get(var, {}).items()
-            if c == const
+            ann for (c, ann), _origin in self._bucket(var).items() if c == const
         }
 
     def constants(self, var: Variable) -> set[Constructed]:
-        return {c for (c, _ann) in self._table.get(var, {})}
+        return {c for (c, _ann) in self._bucket(var)}
 
     def reaches(
         self,
@@ -159,7 +169,7 @@ class Reachability:
         constructors in a witness term is a possible runtime stack —
         the pending (unreturned) call sites, innermost first.
         """
-        origin = self._table.get(var, {}).get((const, annotation))
+        origin = self._bucket(var).get((const, annotation))
         stack: list[str] = []
         while origin is not None and origin.kind == "nested":
             _tag, _var, src, _ann = origin.lower_fact
@@ -179,7 +189,7 @@ class Reachability:
         journey, recursively.  Returns the ordered list of non-``None``
         ``info`` values along the derivation.
         """
-        origin = self._table.get(var, {}).get((const, annotation))
+        origin = self._bucket(var).get((const, annotation))
         if origin is None:
             return []
         if origin.kind == "direct":

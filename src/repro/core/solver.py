@@ -42,6 +42,7 @@ from typing import Any, Hashable, Iterable, Iterator
 
 from repro.core.annotations import Annotation, UnannotatedAlgebra
 from repro.core.budget import Budget
+from repro.core.cycles import DEFAULT_SEARCH_BOUND, UnionFind, find_identity_cycle
 from repro.core.errors import ConstraintError, Inconsistency, NoSolutionError
 from repro.core.terms import (
     Constructed,
@@ -72,6 +73,9 @@ class SolverStats:
     facts_deduped: int = 0
     marks: int = 0
     rollbacks: int = 0
+    cycles_collapsed: int = 0
+    vars_merged: int = 0
+    find_calls: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -83,6 +87,9 @@ class SolverStats:
             "facts_deduped": self.facts_deduped,
             "marks": self.marks,
             "rollbacks": self.rollbacks,
+            "cycles_collapsed": self.cycles_collapsed,
+            "vars_merged": self.vars_merged,
+            "find_calls": self.find_calls,
         }
 
 
@@ -110,6 +117,8 @@ class Solver:
         prune_dead: bool = True,
         record_reasons: bool = True,
         budget: Budget | None = None,
+        cycle_elim: bool = True,
+        cycle_search_bound: int = DEFAULT_SEARCH_BOUND,
     ):
         self.algebra = algebra if algebra is not None else UnannotatedAlgebra()
         #: Optional resource governor (see :mod:`repro.core.budget`).
@@ -134,7 +143,22 @@ class Solver:
         #: :class:`Reason` allocation and the ``_reasons`` dict entirely,
         #: and :meth:`reason` returns ``None`` for every fact.
         self.record_reasons = record_reasons
+        #: Online cycle elimination (see :mod:`repro.core.cycles`): merge
+        #: variables on a cycle of identity-annotated edges into one
+        #: representative.  Exact — such variables have equal solutions —
+        #: and on by default; ``cycle_elim=False`` is the escape hatch
+        #: (and the baseline the benchmarks measure against).
+        self.cycle_elim = cycle_elim
+        self.cycle_search_bound = cycle_search_bound
+        self._uf = UnionFind()
+        self._collapsing = False
         self._identity = self.algebra.identity
+        # Compiled algebras expose the identity as a precomputed table
+        # index, making the per-edge identity test an int comparison.
+        identity_index = getattr(self.algebra, "identity_index", None)
+        self._identity_key = (
+            identity_index if identity_index is not None else self._identity
+        )
         self._is_live = self.algebra.is_live
         self._fresh = VariableFactory("tmp")
         # var -> {(source Constructed, annotation)} and so on; values are
@@ -235,41 +259,69 @@ class Solver:
             raise NoSolutionError(str(self.inconsistencies[0]))
 
     def variables(self) -> set[Variable]:
+        """Every variable of the system, *including* those merged away by
+        cycle elimination (their solved form is readable through the
+        accessors, which resolve representatives)."""
         keys: set[Variable] = set()
         for table in (self._lower, self._upper, self._succ, self._pred, self._proj):
             for var, bucket in table.items():
                 if bucket:
                     keys.add(var)
+        keys.update(self._uf.parent)
         return keys
+
+    def find(self, var: Variable) -> Variable:
+        """The representative a variable was collapsed into (itself if
+        never merged).  Queries resolve through this, so merged-away
+        variables remain fully queryable."""
+        uf = self._uf
+        if not uf.parent:
+            return var
+        # Path compression rewires parent pointers, which the undo log
+        # cannot unwind — suppress it while a retraction epoch is open.
+        return uf.find(var, not self._journal)
 
     def lower_bounds(
         self, var: Variable
     ) -> Iterator[tuple[Constructed, Annotation]]:
         """All derived lower bounds ``src ⊆^f var`` (the solved form)."""
-        yield from self._lower.get(var, ())
+        yield from self._lower.get(self.find(var), ())
 
     def upper_bounds(
         self, var: Variable
     ) -> Iterator[tuple[Constructed, Annotation]]:
-        yield from self._upper.get(var, ())
+        yield from self._upper.get(self.find(var), ())
 
     def edges_from(self, var: Variable) -> Iterator[tuple[Variable, Annotation]]:
-        yield from self._succ.get(var, ())
+        yield from self._succ.get(self.find(var), ())
 
     def projection_sinks(
         self, var: Variable
     ) -> Iterator[tuple[Any, int, Variable, Annotation]]:
-        yield from self._proj.get(var, ())
+        yield from self._proj.get(self.find(var), ())
 
     def has_lower(
         self, var: Variable, source: Constructed, annotation: Annotation
     ) -> bool:
         """Is ``source ⊆^annotation var`` present in the solved form?"""
-        return (source, annotation) in self._lower.get(var, {})
+        bucket = self._lower.get(self.find(var), {})
+        if (source, annotation) in bucket:
+            return True
+        if self._uf.parent and source.args:
+            return (self._canonical_term(source), annotation) in bucket
+        return False
 
     def reason(self, fact: FactKey) -> Reason | None:
-        """Provenance of a recorded fact, for witness reconstruction."""
-        return self._reasons.get(fact)
+        """Provenance of a recorded fact, for witness reconstruction.
+
+        Facts are recorded under the variable names that were canonical
+        at derivation time; a query phrased with since-merged variables
+        falls back to the representative-resolved key.
+        """
+        found = self._reasons.get(fact)
+        if found is not None or not self._uf.parent:
+            return found
+        return self._reasons.get(self._canonical_fact(fact))
 
     # -- backtracking ----------------------------------------------------------
 
@@ -319,6 +371,44 @@ class Solver:
             elif tag == "inconsistency":
                 if self.inconsistencies:
                     self.inconsistencies.pop()
+            elif tag == "demerge":
+                # Undo a cycle merge: reattach the loser's tables exactly
+                # as they were detached.  The winner-side copies made by
+                # rehoming were journaled normally and have already been
+                # popped by the records above (they were appended later).
+                (
+                    _t,
+                    var,
+                    lower,
+                    upper,
+                    succ,
+                    proj,
+                    pred,
+                    lower_seq,
+                    upper_seq,
+                    succ_seq,
+                    proj_seq,
+                ) = record
+                for table, bucket in (
+                    (self._lower, lower),
+                    (self._upper, upper),
+                    (self._succ, succ),
+                    (self._proj, proj),
+                    (self._pred, pred),
+                    (self._lower_seq, lower_seq),
+                    (self._upper_seq, upper_seq),
+                    (self._succ_seq, succ_seq),
+                    (self._proj_seq, proj_seq),
+                ):
+                    if bucket is not None:
+                        table[var] = bucket
+            elif tag == "predfold":
+                _t, var, added = record
+                bucket = self._pred.get(var, {})
+                for key in added:
+                    bucket.pop(key, None)
+            elif tag == "uf":
+                self._uf.undo_union(record[1])
         # Re-sync the iteration sequences with the pruned buckets (the
         # only point where they can diverge; drains never remove facts).
         tables = {
@@ -354,13 +444,182 @@ class Solver:
         self._drain()
 
     def fact_count(self) -> int:
-        """Number of distinct facts in the solved form (for benchmarks)."""
+        """Number of distinct facts in the solved form (for benchmarks).
+
+        With cycle elimination enabled the count is taken modulo the
+        *full* identity-cycle quotient (:meth:`canonical_facts`), so it
+        is a function of the solved form alone — independent of which
+        cycles the bounded online sampler happened to merge, and stable
+        across a run and its checkpoint/resume replay.
+        """
+        if self.cycle_elim:
+            return sum(1 for _ in self.canonical_facts())
         return (
             sum(len(v) for v in self._lower.values())
             + sum(len(v) for v in self._upper.values())
             + sum(len(v) for v in self._succ.values())
             + sum(len(v) for v in self._proj.values())
         )
+
+    # -- cycle elimination -----------------------------------------------------
+
+    def collapse_map(self) -> dict[Variable, Variable]:
+        """Map every variable of the system to its canonical representative.
+
+        This composes the online merges with a *complete* SCC pass over
+        the identity-annotated subgraph, so cycles the bounded sampler
+        missed are still quotiented here.  Representatives are the
+        lexicographically smallest member of each component — a pure
+        function of the solved form, which is what keeps dumps and fact
+        counts comparable across runs with different merge histories.
+        """
+        find = self.find
+        is_identity = self._is_identity
+        succ: dict[Variable, list[Variable]] = {}
+        pred: dict[Variable, list[Variable]] = {}
+        nodes: set[Variable] = set()
+        for src, bucket in self._succ.items():
+            s = find(src)
+            for dst, ann in bucket:
+                if not is_identity(ann):
+                    continue
+                d = find(dst)
+                if d == s:
+                    continue
+                succ.setdefault(s, []).append(d)
+                pred.setdefault(d, []).append(s)
+                nodes.add(s)
+                nodes.add(d)
+        rep: dict[Variable, Variable] = {}
+        if nodes:
+            # Kosaraju, iteratively (the modelcheck ε-SCC pre-pass uses
+            # the same scheme on CFG nodes).
+            order: list[Variable] = []
+            visited: set[Variable] = set()
+            for start in nodes:
+                if start in visited:
+                    continue
+                stack: list[tuple[Variable, int]] = [(start, 0)]
+                visited.add(start)
+                while stack:
+                    node, index = stack.pop()
+                    successors = succ.get(node, [])
+                    if index < len(successors):
+                        stack.append((node, index + 1))
+                        nxt = successors[index]
+                        if nxt not in visited:
+                            visited.add(nxt)
+                            stack.append((nxt, 0))
+                    else:
+                        order.append(node)
+            assigned: set[Variable] = set()
+            for start in reversed(order):
+                if start in assigned:
+                    continue
+                component = [start]
+                assigned.add(start)
+                cursor = 0
+                while cursor < len(component):
+                    node = component[cursor]
+                    cursor += 1
+                    for prev in pred.get(node, []):
+                        if prev not in assigned:
+                            assigned.add(prev)
+                            component.append(prev)
+                if len(component) > 1:
+                    root = min(component, key=lambda v: v.name)
+                    for node in component:
+                        if node != root:
+                            rep[node] = root
+        out: dict[Variable, Variable] = {}
+        for var in self.variables():
+            root = find(var)
+            out[var] = rep.get(root, root)
+        return out
+
+    def canonical_facts(self) -> Iterator[FactKey]:
+        """The solved form modulo the full identity-cycle quotient.
+
+        Yields each distinct fact once, with every variable slot
+        (including constructor arguments) resolved through
+        :meth:`collapse_map` and identity self-edges dropped.  This is
+        what persistence dumps and what :meth:`fact_count` counts when
+        cycle elimination is enabled.
+        """
+        cmap = self.collapse_map()
+
+        def cv(v: Variable) -> Variable:
+            return cmap.get(v, v)
+
+        def ct(term: Constructed) -> Constructed:
+            if term.args and any(cmap.get(a, a) != a for a in term.args):
+                return Constructed(
+                    term.constructor, tuple(cmap.get(a, a) for a in term.args)
+                )
+            return term
+
+        is_identity = self._is_identity
+        members: dict[Variable, list[Variable]] = {}
+        seen: set[Variable] = set()
+        for table in (self._lower, self._upper, self._succ, self._proj):
+            for var in table:
+                if var in seen:
+                    continue
+                seen.add(var)
+                members.setdefault(cv(var), []).append(var)
+        for rep in sorted(members, key=lambda v: v.name):
+            group = sorted(members[rep], key=lambda v: v.name)
+            emitted: set[FactKey] = set()
+            for var in group:
+                for src, ann in self._lower.get(var, ()):
+                    key = ("lower", rep, ct(src), ann)
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield key
+            for var in group:
+                for snk, ann in self._upper.get(var, ()):
+                    key = ("upper", rep, ct(snk), ann)
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield key
+            for var in group:
+                for dst, ann in self._succ.get(var, ()):
+                    d = cv(dst)
+                    if d == rep and is_identity(ann):
+                        continue
+                    key = ("edge", rep, d, ann)
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield key
+            for var in group:
+                for ctor, index, target, ann in self._proj.get(var, ()):
+                    key = ("proj", rep, ctor, index, cv(target), ann)
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield key
+
+    def _canonical_term(self, term: Constructed) -> Constructed:
+        if not term.args or not self._uf.parent:
+            return term
+        find = self.find
+        args = tuple(find(a) if isinstance(a, Variable) else a for a in term.args)
+        if args == term.args:
+            return term
+        return Constructed(term.constructor, args)
+
+    def _canonical_fact(self, fact: FactKey) -> FactKey:
+        """Resolve a fact key's primary variable slots through find()."""
+        kind = fact[0]
+        find = self.find
+        if kind == "lower":
+            return (kind, find(fact[1]), fact[2], fact[3])
+        if kind == "edge":
+            return (kind, find(fact[1]), find(fact[2]), fact[3])
+        if kind == "upper":
+            return (kind, find(fact[1]), fact[2], fact[3])
+        if kind == "proj":
+            return (kind, find(fact[1]), fact[2], fact[3], find(fact[4]), fact[5])
+        return fact
 
     # -- normalization ---------------------------------------------------------
 
@@ -445,6 +704,11 @@ class Solver:
         kind = fact[0]
         if self.prune_dead and not self._is_live(fact[-1]):
             return  # necessarily non-accepting annotation: prune
+        if self._uf.parent:
+            # Lazy canonicalization: facts mentioning merged-away
+            # variables are rehomed onto their representatives here, at
+            # the single choke point every fact passes through.
+            fact = self._canonical_fact(fact)
         if kind == "lower":
             _tag, var, src, ann = fact
             table = self._lower.setdefault(var, {})
@@ -500,9 +764,130 @@ class Solver:
         if reason is not None:
             self._reasons.setdefault(fact, reason)
         self._work.append(fact)
+        if (
+            kind == "edge"
+            and self.cycle_elim
+            and not self._collapsing
+            and self._is_identity(fact[3])
+        ):
+            # Partial online detection (Fähndrich et al.): the new
+            # identity edge src → dst closes a cycle iff dst already
+            # reaches src over identity edges.  Sample a bounded
+            # reverse path; on a hit, merge the cycle's members.
+            cycle = find_identity_cycle(
+                self._pred,
+                self.find,
+                self._is_identity,
+                fact[1],
+                fact[2],
+                self.cycle_search_bound,
+            )
+            if cycle is not None:
+                self._collapse(cycle)
 
     def _is_identity(self, ann: Annotation) -> bool:
-        return ann == self._identity
+        # _identity_key is the compiled algebra's precomputed identity
+        # index when available (an int compare), else the identity
+        # annotation itself.
+        return ann == self._identity_key
+
+    def _collapse(self, cycle: list[Variable]) -> None:
+        """Merge the members of an identity cycle into one representative.
+
+        Sound because every edge on the cycle carries the identity
+        annotation: ``id ∘ id = id``, so each member's lower bounds flow
+        unchanged to every other member and their solutions are equal.
+        The representative is the lexicographically smallest member (a
+        deterministic choice independent of merge history); the losers'
+        tables are detached and their facts re-enqueued onto the winner,
+        which both deduplicates and restores worklist coverage.
+        """
+        winner = min(cycle, key=lambda v: v.name)
+        losers = [v for v in cycle if v != winner]
+        stats = self.stats
+        stats.cycles_collapsed += 1
+        stats.vars_merged += len(losers)
+        uf = self._uf
+        self._collapsing = True
+        try:
+            for loser in losers:
+                uf.union(winner, loser)
+                self._record(("uf", loser))
+            for loser in losers:
+                self._rehome(loser, winner)
+        finally:
+            self._collapsing = False
+
+    def _rehome(self, loser: Variable, winner: Variable) -> None:
+        lower = self._lower.pop(loser, None)
+        upper = self._upper.pop(loser, None)
+        succ = self._succ.pop(loser, None)
+        proj = self._proj.pop(loser, None)
+        pred = self._pred.pop(loser, None)
+        lower_seq = self._lower_seq.pop(loser, None)
+        upper_seq = self._upper_seq.pop(loser, None)
+        succ_seq = self._succ_seq.pop(loser, None)
+        proj_seq = self._proj_seq.pop(loser, None)
+        # Fold the loser's predecessor index into the winner's so future
+        # reverse-path samples still see the incoming identity edges.
+        added: list[tuple[Variable, Annotation]] = []
+        if pred:
+            wbucket = self._pred.setdefault(winner, {})
+            find = self.find
+            for p, ann in pred:
+                key = (find(p), ann)
+                if key[0] == winner and self._is_identity(ann):
+                    continue  # now an internal edge of the merged node
+                if key not in wbucket:
+                    wbucket[key] = None
+                    added.append(key)
+        self._record(("predfold", winner, tuple(added)))
+        self._record(
+            (
+                "demerge",
+                loser,
+                lower,
+                upper,
+                succ,
+                proj,
+                pred,
+                lower_seq,
+                upper_seq,
+                succ_seq,
+                proj_seq,
+            )
+        )
+        # Re-enqueue the loser's facts onto the winner.  _enqueue
+        # canonicalizes (loser resolves to winner), dedups against facts
+        # the winner already has, and re-appends survivors to the
+        # worklist — which restores the pairing invariant for neighbor
+        # lists that were mid-iteration when the merge happened.
+        # Identity edges internal to the cycle canonicalize to identity
+        # self-edges and are dropped.  Original Reason objects ride
+        # along so provenance survives the move.
+        reasons = self._reasons if self.record_reasons else None
+        if lower:
+            for src, ann in lower:
+                reason = reasons.get(("lower", loser, src, ann)) if reasons else None
+                self._enqueue(("lower", loser, src, ann), reason)
+        if upper:
+            for snk, ann in upper:
+                reason = reasons.get(("upper", loser, snk, ann)) if reasons else None
+                self._enqueue(("upper", loser, snk, ann), reason)
+        if succ:
+            for dst, ann in succ:
+                reason = (
+                    reasons.get(("edge", loser, dst, ann)) if reasons else None
+                )
+                self._enqueue(("edge", loser, dst, ann), reason)
+        if proj:
+            for ctor, index, target, ann in proj:
+                reason = (
+                    reasons.get(("proj", loser, ctor, index, target, ann))
+                    if reasons
+                    else None
+                )
+                self._enqueue(("proj", loser, ctor, index, target, ann), reason)
 
     def _drain(self) -> None:
         # Everything this loop touches per derived fact is hoisted into
@@ -687,6 +1072,7 @@ class Solver:
             # across the online solver's many small drains; the *next*
             # drain's opening charge enforces limits against the total.
             budget.settle(check_every - countdown)
+        stats.find_calls = self._uf.find_calls
 
     def _meet(
         self,

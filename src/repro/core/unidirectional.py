@@ -36,21 +36,49 @@ from collections import deque
 from typing import Hashable, Iterable, Sequence
 
 from repro.core.budget import Budget
+from repro.core.cycles import DEFAULT_SEARCH_BOUND, UnionFind, find_identity_cycle
 from repro.dfa.automaton import DFA, Symbol
 
 Node = Hashable
 
 
+def _is_empty_word(word: tuple) -> bool:
+    return not word
+
+
 class AnnotatedGraph:
     """A directed graph with edges labeled by words over a machine's
     alphabet — the constraint-graph fragment the unidirectional solvers
-    operate on (an edge ``X ⊆^w Y`` is ``add_edge(X, Y, w)``)."""
+    operate on (an edge ``X ⊆^w Y`` is ``add_edge(X, Y, w)``).
 
-    def __init__(self, machine: DFA):
+    Cycles of empty-word edges (the identity annotation of this
+    fragment) are collapsed online exactly as in the bidirectional
+    solver: nodes on such a cycle receive identical state sets, so
+    merging them is exact.  Queries resolve merged nodes through
+    :meth:`find`, so callers keep using their original node names.
+    """
+
+    def __init__(
+        self,
+        machine: DFA,
+        cycle_elim: bool = True,
+        cycle_search_bound: int = DEFAULT_SEARCH_BOUND,
+    ):
         self.machine = machine
+        self.cycle_elim = cycle_elim
+        self.cycle_search_bound = cycle_search_bound
         self._succ: dict[Node, list[tuple[Node, tuple[Symbol, ...]]]] = {}
         self._pred: dict[Node, list[tuple[Node, tuple[Symbol, ...]]]] = {}
         self.nodes: set[Node] = set()
+        self._uf = UnionFind()
+        self.cycles_collapsed = 0
+        self.nodes_merged = 0
+
+    def find(self, node: Node) -> Node:
+        uf = self._uf
+        if not uf.parent:
+            return node
+        return uf.find(node)
 
     def add_edge(
         self, src: Node, dst: Node, word: Iterable[Symbol] = ()
@@ -59,16 +87,50 @@ class AnnotatedGraph:
         for sym in word:
             if sym not in self.machine.alphabet:
                 raise ValueError(f"symbol {sym!r} not in the machine's alphabet")
-        self._succ.setdefault(src, []).append((dst, word))
-        self._pred.setdefault(dst, []).append((src, word))
         self.nodes.add(src)
         self.nodes.add(dst)
+        s, d = self.find(src), self.find(dst)
+        if s == d and not word:
+            return  # an empty-word self-loop adds nothing
+        self._succ.setdefault(s, []).append((d, word))
+        self._pred.setdefault(d, []).append((s, word))
+        if self.cycle_elim and not word:
+            cycle = find_identity_cycle(
+                self._pred, self.find, _is_empty_word, s, d, self.cycle_search_bound
+            )
+            if cycle is not None:
+                self._collapse(cycle)
+
+    def _collapse(self, cycle: list[Node]) -> None:
+        winner = min(cycle, key=repr)
+        self.cycles_collapsed += 1
+        self.nodes_merged += len(cycle) - 1
+        for loser in cycle:
+            if loser == winner:
+                continue
+            self._uf.union(winner, loser)
+            succ = self._succ.pop(loser, None)
+            pred = self._pred.pop(loser, None)
+            if succ:
+                wsucc = self._succ.setdefault(winner, [])
+                for node, word in succ:
+                    node = self.find(node)
+                    if node == winner and not word:
+                        continue
+                    wsucc.append((node, word))
+            if pred:
+                wpred = self._pred.setdefault(winner, [])
+                for node, word in pred:
+                    node = self.find(node)
+                    if node == winner and not word:
+                        continue
+                    wpred.append((node, word))
 
     def successors(self, node: Node) -> Sequence[tuple[Node, tuple[Symbol, ...]]]:
-        return self._succ.get(node, ())
+        return self._succ.get(self.find(node), ())
 
     def predecessors(self, node: Node) -> Sequence[tuple[Node, tuple[Symbol, ...]]]:
-        return self._pred.get(node, ())
+        return self._pred.get(self.find(node), ())
 
 
 class ForwardSolver:
@@ -113,7 +175,9 @@ class ForwardSolver:
             self.budget = budget
         machine = self.machine
         work = self._work
+        find = self.graph.find
         for src in sources:
+            src = find(src)
             if machine.start in self._live and machine.start not in self.states.setdefault(src, set()):
                 self.states[src].add(machine.start)
                 work.append((src, machine.start))
@@ -135,6 +199,9 @@ class ForwardSolver:
                 nxt = machine.run(word, state)
                 if nxt not in self._live:
                     continue
+                # Edges recorded before a later merge may still name a
+                # merged-away node; its states live at the representative.
+                succ = find(succ)
                 bucket = self.states.setdefault(succ, set())
                 if nxt not in bucket:
                     bucket.add(nxt)
@@ -143,11 +210,13 @@ class ForwardSolver:
             budget.settle(check_every - countdown)
 
     def states_of(self, node: Node) -> set[int]:
-        return set(self.states.get(node, set()))
+        return set(self.states.get(self.graph.find(node), set()))
 
     def reachable_accepting(self, node: Node) -> bool:
         """Is ``node`` reached by some path spelling a word of ``L(M)``?"""
-        return bool(self.states.get(node, set()) & self.machine.accepting)
+        return bool(
+            self.states.get(self.graph.find(node), set()) & self.machine.accepting
+        )
 
 
 class BackwardSolver:
@@ -190,7 +259,9 @@ class BackwardSolver:
         machine = self.machine
         everything = frozenset(machine.accepting)
         work = self._work
+        find = self.graph.find
         for sink in sinks:
+            sink = find(sink)
             bucket = self.classes.setdefault(sink, set())
             if everything not in bucket:
                 bucket.add(everything)
@@ -217,6 +288,7 @@ class BackwardSolver:
                 )
                 if not (prepended & self._reachable):
                     continue  # no live way to begin such a word
+                pred = find(pred)
                 bucket = self.classes.setdefault(pred, set())
                 if prepended not in bucket:
                     bucket.add(prepended)
@@ -225,10 +297,11 @@ class BackwardSolver:
             budget.settle(check_every - countdown)
 
     def classes_of(self, node: Node) -> set[frozenset[int]]:
-        return set(self.classes.get(node, set()))
+        return set(self.classes.get(self.graph.find(node), set()))
 
     def reaches_accepting(self, node: Node) -> bool:
         """Can ``node`` reach a sink along a word of ``L(M)``?"""
         return any(
-            self.machine.start in cls for cls in self.classes.get(node, set())
+            self.machine.start in cls
+            for cls in self.classes.get(self.graph.find(node), set())
         )

@@ -161,6 +161,7 @@ class AnnotatedChecker:
         compiled: bool = False,
         record_reasons: bool = True,
         budget: Budget | None = None,
+        cycle_elim: bool = True,
     ):
         self.cfg = cfg
         self.property = prop
@@ -182,7 +183,10 @@ class AnnotatedChecker:
             else:
                 self.algebra = MonoidAlgebra(prop.machine, eager=eager)
             self.solver = Solver(
-                self.algebra, record_reasons=record_reasons, budget=budget
+                self.algebra,
+                record_reasons=record_reasons,
+                budget=budget,
+                cycle_elim=cycle_elim,
             )
         self.pc = Constructor("pc", 0)()
         self._vars: dict[int, Variable] = {}

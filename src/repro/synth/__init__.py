@@ -8,12 +8,19 @@
 """
 
 from repro.synth.programs import PackageSpec, TABLE1_PACKAGES, generate_package
-from repro.synth.workloads import random_annotated_graph, random_constraint_system
+from repro.synth.workloads import (
+    cycle_chain,
+    random_annotated_graph,
+    random_constraint_system,
+    solve_bidirectional,
+)
 
 __all__ = [
     "PackageSpec",
     "TABLE1_PACKAGES",
+    "cycle_chain",
     "generate_package",
     "random_annotated_graph",
     "random_constraint_system",
+    "solve_bidirectional",
 ]

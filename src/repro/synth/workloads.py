@@ -10,6 +10,9 @@ Two generators:
 * :func:`random_constraint_system` — a full set-constraint system with
   constructors and projections, for cubic-scaling measurements of the
   bidirectional solver.
+* :func:`cycle_chain` — a chain of identity-edge rings (the shape CFG
+  loops and mutual aliasing induce), the instrument for measuring
+  online cycle elimination (see ``repro.core.cycles``).
 """
 
 from __future__ import annotations
@@ -68,12 +71,68 @@ def random_annotated_graph(
     )
 
 
+def cycle_chain(
+    machine: DFA,
+    n_cycles: int,
+    cycle_size: int,
+    seed: int = 0,
+    n_sources: int = 4,
+    chords: int = 1,
+) -> AnnotatedGraphWorkload:
+    """A chain of identity-edge rings joined by annotated edges.
+
+    Each segment is a ring of ``cycle_size`` variables connected by
+    ε (identity) edges — the constraint shape CFG loops and cyclic
+    aliasing produce — plus ``chords`` extra ε edges between random ring
+    members.  One symbol-annotated edge links each ring to the next, so
+    facts must traverse every segment.  Without cycle elimination every
+    ring member separately accumulates (and re-propagates) every fact
+    that enters the ring; with it each ring collapses to one variable.
+
+    Ring edges are emitted in a seed-shuffled order so the online
+    detector sees cycles closed at arbitrary points, as a real
+    constraint stream would.
+    """
+    rng = random.Random(seed)
+    alphabet = sorted(machine.alphabet, key=repr)
+    edges: list[tuple[int, int, tuple]] = []
+    n_vars = n_cycles * cycle_size
+    for segment in range(n_cycles):
+        base = segment * cycle_size
+        ring: list[tuple[int, int, tuple]] = [
+            (base + i, base + (i + 1) % cycle_size, ())
+            for i in range(cycle_size)
+        ]
+        for _ in range(chords):
+            a, b = rng.randrange(cycle_size), rng.randrange(cycle_size)
+            if a != b:
+                ring.append((base + a, base + b, ()))
+        rng.shuffle(ring)
+        edges.extend(ring)
+        if segment + 1 < n_cycles:
+            word: tuple = (rng.choice(alphabet),) if alphabet else ()
+            edges.append(
+                (base + rng.randrange(cycle_size), base + cycle_size, word)
+            )
+    # Distinct constants seeded across the first ring (the index names
+    # the constant, so indices must differ to get separate sources).
+    return AnnotatedGraphWorkload(
+        n_vars=n_vars,
+        edges=edges,
+        sources=list(range(min(n_sources, cycle_size))),
+        sinks=[n_vars - 1],
+    )
+
+
 def solve_bidirectional(
-    machine: DFA, workload: AnnotatedGraphWorkload, eager: bool = True
+    machine: DFA,
+    workload: AnnotatedGraphWorkload,
+    eager: bool = True,
+    cycle_elim: bool = True,
 ) -> Solver:
     """Load an annotated-graph workload into the bidirectional solver."""
     algebra = MonoidAlgebra(machine, eager=eager)
-    solver = Solver(algebra)
+    solver = Solver(algebra, cycle_elim=cycle_elim)
     variables = [Variable(f"v{i}") for i in range(workload.n_vars)]
     for index in workload.sources:
         source = Constructor(f"src{index}", 0)()

@@ -275,4 +275,7 @@ class TestSolverStats:
             "facts_deduped",
             "marks",
             "rollbacks",
+            "cycles_collapsed",
+            "vars_merged",
+            "find_calls",
         }
