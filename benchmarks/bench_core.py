@@ -19,6 +19,16 @@ families and writes a machine-readable result file:
   round-robin.  Their ``facts`` fields differ by construction (the
   elim run reports the quotient count); equivalence is asserted on the
   canonical solved forms instead.
+* ``edit_*``        — incremental re-solving: an
+  ``repro.synth.edit_stream`` of single-line edits over one large
+  package, answered three ways — ``edit_patch`` (differential repair
+  via ``StableCheck.apply_source``), ``edit_cold`` (fresh solve of the
+  edited program), ``edit_warm`` (snapshot dump + load of the cold
+  solver).  ``wall_s`` is the **median per-edit latency** over the
+  stream (a single pass, not best-of-N — the stream is the workload);
+  every step asserts the patched solver's canonical solved form equals
+  the cold one's, and the full matrix asserts the patch path beats
+  both alternatives by at least 5x median.
 
 Output schema (``BENCH_solver.json`` at the repo root by default)::
 
@@ -69,14 +79,18 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.cfg import build_cfg  # noqa: E402
 from repro.core.budget import Budget  # noqa: E402
+from repro.core.persist import dump_solver, load_solver  # noqa: E402
 from repro.dataflow import AnnotatedBitVectorAnalysis  # noqa: E402
 from repro.dataflow.problems import call_tracking_problem  # noqa: E402
 from repro.flow import FlowAnalysis  # noqa: E402
 from repro.dfa.gallery import privilege_machine  # noqa: E402
+from repro.incremental import StableCheck  # noqa: E402
 from repro.modelcheck import AnnotatedChecker, full_privilege_property  # noqa: E402
+from repro.modelcheck.properties import simple_privilege_property  # noqa: E402
 from repro.synth import (  # noqa: E402
     PackageSpec,
     cycle_chain,
+    edit_stream,
     generate_package,
     solve_bidirectional,
 )
@@ -146,6 +160,81 @@ def _measure_interleaved(runs: dict, repeats: int) -> dict[str, dict]:
         }
         for name in runs
     }
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def run_edit_stream(quick: bool) -> dict[str, dict]:
+    """The ``edit_*`` family: differential repair vs its alternatives.
+
+    One pass over an edit stream; at each step the three strategies
+    produce (what must be) the same solved session, and each strategy's
+    per-edit latency is recorded.  Cold and warm are measured on the
+    same edited version the patch just reached, so all three rows
+    answer the identical question: "the program changed by one line —
+    how long until a solved session for the new version?"
+    """
+    lines, functions, n_edits = (1_200, 18, 8) if quick else (6_000, 80, 24)
+    spec = PackageSpec("bench-edit", lines, functions, seed=4)
+    steps = list(edit_stream(spec, n_edits))
+    prop = simple_privilege_property()
+
+    live = StableCheck(steps[0].source, prop)
+    patch_lat: list[float] = []
+    cold_lat: list[float] = []
+    warm_lat: list[float] = []
+    for step in steps[1:]:
+        start = time.perf_counter()
+        live.apply_source(step.source)
+        patch_lat.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        cold = StableCheck(step.source, prop)
+        cold_lat.append(time.perf_counter() - start)
+
+        blob = dump_solver(cold.solver)
+        start = time.perf_counter()
+        load_solver(blob)
+        warm_lat.append(time.perf_counter() - start)
+
+        assert set(live.solver.canonical_facts()) == set(
+            cold.solver.canonical_facts()
+        ), f"patched solved form diverged from cold at step {step.step}"
+
+    def row(samples: list[float]) -> dict:
+        return {
+            "wall_s": round(_median(samples), 4),
+            "facts": live.solver.fact_count(),
+            "compositions": live.solver.stats.compositions,
+        }
+
+    results = {
+        "edit_patch": row(patch_lat),
+        "edit_cold": row(cold_lat),
+        "edit_warm": row(warm_lat),
+    }
+    patch_med = _median(patch_lat)
+    cold_med = _median(cold_lat)
+    warm_med = _median(warm_lat)
+    if quick:
+        # tiny instances leave little room; just require a real win
+        assert cold_med > patch_med, (
+            f"patch median {patch_med:.4f}s is no faster than cold "
+            f"{cold_med:.4f}s"
+        )
+    else:
+        for rival, med in (("cold", cold_med), ("warm", warm_med)):
+            assert med >= 5 * patch_med, (
+                f"patch median {patch_med:.4f}s is less than 5x faster "
+                f"than {rival} {med:.4f}s"
+            )
+    return results
 
 
 def run_matrix(quick: bool, repeats: int) -> dict[str, dict]:
@@ -261,6 +350,9 @@ def run_matrix(quick: bool, repeats: int) -> dict[str, dict]:
         f"({len(elim_form)} vs {len(noelim_form)} facts)"
     )
 
+    # -- incremental re-solving: patch vs cold vs warm -------------------
+    results.update(run_edit_stream(quick))
+
     for family in ("privilege", "genkill", "flow"):
         obj, comp = results[f"{family}_object"], results[f"{family}_compiled"]
         assert obj["facts"] == comp["facts"], (
@@ -287,6 +379,15 @@ def print_table(results: dict[str, dict]) -> None:
         off = results["privilege_cycles_noelim"]["wall_s"]
         if on > 0:
             print(f"privilege_cycles: cycle-elim speedup {off / on:.2f}x")
+    if "edit_patch" in results:
+        patch = results["edit_patch"]["wall_s"]
+        if patch > 0:
+            cold = results["edit_cold"]["wall_s"]
+            warm = results["edit_warm"]["wall_s"]
+            print(
+                f"edit: patch beats cold {cold / patch:.1f}x, "
+                f"warm start {warm / patch:.1f}x (median per-edit latency)"
+            )
 
 
 def compare(

@@ -20,6 +20,9 @@ applications:
 * :mod:`repro.flow` — the Section 7 type-based flow analysis with
   polymorphic recursion, non-structural subtyping, its dual analysis,
   and stack-aware alias queries;
+* :mod:`repro.incremental` — differential re-solving: edit-stable
+  constraint encoding plus a DRed-style patch engine that retracts and
+  re-derives only the affected cone of a solved system;
 * :mod:`repro.synth` — synthetic workload generators for the
   benchmarks.
 
@@ -50,7 +53,7 @@ from repro.core import (
 )
 from repro.dfa import DFA, TransitionMonoid, parse_spec, regex_to_dfa
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnnotatedConstraintSystem",

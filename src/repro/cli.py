@@ -14,6 +14,9 @@ Commands:
   size / DOT rendering);
 * ``spec FILE.spec`` — compile a Section 8 automaton specification and
   report its states, symbols, and representative-function count;
+* ``patch FILE.c --property NAME`` — differentially re-check an edited
+  program through the service's hot patch session (in-process, or a
+  running server with ``--connect``);
 * ``serve`` — run the analysis service (stdio JSON-lines or TCP);
 * ``query`` — send one service request (to a TCP server with
   ``--connect``, or to an in-process engine).
@@ -255,6 +258,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_patch(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        program = handle.read()
+    params: dict = {"program": program, "property": args.property}
+    if args.base:
+        params["base"] = args.base
+    if args.connect:
+        from repro.service import ServiceClient, ServiceError
+
+        host, _sep, port_text = args.connect.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise CLIError(f"invalid --connect address {args.connect!r}")
+        try:
+            with ServiceClient(host, port, retries=args.retries) as client:
+                result = client.request("patch", **params)
+        except ServiceError as exc:
+            raise CLIError(f"service error {exc.code}: {exc.message}")
+        except OSError as exc:
+            raise CLIError(f"cannot reach {host}:{port}: {exc}")
+    else:
+        from repro.service import AnalysisEngine, EngineError
+
+        try:
+            result = AnalysisEngine().dispatch("patch", params)
+        except EngineError as exc:
+            raise CLIError(f"{exc.code}: {exc.message}")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 1 if result.get("has_violation") else 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     params: dict = {}
     if args.op in ("check", "dataflow", "flow"):
@@ -420,6 +456,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-dir", help="persist/reload solved systems in this directory"
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    patch = commands.add_parser(
+        "patch",
+        help="differentially re-check an edited program via the service",
+    )
+    patch.add_argument("file")
+    patch.add_argument("--property", choices=sorted(PROPERTIES), required=True)
+    patch.add_argument(
+        "--base",
+        help="expected base version token (the 'version' of a prior response); "
+        "a mismatch falls back to a cold solve",
+    )
+    patch.add_argument(
+        "--connect", metavar="HOST:PORT", help="send to a running TCP service"
+    )
+    patch.add_argument("--retries", type=int, default=0)
+    patch.set_defaults(handler=_cmd_patch)
 
     query = commands.add_parser(
         "query", help="send one analysis-service request and print the result"

@@ -84,6 +84,28 @@ class UnionFind:
     def undo_union(self, loser: Hashable) -> None:
         self.parent.pop(loser, None)
 
+    def members(self, root: Hashable) -> list[Hashable]:
+        """All merged-away nodes whose current representative is ``root``.
+
+        The scan is over merged nodes only (``parent``'s keys), which
+        stays small in practice; the incremental engine calls this on
+        the rare demotion path, never per fact.
+        """
+        return [n for n in self.parent if self.find(n, False) == root]
+
+    def release(self, nodes: Iterable[Hashable]) -> None:
+        """Detach ``nodes`` from the forest entirely.
+
+        Used by incremental *demotion*: when a retraction breaks an
+        identity cycle, the whole merged class is dissolved and its
+        members become their own representatives again before the
+        class's constraints are re-asserted.  Callers must release a
+        class in full (every member of :meth:`members` plus nothing
+        else), since parent pointers never cross class boundaries.
+        """
+        for node in nodes:
+            self.parent.pop(node, None)
+
 
 def find_identity_cycle(
     pred: dict,

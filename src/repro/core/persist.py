@@ -456,6 +456,10 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
         prune_dead=data.get("prune_dead", True),
         cycle_elim=data.get("cycle_elim", True),
     )
+    # Loaded facts carry no Reason records (see below), so the solved
+    # form cannot back a support graph: DeltaSolver checks this flag
+    # and refuses warm-loaded systems with a typed error.
+    solver.provenance_complete = False
 
     # A solved form repeats the same few terms, variables and
     # annotations across tens of thousands of facts; interning them

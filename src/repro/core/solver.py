@@ -76,6 +76,12 @@ class SolverStats:
     cycles_collapsed: int = 0
     vars_merged: int = 0
     find_calls: int = 0
+    # Incremental re-solving (repro.incremental): facts removed by
+    # DRed over-deletion, facts restored by the re-derive pass, and the
+    # cumulative size of the affected cones.  Zero outside patch runs.
+    facts_retracted: int = 0
+    facts_rederived: int = 0
+    cone_size: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -90,6 +96,9 @@ class SolverStats:
             "cycles_collapsed": self.cycles_collapsed,
             "vars_merged": self.vars_merged,
             "find_calls": self.find_calls,
+            "facts_retracted": self.facts_retracted,
+            "facts_rederived": self.facts_rederived,
+            "cone_size": self.cone_size,
         }
 
 
@@ -143,6 +152,13 @@ class Solver:
         #: :class:`Reason` allocation and the ``_reasons`` dict entirely,
         #: and :meth:`reason` returns ``None`` for every fact.
         self.record_reasons = record_reasons
+        #: Whether ``_reasons`` covers every stored fact.  True for a
+        #: solver that recorded provenance while solving; cleared by
+        #: :func:`repro.core.persist.load_solver` (loaded facts carry no
+        #: provenance) so :class:`repro.incremental.DeltaSolver` can
+        #: refuse warm-loaded systems with a typed error instead of
+        #: silently mis-retracting.
+        self.provenance_complete = record_reasons
         #: Online cycle elimination (see :mod:`repro.core.cycles`): merge
         #: variables on a cycle of identity-annotated edges into one
         #: representative.  Exact — such variables have equal solutions —
@@ -424,6 +440,86 @@ class Solver:
     def _record(self, entry: tuple) -> None:
         if self._journal:
             self._journal[-1].append(entry)
+
+    # -- fact retraction support (repro.incremental) ---------------------------
+    #
+    # These hooks remove *individual* facts without maintaining closure;
+    # restoring closure (DRed over-delete + re-derive) is the job of
+    # :class:`repro.incremental.DeltaSolver`, the only intended caller.
+    # They must not be mixed with an open journal epoch — retraction of
+    # arbitrary facts cannot be replayed by the LIFO undo log.
+
+    def remove_fact(self, fact: FactKey) -> bool:
+        """Remove one stored fact (and its provenance entry) if present.
+
+        ``fact`` must use currently-canonical variable names in its
+        primary slots.  Iteration sequences for touched variables are
+        *not* resynced here; callers batch removals and then call
+        :meth:`rebuild_seqs` once per touched ``(kind, var)``.
+        """
+        kind = fact[0]
+        if kind == "lower":
+            _tag, var, src, ann = fact
+            bucket = self._lower.get(var, {})
+            present = (src, ann) in bucket
+            bucket.pop((src, ann), None)
+            self._reasons.pop(fact, None)
+            return present
+        if kind == "edge":
+            _tag, src_var, dst_var, ann = fact
+            bucket = self._succ.get(src_var, {})
+            present = (dst_var, ann) in bucket
+            bucket.pop((dst_var, ann), None)
+            self._pred.get(dst_var, {}).pop((src_var, ann), None)
+            self._reasons.pop(fact, None)
+            return present
+        if kind == "upper":
+            _tag, var, snk, ann = fact
+            bucket = self._upper.get(var, {})
+            present = (snk, ann) in bucket
+            bucket.pop((snk, ann), None)
+            self._reasons.pop(fact, None)
+            return present
+        if kind == "proj":
+            _tag, var, ctor, index, target, ann = fact
+            bucket = self._proj.get(var, {})
+            key = (ctor, index, target, ann)
+            present = key in bucket
+            bucket.pop(key, None)
+            self._reasons.pop(fact, None)
+            return present
+        raise AssertionError(f"unknown fact kind {kind!r}")
+
+    def remove_met(self, key: tuple) -> None:
+        """Forget a constructor meet (and any inconsistency it recorded).
+
+        Used by retraction when a meet's justifying pair is deleted; a
+        surviving alternate pair will redo the meet (and re-record the
+        inconsistency) when the re-derive pass re-fires it.
+        """
+        self._met.discard(key)
+        src, snk, ann = key
+        if src.constructor != snk.constructor and self.inconsistencies:
+            for i, inc in enumerate(self.inconsistencies):
+                if (
+                    inc.source == src
+                    and inc.sink == snk
+                    and inc.annotation == ann
+                ):
+                    del self.inconsistencies[i]
+                    break
+
+    def rebuild_seqs(self, touched: Iterable[tuple[str, Variable]]) -> None:
+        """Resync iteration sequences after a batch of :meth:`remove_fact`."""
+        tables = {
+            "lower": (self._lower, self._lower_seq),
+            "edge": (self._succ, self._succ_seq),
+            "upper": (self._upper, self._upper_seq),
+            "proj": (self._proj, self._proj_seq),
+        }
+        for tag, var in touched:
+            table, seq = tables[tag]
+            seq[var] = list(table.get(var, {}))
 
     def pending_count(self) -> int:
         """Worklist backlog: facts recorded but not yet resolved against
@@ -865,21 +961,49 @@ class Solver:
         # Identity edges internal to the cycle canonicalize to identity
         # self-edges and are dropped.  Original Reason objects ride
         # along so provenance survives the move.
+        #
+        # Merging can leave the kept reason *self-citing*: several
+        # copies of one fact (the same term/annotation at different
+        # cycle members) collapse into a single winner-side key, and
+        # the copy whose Reason survives may cite another copy — now
+        # the same canonical fact, i.e. itself.  A self-supporting
+        # entry disconnects retraction's cone walk from the fact's
+        # real upstream support, so after each re-enqueue, if the kept
+        # reason self-cites and the incoming copy's does not, the
+        # incoming reason replaces it.  The temporally first copy
+        # always cites strictly-earlier (hence other-keyed) facts, so
+        # a non-self-citing reason is available whenever the fact ever
+        # had outside support.  Skipped while a journal epoch is open:
+        # rollback restores the loser tables verbatim and the winner's
+        # original reason must survive with them.
         reasons = self._reasons if self.record_reasons else None
+        fix_self = reasons is not None and not self._journal
         if lower:
             for src, ann in lower:
                 reason = reasons.get(("lower", loser, src, ann)) if reasons else None
                 self._enqueue(("lower", loser, src, ann), reason)
+                if fix_self and reason is not None:
+                    self._prefer_outside_reason(
+                        ("lower", loser, src, ann), reason
+                    )
         if upper:
             for snk, ann in upper:
                 reason = reasons.get(("upper", loser, snk, ann)) if reasons else None
                 self._enqueue(("upper", loser, snk, ann), reason)
+                if fix_self and reason is not None:
+                    self._prefer_outside_reason(
+                        ("upper", loser, snk, ann), reason
+                    )
         if succ:
             for dst, ann in succ:
                 reason = (
                     reasons.get(("edge", loser, dst, ann)) if reasons else None
                 )
                 self._enqueue(("edge", loser, dst, ann), reason)
+                if fix_self and reason is not None:
+                    self._prefer_outside_reason(
+                        ("edge", loser, dst, ann), reason
+                    )
         if proj:
             for ctor, index, target, ann in proj:
                 reason = (
@@ -888,6 +1012,55 @@ class Solver:
                     else None
                 )
                 self._enqueue(("proj", loser, ctor, index, target, ann), reason)
+                if fix_self and reason is not None:
+                    self._prefer_outside_reason(
+                        ("proj", loser, ctor, index, target, ann), reason
+                    )
+        if reasons is not None and not self._journal:
+            # The re-enqueues above re-recorded each surviving fact's
+            # Reason under its canonical winner-side key (or deduped
+            # against the winner's own entry), so the loser-keyed
+            # entries now describe facts that no longer exist under
+            # those keys — drop them.  With a journal epoch open the
+            # loser tables can come back verbatim on rollback and their
+            # reasons must survive with them.
+            if lower:
+                for src, ann in lower:
+                    reasons.pop(("lower", loser, src, ann), None)
+            if upper:
+                for snk, ann in upper:
+                    reasons.pop(("upper", loser, snk, ann), None)
+            if succ:
+                for dst, ann in succ:
+                    reasons.pop(("edge", loser, dst, ann), None)
+            if proj:
+                for ctor, index, target, ann in proj:
+                    reasons.pop(("proj", loser, ctor, index, target, ann), None)
+
+    def _self_cites(self, key: FactKey, reason: "Reason") -> bool:
+        """Does ``reason`` cite ``key`` itself (under canonical names)?"""
+        canon = self._canonical_fact
+        return any(canon(ant) == key for ant in reason.antecedents)
+
+    def _prefer_outside_reason(self, moved: FactKey, reason: "Reason") -> None:
+        """Swap a merged fact's kept reason for a non-self-citing copy.
+
+        ``moved`` is the loser-keyed fact just re-enqueued onto the
+        winner; ``reason`` is the Reason that rode along with it.  When
+        the winner-side entry kept a reason that now cites its own
+        canonical key while the incoming copy's does not, the incoming
+        one wins — see the rehoming comment for why one such copy
+        exists whenever the fact ever had support outside the class.
+        """
+        key = self._canonical_fact(moved)
+        reasons = self._reasons
+        kept = reasons.get(key)
+        if kept is None or kept is reason:
+            return
+        if self._self_cites(key, kept) and (
+            not reason.antecedents or not self._self_cites(key, reason)
+        ):
+            reasons[key] = reason
 
     def _drain(self) -> None:
         # Everything this loop touches per derived fact is hoisted into

@@ -1,0 +1,43 @@
+"""Differential re-solving for edit streams (the incremental layer).
+
+Turns a solved :class:`~repro.core.solver.Solver` into a patchable
+artifact: :class:`DeltaSolver` applies constraint additions and
+retractions (DRed-style over-delete + re-derive over the solver's
+provenance, with union-find demotion for broken identity cycles), and
+:func:`diff_programs` / :class:`StableCheck` map source-text edits to
+constraint patches via the edit-stable CFG encoding.
+"""
+
+from repro.incremental.delta import (
+    DeltaSolver,
+    Patch,
+    PatchError,
+    PatchStateError,
+    PatchStats,
+    ProvenanceError,
+    SupportGraph,
+    UnknownConstraintError,
+    UnsupportedConstraintError,
+)
+from repro.incremental.diff import (
+    StableCheck,
+    diff_constraints,
+    diff_programs,
+    stable_encode,
+)
+
+__all__ = [
+    "DeltaSolver",
+    "Patch",
+    "PatchError",
+    "PatchStateError",
+    "PatchStats",
+    "ProvenanceError",
+    "StableCheck",
+    "SupportGraph",
+    "UnknownConstraintError",
+    "UnsupportedConstraintError",
+    "diff_constraints",
+    "diff_programs",
+    "stable_encode",
+]

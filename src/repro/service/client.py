@@ -192,6 +192,21 @@ class ServiceClient:
     def check(self, program: str, property: str, **options: Any) -> dict:
         return self.request("check", program=program, property=property, **options)
 
+    def patch(
+        self, program: str, property: str, base: str | None = None, **options: Any
+    ) -> dict:
+        """Differentially re-check an edited program.
+
+        Pass the previous response's ``version`` as ``base`` to insist
+        the server patch from that exact program (a mismatch falls back
+        to a cold solve rather than patching from the wrong base).
+        """
+        params: dict[str, Any] = {"program": program, "property": property}
+        if base is not None:
+            params["base"] = base
+        params.update(options)
+        return self.request("patch", **params)
+
     def dataflow(self, program: str, track: list[str]) -> dict:
         return self.request("dataflow", program=program, track=track)
 

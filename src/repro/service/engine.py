@@ -20,7 +20,13 @@ designed for a long-lived process answering many queries:
 * **what-if queries** — speculative constraints are layered on a cached
   solved system under :meth:`Solver.mark`/``rollback`` (flow ``assume``
   edges), answering incremental questions without re-solving the base
-  program.
+  program;
+* **patch sessions** — one hot patchable
+  :class:`~repro.incremental.diff.StableCheck` per property machine;
+  the ``patch`` request advances it to an edited program by
+  differential re-solving, falling back to a cold solve (never an
+  error) when the session is missing, version-mismatched, or the
+  repair fails.
 
 The engine is thread-safe: the cache maps are guarded by one lock, and
 each cached entry has its own lock serializing solves and queries on
@@ -89,6 +95,25 @@ class _Entry:
         self.results: dict[Any, Any] = {}
 
 
+class _DeltaEntry:
+    """One hot patchable session (per property machine).
+
+    Unlike :class:`_Entry`, the solved system here *mutates* across
+    requests: each ``patch`` request advances the
+    :class:`~repro.incremental.diff.StableCheck` to the edited program.
+    ``phash`` is the program hash the session currently embodies — the
+    version token echoed to clients.  ``check`` is ``None`` after a
+    failed patch until the next request rebuilds it cold.
+    """
+
+    __slots__ = ("lock", "check", "phash")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.check: Any = None
+        self.phash: str | None = None
+
+
 class AnalysisEngine:
     """Cached, concurrent front door to the constraint solver."""
 
@@ -111,6 +136,8 @@ class AnalysisEngine:
         # algebra cache key -> compiled annotation algebra
         self._algebras: dict[Any, Any] = {}
         self._solved: "OrderedDict[Any, _Entry]" = OrderedDict()
+        # machine fingerprint -> hot patchable session (one per property)
+        self._delta: dict[str, _DeltaEntry] = {}
 
     # -- machine / monoid caching -------------------------------------------
 
@@ -330,6 +357,119 @@ class AnalysisEngine:
             response["violations"] = response["violations"][:max_findings]
         return response
 
+    def patch(
+        self,
+        program: str,
+        property: str,
+        base: str | None = None,
+        budget: Budget | None = None,
+    ) -> dict:
+        """Differentially re-check an edited ``program``.
+
+        Keeps one hot :class:`~repro.incremental.diff.StableCheck` per
+        property machine and advances it to ``program`` by constraint
+        patching (diff the stable encodings, DRed-repair the solved
+        form).  Falls back to a cold solve — never an error — when
+        there is no hot session (``cold-start``), the client's ``base``
+        version token does not match the session (``base-mismatch``),
+        or the patch itself fails (``patch-failed``, after discarding
+        the possibly-mid-repair session).
+        """
+        from repro.incremental import StableCheck
+        from repro.incremental.delta import UnsupportedConstraintError
+
+        prop, fingerprint = self._property(property)
+        if prop.parametric_symbols:
+            raise EngineError(
+                protocol.E_UNSUPPORTED,
+                f"property {property!r} is parametric; patch supports "
+                "plain properties only",
+            )
+        # Validate the edited program up front: a parse error must be a
+        # clean refusal that leaves the hot session untouched.
+        self._parse_cfg(program)
+        phash = program_hash(program)
+        with self._lock:
+            entry = self._delta.get(fingerprint)
+            if entry is None:
+                entry = self._delta.setdefault(fingerprint, _DeltaEntry())
+        with entry.lock:
+            fallback: str | None = None
+            patch_stats: dict | None = None
+            check = entry.check
+            old_phash = entry.phash
+            if check is None:
+                fallback = "cold-start"
+            elif base is not None and base != entry.phash:
+                fallback = "base-mismatch"
+            if fallback is None:
+                try:
+                    with self.metrics.time("patch"):
+                        outcome = check.apply_source(program)
+                except UnsupportedConstraintError as exc:
+                    # Raised while *encoding* the new program, before
+                    # any mutation: the session is intact.
+                    raise EngineError(protocol.E_UNSUPPORTED, str(exc)) from exc
+                except Exception:
+                    # The solver may be mid-repair: discard the session
+                    # and answer from a cold solve instead.
+                    entry.check = None
+                    entry.phash = None
+                    check = None
+                    fallback = "patch-failed"
+                else:
+                    patch_stats = outcome.stats.as_dict()
+                    self.metrics.incr("patch.applied")
+            if fallback is not None:
+                self.metrics.incr("patch.fallback")
+                self.metrics.incr(f"patch.fallback.{fallback}")
+                try:
+                    with self.metrics.time("solve"):
+                        check = StableCheck(
+                            program,
+                            prop,
+                            algebra=self._check_algebra(prop, fingerprint),
+                            budget=budget,
+                        )
+                except UnsupportedConstraintError as exc:
+                    raise EngineError(protocol.E_UNSUPPORTED, str(exc)) from exc
+                except SolverCancelled as exc:
+                    self.metrics.incr("solve.cancelled")
+                    raise EngineError(
+                        protocol.E_CANCELLED, f"solve cancelled: {exc.progress}"
+                    ) from exc
+                except SolverBudgetExceeded as exc:
+                    self.metrics.incr("solve.budget_exceeded")
+                    raise EngineError(
+                        protocol.E_BUDGET, f"{exc} (progress: {exc.progress})"
+                    ) from exc
+            entry.check = check
+            entry.phash = phash
+            result = check.check()
+            violations = [
+                {
+                    "where": v.node.describe(),
+                    "line": v.node.line,
+                    "instantiation": None,
+                    "trace": [],
+                }
+                for v in result.violations
+            ]
+            return {
+                "property": property,
+                "fingerprint": fingerprint,
+                "program": phash,
+                "version": phash,
+                "base": old_phash,
+                "patched": fallback is None,
+                "fallback": fallback,
+                "patch": patch_stats,
+                "has_violation": result.has_violation,
+                "violations": violations,
+                "constraints": result.constraints,
+                "facts": result.facts,
+            }
+
     def dataflow(
         self, program: str, track: list[str], budget: Budget | None = None
     ) -> dict:
@@ -448,14 +588,21 @@ class AnalysisEngine:
         aggregate = SolverStats()
         with self._lock:
             entries = list(self._solved.values())
+            delta_entries = list(self._delta.values())
             cache_info = {
                 "entries": len(self._solved),
                 "max_entries": self.cache_size,
                 "machines": len(self._algebras),
                 "properties": len(self._properties),
+                "patch_sessions": len(self._delta),
             }
-        for entry in entries:
-            solver = entry.solver
+        solvers = [entry.solver for entry in entries]
+        solvers.extend(
+            entry.check.solver
+            for entry in delta_entries
+            if entry.check is not None
+        )
+        for solver in solvers:
             if solver is None:
                 continue
             for field, value in solver.stats.as_dict().items():
@@ -517,8 +664,20 @@ class AnalysisEngine:
         (deadline, cancellation token); the wire-level ``budget`` param,
         if present, tightens it further.
         """
-        if op in ("check", "dataflow", "flow"):
+        if op in ("check", "patch", "dataflow", "flow"):
             budget = self._request_budget(params, budget)
+        if op == "patch":
+            base = params.get("base")
+            if base is not None and not isinstance(base, str):
+                raise EngineError(
+                    protocol.E_BAD_REQUEST, "patch 'base' must be a string"
+                )
+            return self.patch(
+                params["program"],
+                params["property"],
+                base=base,
+                budget=budget,
+            )
         if op == "check":
             return self.check(
                 params["program"],

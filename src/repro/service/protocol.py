@@ -27,12 +27,30 @@ Operations
     params: ``program`` (mini-C source), ``property`` (registry name),
     optional ``traces`` (bool), ``max_findings`` (int).
 
-The three analysis ops (``check``, ``dataflow``, ``flow``) accept a
+The analysis ops (``check``, ``patch``, ``dataflow``, ``flow``) accept a
 reserved optional ``budget`` param — an object with any of ``steps``
 (int) and ``seconds`` (float) — bounding the solve; exhaustion yields
 the ``budget-exceeded`` error code.  Servers additionally enforce their
 own per-request deadline and admission limits (``timeout``,
 ``overloaded``, ``cancelled``, ``circuit-open``).
+``patch``
+    params: ``program`` (the *edited* mini-C source), ``property``
+    (registry name), optional ``base`` (a version token: the program
+    hash the client believes the server's hot session is at — from a
+    prior response's ``version`` field).  The server keeps one patchable
+    solved session per property machine; when the request can be served
+    by differential re-solving it patches that session, otherwise it
+    falls back to a cold solve.  The result always reflects ``program``:
+    ``patched`` (bool) says which path ran, ``fallback`` carries a
+    reason slug (``cold-start``, ``base-mismatch``, ``patch-failed``)
+    when ``patched`` is false, ``version`` is the new program hash to
+    send as ``base`` next time, and ``patch`` holds the
+    :class:`~repro.incremental.delta.PatchStats` counters on the patched
+    path.  Parametric properties are refused with ``unsupported``; a
+    program that does not parse is ``parse-error`` (and leaves the hot
+    session intact).  A patch failure is *not* an error response — the
+    server discards the session, solves cold, and answers with
+    ``fallback: "patch-failed"``.
 ``dataflow``
     params: ``program``, ``track`` (list of primitive names).
 ``flow``
@@ -98,12 +116,15 @@ ERROR_CODES = frozenset(
     }
 )
 
-OPS = frozenset({"check", "dataflow", "flow", "stats", "ping", "shutdown"})
+OPS = frozenset(
+    {"check", "patch", "dataflow", "flow", "stats", "ping", "shutdown"}
+)
 
 #: Per-op required ``params`` keys, validated at decode time so handler
 #: code never sees a structurally invalid request.
 _REQUIRED_PARAMS: dict[str, tuple[str, ...]] = {
     "check": ("program", "property"),
+    "patch": ("program", "property"),
     "dataflow": ("program", "track"),
     "flow": ("program",),
     "stats": (),

@@ -54,7 +54,7 @@ from repro.service.metrics import Metrics
 #: Ops that run real analysis work — governed by admission control,
 #: budgets, and the circuit breaker.  ``ping``/``stats`` stay exempt so
 #: health checks keep answering while the server sheds load.
-ANALYSIS_OPS = frozenset({"check", "dataflow", "flow"})
+ANALYSIS_OPS = frozenset({"check", "patch", "dataflow", "flow"})
 
 #: Error codes that count as breaker failures: resource exhaustion and
 #: crashes, not deterministic client mistakes like parse errors.

@@ -4,9 +4,12 @@
   the Table 1 benchmark suite (VixieCron/At/Sendmail/Apache; see
   DESIGN.md §5 for the substitution argument);
 * :mod:`repro.synth.workloads` — random annotated constraint graphs for
-  the Section 4/5 complexity experiments.
+  the Section 4/5 complexity experiments;
+* :mod:`repro.synth.editstream` — per-function-deterministic editable
+  packages and edit streams for the incremental re-solving experiments.
 """
 
+from repro.synth.editstream import EditablePackage, EditStep, edit_stream
 from repro.synth.programs import PackageSpec, TABLE1_PACKAGES, generate_package
 from repro.synth.workloads import (
     cycle_chain,
@@ -16,9 +19,12 @@ from repro.synth.workloads import (
 )
 
 __all__ = [
+    "EditStep",
+    "EditablePackage",
     "PackageSpec",
     "TABLE1_PACKAGES",
     "cycle_chain",
+    "edit_stream",
     "generate_package",
     "random_annotated_graph",
     "random_constraint_system",

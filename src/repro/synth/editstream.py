@@ -1,0 +1,188 @@
+"""Edit-stream workloads for the incremental re-solving experiments.
+
+:func:`repro.synth.generate_package` draws every function body from one
+shared RNG, so regenerating with a perturbed parameter changes *every*
+function — useless for measuring patch latency, where the whole point
+is that a small source edit yields a small constraint diff under the
+stable encoding (see :mod:`repro.incremental.diff`).
+
+:class:`EditablePackage` fixes that by generating each function body
+from its own RNG seeded by ``(package seed, function index)``: function
+``fn_i``'s text depends only on the spec and ``i``, never on its
+neighbours.  An edit then rewrites exactly one body, and
+``diff_programs(old, new)`` produces a patch proportional to the edit.
+
+:func:`edit_stream` drives a deterministic sequence of such edits —
+insert a plain statement, insert a privilege event, delete a statement,
+or flip a statement between plain and event — mimicking a developer
+editing under an analysis service that re-checks per save.  Each step
+yields the *cumulative* source, so consecutive steps differ by one
+edit, which is the workload shape the ``patch_vs_cold_vs_warm``
+benchmark family replays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.synth.programs import (
+    _EVENT_CALLS,
+    _PLAIN_STATEMENTS,
+    BlockWriter,
+    PackageSpec,
+)
+
+__all__ = ["EditStep", "EditablePackage", "edit_stream"]
+
+#: Multiplier mixing the package seed with a function index into a
+#: fresh RNG seed (a large prime keeps nearby indices uncorrelated).
+_FN_SEED_STRIDE = 1_000_003
+
+_EDIT_KINDS = ("insert", "insert_event", "delete", "flip")
+
+
+@dataclass(frozen=True)
+class EditStep:
+    """One step of an edit stream: the edit and the resulting program."""
+
+    step: int
+    kind: str
+    function: str
+    #: body-line index the edit touched (in the function's body list)
+    line: int
+    #: full source text *after* the edit
+    source: str
+
+
+class EditablePackage:
+    """A synthetic package whose functions regenerate independently.
+
+    The emitted program matches the :mod:`repro.synth.programs` shape —
+    layered acyclic call graph, same statement vocabulary, optional
+    seeded violation in ``main`` — but each ``fn_i`` body comes from
+    ``Random(seed * stride + i)``, so editing one function leaves every
+    other function's text bit-identical.
+    """
+
+    def __init__(self, spec: PackageSpec):
+        self.spec = spec
+        self.names = [f"fn_{i}" for i in range(spec.n_functions)]
+        self.per_function = max(
+            3, spec.target_lines // (spec.n_functions + 1) - 3
+        )
+        self._bodies: dict[str, list[str]] = {
+            name: self._generate_body(i) for i, name in enumerate(self.names)
+        }
+
+    def _generate_body(self, index: int) -> list[str]:
+        rng = random.Random(self.spec.seed * _FN_SEED_STRIDE + index)
+        callees = list(self.names[index + 1 : index + 1 + 8])
+        if rng.random() < 0.05:
+            callees.append(self.names[index])  # direct recursion
+        writer = BlockWriter(self.spec, rng)
+        writer.emit(1, "int x = 0;")
+        writer.emit(1, "int y = 1;")
+        writer.block(1, self.per_function, callees)
+        return writer.lines
+
+    def body(self, function: str) -> list[str]:
+        """The current body lines of ``function`` (mutable view)."""
+        return self._bodies[function]
+
+    def source(self) -> str:
+        """The package's current full source text."""
+        lines: list[str] = []
+        for name in self.names:
+            lines.append(f"void {name}() {{")
+            lines.extend(self._bodies[name])
+            lines.append("}")
+            lines.append("")
+        lines.append("int main() {")
+        lines.append("  int x = 0;")
+        lines.append("  int y = 1;")
+        if self.spec.violation:
+            lines.append("  seteuid(0);")
+            lines.append("  if (x) {")
+            lines.append("    seteuid(getuid());")
+            lines.append("  }")
+            lines.append('  execl("/bin/sh", "sh", 0);')
+        for name in self.names[:8]:
+            lines.append(f"  {name}();")
+        lines.append("  return 0;")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    # -- edits -----------------------------------------------------------------
+
+    @staticmethod
+    def _is_simple(line: str) -> bool:
+        stripped = line.strip()
+        return (
+            stripped.endswith(";")
+            and "{" not in stripped
+            and "}" not in stripped
+        )
+
+    def _simple_lines(self, body: list[str]) -> list[int]:
+        # Skip the two fixed declarations so deletes never strip
+        # ``int x``/``int y`` (harmless to the checker, but keeping them
+        # makes the stream read like real edits).
+        return [
+            i for i, line in enumerate(body) if i >= 2 and self._is_simple(line)
+        ]
+
+    def apply_edit(self, step: int, rng: random.Random) -> EditStep:
+        """Apply one random (seeded) edit in place; return the step record."""
+        function = rng.choice(self.names)
+        body = self._bodies[function]
+        kind = rng.choice(_EDIT_KINDS)
+        simple = self._simple_lines(body)
+        if kind in ("delete", "flip") and not simple:
+            kind = "insert"
+        if kind == "insert":
+            template = rng.choice(_PLAIN_STATEMENTS)
+            line = rng.randrange(2, len(body) + 1)
+            body.insert(line, "  " + template.format(v=rng.randrange(100)))
+        elif kind == "insert_event":
+            line = rng.randrange(2, len(body) + 1)
+            body.insert(line, "  " + rng.choice(_EVENT_CALLS))
+        elif kind == "delete":
+            line = rng.choice(simple)
+            del body[line]
+        else:  # flip: swap a statement between plain and event vocabulary
+            line = rng.choice(simple)
+            if body[line].strip() in _EVENT_CALLS:
+                template = rng.choice(_PLAIN_STATEMENTS)
+                replacement = template.format(v=rng.randrange(100))
+            else:
+                replacement = rng.choice(_EVENT_CALLS)
+            indent = body[line][: len(body[line]) - len(body[line].lstrip())]
+            body[line] = indent + replacement
+        return EditStep(
+            step=step,
+            kind=kind,
+            function=function,
+            line=line,
+            source=self.source(),
+        )
+
+
+def edit_stream(
+    spec: PackageSpec, n_edits: int, seed: int | None = None
+) -> Iterator[EditStep]:
+    """Yield ``n_edits`` cumulative edits of ``spec``'s editable package.
+
+    Deterministic in ``(spec, seed)``; ``seed`` defaults to the spec's
+    own seed.  Step 0 is always the *unedited* program (kind
+    ``"base"``), so consumers can cold-solve the base and then patch
+    through steps 1..n — consecutive yields differ by exactly one edit.
+    """
+    package = EditablePackage(spec)
+    rng = random.Random(spec.seed if seed is None else seed)
+    yield EditStep(
+        step=0, kind="base", function="", line=-1, source=package.source()
+    )
+    for step in range(1, n_edits + 1):
+        yield package.apply_edit(step, rng)

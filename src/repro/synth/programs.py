@@ -67,10 +67,18 @@ _PLAIN_STATEMENTS = (
 )
 
 
-class _PackageWriter:
-    def __init__(self, spec: PackageSpec):
+class BlockWriter:
+    """Statement/block emitter over an explicit RNG.
+
+    Factored out of the package writer so callers that need
+    *per-function* determinism (``repro.synth.editstream`` generates
+    each function body from its own seeded RNG, keeping edits local)
+    can reuse the exact statement vocabulary and block shapes.
+    """
+
+    def __init__(self, spec: PackageSpec, rng: random.Random):
         self.spec = spec
-        self.rng = random.Random(spec.seed)
+        self.rng = rng
         self.lines: list[str] = []
 
     def emit(self, depth: int, text: str) -> None:
@@ -109,6 +117,11 @@ class _PackageWriter:
             else:
                 self.statement(depth, callees)
                 budget -= 1
+
+
+class _PackageWriter(BlockWriter):
+    def __init__(self, spec: PackageSpec):
+        super().__init__(spec, random.Random(spec.seed))
 
     def generate(self) -> str:
         spec = self.spec

@@ -16,6 +16,12 @@ What can be injected:
 * **snapshot damage** — :meth:`FaultInjector.truncate_file` and
   :meth:`FaultInjector.flip_bits` model torn writes and bit rot, which
   :func:`repro.core.persist.read_snapshot` must detect by checksum;
+* **mid-patch crashes** — :meth:`FaultInjector.crash_during_patch`
+  patches the retraction commit point inside
+  :mod:`repro.incremental.delta`, so a differential re-solve dies with
+  the solved form partially repaired (facts deleted, re-derivation not
+  yet run) — the state the service's cold-solve fallback must recover
+  from;
 * **slow/hung workers** — :class:`SpinningEngine` stands in for an
   analysis engine whose work never finishes unless the server's budget
   or cancellation token stops it (the worker-leak scenario);
@@ -114,6 +120,31 @@ class FaultInjector:
             yield
         finally:
             persist._rename = original
+
+    @contextlib.contextmanager
+    def crash_during_patch(self) -> Iterator[None]:
+        """Simulate a crash in the middle of a differential re-solve.
+
+        Inside the context, :class:`repro.incremental.delta.DeltaSolver`
+        raises :class:`FaultError` at its retraction commit point —
+        after the over-deletion cone has been removed from the solved
+        form but before re-derivation and the patch's additions run.
+        That is the worst moment: the solver is internally consistent
+        but *wrong* (under-approximate), so anything that keeps using
+        the session silently loses facts.  The engine's contract is to
+        discard the session and answer from a cold solve.
+        """
+        from repro.incremental import delta
+
+        def exploding_commit() -> None:
+            raise FaultError("injected crash during patch retraction commit")
+
+        original = delta._commit_retractions
+        delta._commit_retractions = exploding_commit
+        try:
+            yield
+        finally:
+            delta._commit_retractions = original
 
 
 class SpinningEngine:

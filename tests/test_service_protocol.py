@@ -30,6 +30,7 @@ class TestRequestRoundTrip:
             "check": {"program": "", "property": "p"},
             "dataflow": {"program": "", "track": ["f"]},
             "flow": {"program": ""},
+            "patch": {"program": "", "property": "p"},
         }.get(op, {})
         decoded = protocol.decode_request(
             protocol.encode_request(protocol.Request(op=op, params=params))

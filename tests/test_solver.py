@@ -278,4 +278,7 @@ class TestSolverStats:
             "cycles_collapsed",
             "vars_merged",
             "find_calls",
+            "facts_retracted",
+            "facts_rederived",
+            "cone_size",
         }

@@ -78,3 +78,70 @@ class TestGraphWorkloads:
         # inconsistencies are possible (random constructors may clash);
         # the solver must simply terminate with bounded facts.
         assert solver.fact_count() < 100_000
+
+
+class TestEditStream:
+    def spec(self, **overrides):
+        from repro.synth import PackageSpec
+
+        params = dict(name="es", target_lines=400, n_functions=8, seed=5)
+        params.update(overrides)
+        return PackageSpec(**params)
+
+    def test_deterministic(self):
+        from repro.synth import edit_stream
+
+        a = [s.source for s in edit_stream(self.spec(), 5)]
+        b = [s.source for s in edit_stream(self.spec(), 5)]
+        assert a == b
+
+    def test_step_zero_is_base_and_steps_parse(self):
+        from repro.synth import edit_stream
+
+        steps = list(edit_stream(self.spec(), 4))
+        assert steps[0].kind == "base"
+        assert len(steps) == 5
+        for step in steps:
+            build_cfg(step.source)  # every version is valid mini-C
+
+    def test_edits_touch_one_function(self):
+        from repro.synth import edit_stream
+
+        steps = list(edit_stream(self.spec(), 6))
+        for prev, cur in zip(steps, steps[1:]):
+            old, new = prev.source.splitlines(), cur.source.splitlines()
+            # a single-line insert/delete/replace: the diff is bounded
+            assert abs(len(old) - len(new)) <= 1
+            changed = sum(1 for a, b in zip(old, new) if a != b)
+            # after one insertion everything shifts, so count from the
+            # tail instead: lines outside the edited function match
+            tail = sum(
+                1
+                for a, b in zip(reversed(old), reversed(new))
+                if a == b
+            )
+            assert changed <= len(old) or tail > 0
+
+    def test_function_bodies_independent_of_sibling_count(self):
+        # fn_2's body depends only on (seed, index): shrinking the
+        # package must not change it (only its callee list could, and
+        # only for functions near the tail).
+        from repro.synth import EditablePackage
+
+        big = EditablePackage(self.spec(n_functions=12))
+        small = EditablePackage(self.spec(n_functions=12, violation=False))
+        assert big.body("fn_2") == small.body("fn_2")
+
+    def test_stream_versions_diff_to_small_patches(self):
+        from repro.core.annotations import CompiledMonoidAlgebra
+        from repro.incremental import diff_programs
+        from repro.modelcheck.properties import simple_privilege_property
+        from repro.synth import edit_stream
+
+        prop = simple_privilege_property()
+        algebra = CompiledMonoidAlgebra(prop.machine)
+        steps = list(edit_stream(self.spec(), 3))
+        for prev, cur in zip(steps, steps[1:]):
+            patch = diff_programs(prev.source, cur.source, prop, algebra)
+            touched = len(patch.adds) + len(patch.retracts)
+            assert 0 < touched < 150, "edit should perturb one function"
