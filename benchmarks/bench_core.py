@@ -6,10 +6,16 @@ families and writes a machine-readable result file:
 * ``privilege_*``   — E1 (Table 1): model-check the full-privilege
   property on a synthetic package; object mode solves over
   representative functions with provenance on (the pre-specializer
-  default), compiled mode over table indices with provenance off.
+  default).  ``privilege_diffprop`` runs the object-mode solver over
+  table indices with provenance off — the difference-propagation
+  drain on the object core.  ``privilege_compiled`` runs the same
+  workload on the flat-array core (``repro.core.flatcore``): compiled
+  mode *is* the flat core now, so this row is the headline number.
 * ``genkill_*``     — E2 (Fig 1 / §3.3): interprocedural n-bit gen/kill
   dataflow; object mode uses the tuple ``ProductAlgebra``, compiled
-  mode the packed-int ``CompiledGenKillAlgebra``.
+  mode the packed-int ``CompiledGenKillAlgebra`` on the object core,
+  and ``genkill_flat`` the same packed algebra on the flat core (with
+  the numpy column backend when numpy is installed).
 * ``flow_*``        — E7/E11 (Fig 11 / §7): label-flow analysis of a
   chain of instantiated pair functions; object vs compiled monoid
   algebra over the generated bracket machine.
@@ -36,10 +42,25 @@ Output schema (``BENCH_solver.json`` at the repo root by default)::
       "<bench>": {
         "wall_s": <float>,        # best-of-N wall-clock seconds
         "facts": <int>,           # solver.fact_count() after solving
-        "compositions": <int>     # solver.stats.compositions
+        "compositions": <int>,    # solver.stats.compositions
+        "ratio": <float>          # compositions / facts
       },
       ...
     }
+
+``ratio`` is the difference-propagation health metric: with per-bucket
+high-water marks every (fact, edge) pair composes exactly once at
+fixpoint, so compositions track facts roughly linearly and the ratio
+stays at or below ~1 on the diff-prop families at any workload size.
+``--compare`` fails if a diff-prop family's ratio exceeds the 1.05
+ceiling (a breach means re-composition waste crept back into the
+drain loop).
+
+Before writing results the matrix runs an untimed verification pass:
+every family is re-solved once with ``track_redundant=True`` and must
+report ``redundant_compositions == 0`` at fixpoint, and the flat-core
+rows must reach canonical solved forms identical to the object core's
+(the flat core is a representation change, never a semantic one).
 
 Bench names are ``<family>_<mode>`` with ``mode`` in ``object`` /
 ``compiled``; both modes of a family run the identical workload, so
@@ -121,6 +142,17 @@ def wide_flow_program(n_functions: int) -> str:
     return "\n".join(lines)
 
 
+def _row(solver, wall_s: float) -> dict:
+    facts = solver.fact_count()
+    compositions = solver.stats.compositions
+    return {
+        "wall_s": round(wall_s, 4),
+        "facts": facts,
+        "compositions": compositions,
+        "ratio": round(compositions / facts, 4) if facts else 0.0,
+    }
+
+
 def _measure(run, repeats: int) -> dict:
     """Best-of-``repeats`` wall time; facts/compositions from the last run."""
     best = float("inf")
@@ -129,11 +161,7 @@ def _measure(run, repeats: int) -> dict:
         start = time.perf_counter()
         solver = run()
         best = min(best, time.perf_counter() - start)
-    return {
-        "wall_s": round(best, 4),
-        "facts": solver.fact_count(),
-        "compositions": solver.stats.compositions,
-    }
+    return _row(solver, best)
 
 
 def _measure_interleaved(runs: dict, repeats: int) -> dict[str, dict]:
@@ -152,14 +180,7 @@ def _measure_interleaved(runs: dict, repeats: int) -> dict[str, dict]:
             start = time.perf_counter()
             solvers[name] = run()
             best[name] = min(best[name], time.perf_counter() - start)
-    return {
-        name: {
-            "wall_s": round(best[name], 4),
-            "facts": solvers[name].fact_count(),
-            "compositions": solvers[name].stats.compositions,
-        }
-        for name in runs
-    }
+    return {name: _row(solvers[name], best[name]) for name in runs}
 
 
 def _median(samples: list[float]) -> float:
@@ -208,11 +229,7 @@ def run_edit_stream(quick: bool) -> dict[str, dict]:
         ), f"patched solved form diverged from cold at step {step.step}"
 
     def row(samples: list[float]) -> dict:
-        return {
-            "wall_s": round(_median(samples), 4),
-            "facts": live.solver.fact_count(),
-            "compositions": live.solver.stats.compositions,
-        }
+        return _row(live.solver, _median(samples))
 
     results = {
         "edit_patch": row(patch_lat),
@@ -248,36 +265,37 @@ def run_matrix(quick: bool, repeats: int) -> dict[str, dict]:
     cfg = build_cfg(source)
     prop = full_privilege_property()
 
-    def privilege(compiled: bool):
-        checker = AnnotatedChecker(
-            cfg, prop, compiled=compiled, record_reasons=not compiled
-        )
-        checker.check()
-        return checker.solver
-
-    results["privilege_object"] = _measure(lambda: privilege(False), repeats)
-
-    # Same compiled workload under a generous (never-tripping) Budget:
-    # isolates the resource governor's hot-loop cost — the per-fact
-    # countdown plus one full limit evaluation per check interval.
-    # Interleaved with the un-governed baseline so the delta is immune
-    # to machine drift over the bench run.
-    def privilege_budgeted():
+    def privilege(mode: str, budget: Budget | None = None, **kwargs):
         checker = AnnotatedChecker(
             cfg,
             prop,
-            compiled=True,
-            record_reasons=False,
-            budget=Budget(max_steps=10**9),
+            compiled=mode != "object",
+            flat=mode == "flat",
+            record_reasons=mode == "object",
+            budget=budget,
+            **kwargs,
         )
         checker.check()
         return checker.solver
 
+    results["privilege_object"] = _measure(lambda: privilege("object"), repeats)
+
+    # Three variants of the same compiled workload, interleaved so
+    # machine drift hits them equally:
+    #   privilege_diffprop        — object core, difference propagation
+    #   privilege_compiled        — flat-array core (the headline row)
+    #   privilege_compiled_budget — flat core under a generous
+    #     (never-tripping) Budget: isolates the resource governor's
+    #     hot-loop cost, the per-fact countdown plus one full limit
+    #     evaluation per check interval.
     results.update(
         _measure_interleaved(
             {
-                "privilege_compiled": lambda: privilege(True),
-                "privilege_compiled_budget": privilege_budgeted,
+                "privilege_diffprop": lambda: privilege("diffprop"),
+                "privilege_compiled": lambda: privilege("flat"),
+                "privilege_compiled_budget": lambda: privilege(
+                    "flat", budget=Budget(max_steps=10**9)
+                ),
             },
             repeats,
         )
@@ -286,6 +304,10 @@ def run_matrix(quick: bool, repeats: int) -> dict[str, dict]:
         results["privilege_compiled_budget"]["facts"]
         == results["privilege_compiled"]["facts"]
     ), "a non-tripping budget changed the solved form"
+    assert (
+        results["privilege_diffprop"]["facts"]
+        == results["privilege_compiled"]["facts"]
+    ), "the flat core changed the privilege fact count"
 
     # -- E2: n-bit gen/kill dataflow -------------------------------------
     n_bits = 4 if quick else 8
@@ -295,19 +317,32 @@ def run_matrix(quick: bool, repeats: int) -> dict[str, dict]:
     df_cfg = build_cfg(df_source)
     problem = call_tracking_problem(df_cfg, PRIMITIVES[:n_bits])
 
-    def genkill(compiled: bool):
-        analysis = AnnotatedBitVectorAnalysis(df_cfg, problem, compiled=compiled)
+    def genkill(compiled: bool, flat: bool = False, **kwargs):
+        analysis = AnnotatedBitVectorAnalysis(
+            df_cfg, problem, compiled=compiled, flat=flat, **kwargs
+        )
         analysis.solution()
         return analysis.solver
 
     results["genkill_object"] = _measure(lambda: genkill(False), repeats)
-    results["genkill_compiled"] = _measure(lambda: genkill(True), repeats)
+    results.update(
+        _measure_interleaved(
+            {
+                "genkill_compiled": lambda: genkill(True),
+                "genkill_flat": lambda: genkill(True, flat=True),
+            },
+            repeats,
+        )
+    )
+    assert (
+        results["genkill_flat"]["facts"] == results["genkill_compiled"]["facts"]
+    ), "the flat core changed the gen/kill fact count"
 
     # -- E7/E11: Fig 11 label flow ---------------------------------------
     flow_source = wide_flow_program(8 if quick else 14)
 
-    def flow(compiled: bool):
-        analysis = FlowAnalysis(flow_source, compiled=compiled)
+    def flow(compiled: bool, **kwargs):
+        analysis = FlowAnalysis(flow_source, compiled=compiled, **kwargs)
         assert analysis.flows("Seed", "V")
         return analysis.system.solver
 
@@ -350,6 +385,45 @@ def run_matrix(quick: bool, repeats: int) -> dict[str, dict]:
         f"({len(elim_form)} vs {len(noelim_form)} facts)"
     )
 
+    # -- fixpoint invariant + cross-core equivalence (untimed) -----------
+    # Difference propagation's contract: at fixpoint no (fact, edge)
+    # pair has composed twice.  Re-solve every family once with the
+    # redundancy tracker on, and hold the flat-core rows to canonical
+    # solved forms identical to the object core's.
+    flat_priv = privilege("flat", track_redundant=True)
+    obj_priv = privilege("diffprop", track_redundant=True)
+    assert set(flat_priv.canonical_facts()) == set(obj_priv.canonical_facts()), (
+        "flat core diverged from the object core on the privilege workload"
+    )
+    flat_gk = genkill(True, flat=True, track_redundant=True)
+    obj_gk = genkill(True, track_redundant=True)
+    assert set(flat_gk.canonical_facts()) == set(obj_gk.canonical_facts()), (
+        "flat core diverged from the object core on the gen/kill workload"
+    )
+    tracked = {
+        "privilege_compiled": flat_priv,
+        "privilege_diffprop": obj_priv,
+        "genkill_flat": flat_gk,
+        "genkill_compiled": obj_gk,
+        "flow_compiled": flow(True, track_redundant=True),
+        "privilege_cycles_elim": solve_bidirectional(
+            ring_machine, workload, cycle_elim=True, track_redundant=True
+        ),
+        "privilege_cycles_noelim": solve_bidirectional(
+            ring_machine, workload, cycle_elim=False, track_redundant=True
+        ),
+    }
+    for name, solver in tracked.items():
+        redundant = solver.stats.redundant_compositions
+        assert redundant == 0, (
+            f"{name}: {redundant} redundant compositions at fixpoint — "
+            "difference propagation re-composed a (fact, edge) pair"
+        )
+    print(
+        "fixpoint invariant: redundant_compositions == 0 on "
+        f"{len(tracked)} tracked workloads; flat ≡ object canonical forms"
+    )
+
     # -- incremental re-solving: patch vs cold vs warm -------------------
     results.update(run_edit_stream(quick))
 
@@ -363,17 +437,30 @@ def run_matrix(quick: bool, repeats: int) -> dict[str, dict]:
 
 
 def print_table(results: dict[str, dict]) -> None:
-    print(f"{'bench':22} {'wall_s':>9} {'facts':>9} {'compositions':>13}")
+    print(
+        f"{'bench':26} {'wall_s':>9} {'facts':>9} {'compositions':>13} "
+        f"{'ratio':>7}"
+    )
     for name, row in results.items():
         print(
-            f"{name:22} {row['wall_s']:9.4f} {row['facts']:9d} "
-            f"{row['compositions']:13d}"
+            f"{name:26} {row['wall_s']:9.4f} {row['facts']:9d} "
+            f"{row['compositions']:13d} {row['ratio']:7.3f}"
         )
     for family in ("privilege", "genkill", "flow"):
         obj = results[f"{family}_object"]["wall_s"]
         comp = results[f"{family}_compiled"]["wall_s"]
         if comp > 0:
             print(f"{family}: compiled speedup {obj / comp:.2f}x")
+    if "privilege_diffprop" in results:
+        diffprop = results["privilege_diffprop"]["wall_s"]
+        flat = results["privilege_compiled"]["wall_s"]
+        if flat > 0:
+            print(f"privilege: flat core beats object diff-prop {diffprop / flat:.2f}x")
+    if "genkill_flat" in results:
+        comp = results["genkill_compiled"]["wall_s"]
+        flat = results["genkill_flat"]["wall_s"]
+        if flat > 0:
+            print(f"genkill: flat core beats object core {comp / flat:.2f}x")
     if "privilege_cycles_elim" in results:
         on = results["privilege_cycles_elim"]["wall_s"]
         off = results["privilege_cycles_noelim"]["wall_s"]
@@ -390,6 +477,22 @@ def print_table(results: dict[str, dict]) -> None:
             )
 
 
+# Families whose drain loop runs on difference propagation: at
+# fixpoint every (fact, edge) pair composes exactly once, which keeps
+# compositions/facts at or below ~1 on these workloads at any size
+# (measured: 0.66-0.98 quick, 0.78-0.84 full).  --compare gates them
+# on an absolute ratio ceiling as well as wall time — unlike wall time
+# the ratio is deterministic, so a breach is always a real
+# re-composition bug, never CI-runner noise.
+DIFFPROP_FAMILIES = (
+    "privilege_compiled",
+    "privilege_diffprop",
+    "genkill_compiled",
+    "genkill_flat",
+)
+RATIO_CEILING = 1.05
+
+
 def compare(
     results: dict[str, dict], baseline_path: pathlib.Path, tolerance: float
 ) -> int:
@@ -404,6 +507,12 @@ def compare(
             failures.append(
                 f"{name}: {row['wall_s']:.4f}s exceeds {tolerance:.1f}x "
                 f"committed {committed['wall_s']:.4f}s"
+            )
+        if name in DIFFPROP_FAMILIES and row["ratio"] > RATIO_CEILING:
+            failures.append(
+                f"{name}: compositions/facts ratio {row['ratio']:.4f} "
+                f"exceeds the {RATIO_CEILING:.2f} diff-prop ceiling — "
+                "re-composition waste crept back into the drain loop"
             )
     if failures:
         print("REGRESSION:", file=sys.stderr)

@@ -75,12 +75,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
             max_steps=args.budget_steps, max_seconds=args.budget_seconds
         )
     if args.engine in ("annotated", "both"):
+        flat = getattr(args, "flat", False)
+        if flat and args.traces:
+            print("error: --flat records no provenance; drop --traces",
+                  file=sys.stderr)
+            return 2
         checker = AnnotatedChecker(
             cfg,
             prop,
             collapse_cycles=args.collapse_cycles,
             budget=budget,
             cycle_elim=not args.no_cycle_elim,
+            flat=flat,
+            # Verbose runs measure the difference-propagation invariant:
+            # at the fixpoint no (fact, edge) pair composes twice.
+            track_redundant=args.verbose,
         )
         result = checker.check(traces=args.traces)
         print(f"[annotated] {'VIOLATION' if result.has_violation else 'clean'} "
@@ -89,6 +98,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if args.verbose:
             for field, value in checker.solver.stats.as_dict().items():
                 print(f"  {field:22} {value}")
+            redundant = checker.solver.stats.redundant_compositions
+            status = "OK" if redundant == 0 else "VIOLATED"
+            print(f"  fixpoint invariant: redundant_compositions == 0 [{status}]")
         shown = 0
         for violation in result.violations:
             if shown >= args.max_findings:
@@ -365,6 +377,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="annotated",
     )
     check.add_argument("--traces", action="store_true", help="print witnesses")
+    check.add_argument(
+        "--flat",
+        action="store_true",
+        help="solve on the flat-array core (compiled algebra, no witness "
+        "provenance; incompatible with --traces)",
+    )
     check.add_argument("--collapse-cycles", action="store_true")
     check.add_argument(
         "--no-cycle-elim",

@@ -40,6 +40,7 @@ from repro.core.demand import (
     DemandForwardSolver,
     DemandSolution,
 )
+from repro.core.flatcore import FlatSolver
 from repro.core.queries import Reachability, least_solution_terms, trace_lower
 from repro.core.semantics import ReferenceSemantics, WordConstraint
 from repro.core.solver import Reason, Solver
@@ -74,6 +75,7 @@ __all__ = [
     "DemandSolution",
     "Constructed",
     "Constructor",
+    "FlatSolver",
     "ForwardSolver",
     "GroundTerm",
     "Inconsistency",

@@ -42,6 +42,17 @@ from typing import Any, Hashable, Iterable, Protocol, Sequence
 from repro.dfa.automaton import DFA, Symbol
 from repro.dfa.monoid import RepresentativeFunction, TransitionMonoid
 
+try:  # The optional ``fast`` extra (``pip install .[fast]``).
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
+
+#: True when the vectorized ``then_many`` backends are available.  The
+#: flat solver core consults the per-algebra ``then_many`` attribute
+#: (``None`` when numpy is missing), so everything degrades to the
+#: pure-python composition loops without it.
+HAVE_NUMPY = _np is not None
+
 Annotation = Hashable
 
 
@@ -148,9 +159,23 @@ class CompiledMonoidAlgebra:
         self._symbols: dict[Symbol, int] = {
             sym: self._index[fn] for sym, fn in self.monoid.generators.items()
         }
+        # Vectorized column composition (built lazily on first use);
+        # ``None`` advertises "no batch backend" to the flat core.
+        self._np_table = None
+        if _np is None:
+            self.then_many = None  # type: ignore[assignment]
 
     def size(self) -> int:
         return len(self.elements)
+
+    def then_many(self, anns: Sequence[int], hi: int, second: int) -> list[int]:
+        """Compose ``anns[:hi]`` (a column of annotations) with one
+        right-hand ``second`` — the numpy gather the flat core hands
+        whole lower-bound columns to."""
+        table = self._np_table
+        if table is None:
+            table = self._np_table = _np.asarray(self._table, dtype=_np.intp)
+        return table[_np.asarray(anns[:hi]), second].tolist()
 
     # -- conversions --------------------------------------------------------
 
@@ -237,13 +262,28 @@ class ProductAlgebra:
         self.components = tuple(components)
         self.n_components = len(self.components)
         self.identity = tuple(c.identity for c in self.components)
+        # Composition memo: the annotation domain is finite (Lemma 3.1),
+        # so the table of observed pairs is bounded — and the solver
+        # re-composes the same pairs constantly (every transitive step
+        # over a hot edge).  ``compose_calls``/``compose_evals`` expose
+        # the hit rate to the regression tests.
+        self._then_memo: dict[tuple[tuple, tuple], tuple] = {}
+        self.compose_calls = 0
+        self.compose_evals = 0
 
     def then(self, first: tuple, second: tuple) -> tuple:
-        components = self.components
-        return tuple(
-            components[i].then(first[i], second[i])
-            for i in range(self.n_components)
-        )
+        self.compose_calls += 1
+        key = (first, second)
+        out = self._then_memo.get(key)
+        if out is None:
+            self.compose_evals += 1
+            components = self.components
+            out = tuple(
+                components[i].then(first[i], second[i])
+                for i in range(self.n_components)
+            )
+            self._then_memo[key] = out
+        return out
 
     def is_live(self, annotation: tuple) -> bool:
         components = self.components
@@ -332,6 +372,11 @@ class CompiledGenKillAlgebra:
         self._dead_eps = not live[self._eps]
         self._dead_gen = not live[self._gen]
         self._dead_kill = not live[self._kill]
+        # The vectorized column compose works on int64 lanes; packed
+        # annotations occupy 2*n_bits, so widths past 31 bits would
+        # overflow the lane and must fall back to the scalar loop.
+        if _np is None or 2 * n_bits > 62:
+            self.then_many = None  # type: ignore[assignment]
 
     # -- packing -------------------------------------------------------------
 
@@ -394,6 +439,26 @@ class CompiledGenKillAlgebra:
         g_value = second >> n
         keep = ~g_forced & mask
         return (f_forced | g_forced) | (((f_value & keep) | g_value) << n)
+
+    def then_many(self, anns: Sequence[int], hi: int, second: int) -> list[int]:
+        """Compose ``anns[:hi]`` against one ``second``, vectorized.
+
+        The bitwise form of :meth:`then` maps directly onto numpy int64
+        lanes: ``second`` is broadcast, the column is packed once, and
+        the whole gen/kill update runs as five array ops.  Disabled
+        (``then_many = None``) when numpy is missing or the packed width
+        exceeds an int64 lane.
+        """
+        n = self.n_bits
+        mask = self._mask
+        g_forced = second & mask
+        g_value = second >> n
+        keep = ~g_forced & mask
+        arr = _np.array(anns[:hi], dtype=_np.int64)
+        out = ((arr & mask) | g_forced) | (
+            (((arr >> n) & keep) | g_value) << n
+        )
+        return out.tolist()
 
     def is_live(self, annotation: int) -> bool:
         if self._never_dead:

@@ -92,6 +92,14 @@ class DemandForwardSolver:
         self._uf = UnionFind()
         # Reverse index of empty-word plain edges, for cycle detection.
         self._eps_pred: dict[Variable, list[tuple[Variable, tuple]]] = {}
+        #: Composition accounting across :meth:`solve` calls: the same
+        #: fact tabulated at two anchors used to re-run every successor
+        #: word through the machine; the ``(state, word)`` memo
+        #: short-circuits those — ``compose_evals`` counts only the
+        #: pairs actually evaluated.
+        self.compose_calls = 0
+        self.compose_evals = 0
+        self._run_memo: dict[tuple[int, tuple[Symbol, ...]], int] = {}
 
     def find(self, var: Variable) -> Variable:
         uf = self._uf
@@ -227,11 +235,17 @@ class DemandForwardSolver:
                 roots.add(root)
                 propagate(root, root)
 
+        run_memo = self._run_memo
         while work:
             edge = work.popleft()
             anchor, (var, state) = edge
             for succ, word in plain.get(var, ()):
-                next_state = machine.run(word, state)
+                self.compose_calls += 1
+                key = (state, word)
+                next_state = run_memo.get(key)
+                if next_state is None:
+                    self.compose_evals += 1
+                    next_state = run_memo[key] = machine.run(word, state)
                 if next_state in live:
                     # Edges recorded before a later merge may still name
                     # a merged-away variable; resolve at use.

@@ -59,6 +59,7 @@ from repro.core.annotations import (
     UnannotatedAlgebra,
 )
 from repro.core.errors import Inconsistency, SnapshotCorrupt
+from repro.core.flatcore import FlatSolver
 from repro.core.solver import Solver
 from repro.core.terms import Constructed, Constructor, Variable
 from repro.dfa.automaton import DFA
@@ -69,6 +70,13 @@ FORMAT_VERSION = 2
 #: checkpoint of an interrupted solve (non-empty worklist).
 CHECKPOINT_VERSION = 3
 SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: Difference-propagation snapshot assigned to reloaded pending facts:
+#: larger than any lower-bound sequence, so the resumed drain clamps it
+#: to the full current window.  Insertion-time snapshots are not dumped
+#: (they are an optimization, not state); re-walking the whole window
+#: after a reload costs only deduped re-compositions.
+_DRAINED_ALL = 1 << 62
 
 
 # -- symbols: JSON-safe encoding of hashable alphabet symbols -----------------
@@ -260,7 +268,7 @@ def _encode_constructor(ctor: Constructor) -> dict:
     }
 
 
-def dump_solver(solver: Solver) -> str:
+def dump_solver(solver: Solver | FlatSolver) -> str:
     """Serialize a solver's solved form (and its machine, if any).
 
     A solver at its fixpoint dumps as format version 2, exactly as
@@ -269,6 +277,13 @@ def dump_solver(solver: Solver) -> str:
     *checkpoint* carrying the pending worklist, the met-pair memo and
     recorded inconsistencies; loading one restores the interrupted state
     and :meth:`~repro.core.solver.Solver.resume` finishes the solve.
+
+    :class:`~repro.core.flatcore.FlatSolver` systems dump in the *same*
+    canonical fact format — the on-disk solved form is a function of the
+    solution, not of the core that computed it — plus a ``"core":
+    "flat"`` marker so :func:`load_solver` reconstructs the same core.
+    A flat dump loads into an object solver (and vice versa) by
+    stripping or ignoring that marker.
     """
     algebra = solver.algebra
     if isinstance(algebra, CompiledMonoidAlgebra):
@@ -359,6 +374,7 @@ def dump_solver(solver: Solver) -> str:
             )
     payload: dict[str, Any] = {
         "version": FORMAT_VERSION,
+        "core": "flat" if isinstance(solver, FlatSolver) else "object",
         "algebra": algebra_tag,
         "machine": machine_data,
         "fingerprint": machine_fingerprint(machine),
@@ -375,22 +391,32 @@ def dump_solver(solver: Solver) -> str:
         payload["merged"] = merged
     if solver.pending_count():
         payload["version"] = CHECKPOINT_VERSION
+        pending_pairs = (
+            solver._pending_object_facts()
+            if isinstance(solver, FlatSolver)
+            else iter(solver._work)
+        )
         payload["pending"] = [
             _encode_pending_fact(fact, elements, canon_var, canon_term)
-            for fact in solver._work
+            for fact, _snap in pending_pairs
         ]
         # The met memo keeps a resumed drain from re-deriving (and the
         # inconsistency list from double-recording) meets the
         # interrupted run already resolved.  Its terms canonicalize like
         # the facts, so resumed meets over the reloaded (canonical)
         # tables hit the memo.
+        met_triples = (
+            solver._met_object_facts()
+            if isinstance(solver, FlatSolver)
+            else iter(solver._met)
+        )
         payload["met"] = [
             [
                 _encode_constructed(canon_term(src)),
                 _encode_constructed(canon_term(snk)),
                 elements.index_of(ann),
             ]
-            for src, snk, ann in solver._met
+            for src, snk, ann in met_triples
         ]
         payload["inconsistencies"] = [
             [
@@ -403,7 +429,9 @@ def dump_solver(solver: Solver) -> str:
     return json.dumps(payload)
 
 
-def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
+def load_solver(
+    text: str, expected_fingerprint: str | None = None
+) -> Solver | FlatSolver:
     """Reconstruct a solver holding an already-closed solved form.
 
     Facts are installed directly (the dump was closed, so re-closing is
@@ -450,6 +478,8 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
             f"{expected_fingerprint!r} was expected: refusing to replay "
             "it against a different property machine"
         )
+    if data.get("core") == "flat":
+        return _load_flat(data, algebra, version)
     solver = Solver(
         algebra,
         pn_projections=data.get("pn_projections", False),
@@ -563,9 +593,21 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
     for loser_name, rep_name in data.get("merged", {}).items():
         solver._uf.parent[intern_var(loser_name)] = intern_var(rep_name)
 
+    # Difference propagation: a dumped solver already composed each of
+    # its stored lowers against the neighbor tables it was dumped with,
+    # so they count as drained.  Facts added after the load (including
+    # the pending backlog below) snapshot against these counters; a
+    # snapshot covering the whole sequence costs at worst re-deduped
+    # compositions across the checkpoint boundary, never a missed pair.
+    solver._lower_drained = {
+        var: len(seq) for var, seq in solver._lower_seq.items()
+    }
+
     # Checkpoint sections (version 3): the interrupted drain's backlog,
     # met memo and inconsistency record.  Restoring them makes resume()
     # continue the solve exactly where the dumping process stopped.
+    # Pending facts lost their insertion-time snapshots; ``_DRAINED_ALL``
+    # makes the resumed drain walk their full (clamped) lower windows.
     if data.get("pending"):
         work: deque = deque()
         for entry in data["pending"]:
@@ -574,42 +616,54 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
                 _tag, var_name, src_data, ann_data = entry
                 work.append(
                     (
-                        "lower",
-                        intern_var(var_name),
-                        intern_constructed(src_data),
-                        annotation_of(ann_data),
+                        (
+                            "lower",
+                            intern_var(var_name),
+                            intern_constructed(src_data),
+                            annotation_of(ann_data),
+                        ),
+                        0,
                     )
                 )
             elif kind == "upper":
                 _tag, var_name, snk_data, ann_data = entry
                 work.append(
                     (
-                        "upper",
-                        intern_var(var_name),
-                        intern_constructed(snk_data),
-                        annotation_of(ann_data),
+                        (
+                            "upper",
+                            intern_var(var_name),
+                            intern_constructed(snk_data),
+                            annotation_of(ann_data),
+                        ),
+                        _DRAINED_ALL,
                     )
                 )
             elif kind == "edge":
                 _tag, src_name, dst_name, ann_data = entry
                 work.append(
                     (
-                        "edge",
-                        intern_var(src_name),
-                        intern_var(dst_name),
-                        annotation_of(ann_data),
+                        (
+                            "edge",
+                            intern_var(src_name),
+                            intern_var(dst_name),
+                            annotation_of(ann_data),
+                        ),
+                        _DRAINED_ALL,
                     )
                 )
             elif kind == "proj":
                 _tag, var_name, ctor_data, index, target_name, ann_data = entry
                 work.append(
                     (
-                        "proj",
-                        intern_var(var_name),
-                        intern_constructor(ctor_data),
-                        index,
-                        intern_var(target_name),
-                        annotation_of(ann_data),
+                        (
+                            "proj",
+                            intern_var(var_name),
+                            intern_constructor(ctor_data),
+                            index,
+                            intern_var(target_name),
+                            annotation_of(ann_data),
+                        ),
+                        _DRAINED_ALL,
                     )
                 )
             else:
@@ -629,6 +683,174 @@ def load_solver(text: str, expected_fingerprint: str | None = None) -> Solver:
                 intern_constructed(src_data),
                 intern_constructed(snk_data),
                 annotation_of(ann_data),
+            )
+        )
+    return solver
+
+
+def _load_flat(data: dict, algebra: Any, version: int) -> FlatSolver:
+    """Reconstruct a :class:`FlatSolver` from a ``"core": "flat"`` dump.
+
+    The fact sections are identical to object dumps; installation goes
+    through the flat enqueue path (interning, dedupe, adjacency
+    mirrors), then the install-time worklist records are discarded and
+    the lower columns marked drained — loading restores the solved form
+    without re-closure, exactly like the object loader.
+    """
+    if version < 2:
+        raise ValueError("flat dumps are always format version 2 or later")
+    if not hasattr(algebra, "encode"):
+        raise ValueError(
+            f"flat dumps require a compiled algebra, got {data.get('algebra')!r}"
+        )
+    solver = FlatSolver(
+        algebra,
+        pn_projections=data.get("pn_projections", False),
+        prune_dead=data.get("prune_dead", True),
+        cycle_elim=data.get("cycle_elim", True),
+    )
+
+    variables: dict[str, Variable] = {}
+    constructed: dict[tuple, Constructed] = {}
+
+    def intern_var(name: str) -> Variable:
+        var = variables.get(name)
+        if var is None:
+            var = variables[name] = Variable(name)
+        return var
+
+    def intern_constructed(cdata: dict) -> Constructed:
+        key = (
+            cdata["name"],
+            cdata["arity"],
+            tuple(cdata["variance"]) if cdata["variance"] is not None else None,
+            tuple(cdata["args"]),
+        )
+        expr = constructed.get(key)
+        if expr is None:
+            ctor = Constructor(key[0], key[1], key[2])
+            expr = constructed[key] = Constructed(
+                ctor, tuple(intern_var(n) for n in cdata["args"])
+            )
+        return expr
+
+    def intern_constructor(cdata: dict) -> Constructor:
+        variance = (
+            tuple(cdata["variance"]) if cdata["variance"] is not None else None
+        )
+        return Constructor(cdata["name"], cdata["arity"], variance)
+
+    elements = [
+        algebra.encode(_decode_annotation(adata)) for adata in data["elements"]
+    ]
+
+    install = solver._install_fact
+    for var_name, src_data, ann_data in data["lowers"]:
+        install(
+            (
+                "lower",
+                intern_var(var_name),
+                intern_constructed(src_data),
+                elements[ann_data],
+            )
+        )
+    for var_name, snk_data, ann_data in data["uppers"]:
+        install(
+            (
+                "upper",
+                intern_var(var_name),
+                intern_constructed(snk_data),
+                elements[ann_data],
+            )
+        )
+    for src_name, dst_name, ann_data in data["edges"]:
+        install(
+            ("edge", intern_var(src_name), intern_var(dst_name), elements[ann_data])
+        )
+    for var_name, ctor_data, index, target_name, ann_data in data["projections"]:
+        install(
+            (
+                "proj",
+                intern_var(var_name),
+                intern_constructor(ctor_data),
+                index,
+                intern_var(target_name),
+                elements[ann_data],
+            )
+        )
+    for loser_name, rep_name in data.get("merged", {}).items():
+        solver._ufp[solver._intern_var(intern_var(loser_name))] = (
+            solver._intern_var(intern_var(rep_name))
+        )
+    solver._settle_loaded()
+
+    # Checkpoint sections: re-queue the interrupted backlog.  Pending
+    # facts lost their insertion-time snapshots; ``_DRAINED_ALL`` makes
+    # the resumed drain walk their full (clamped) lower windows.
+    for entry in data.get("pending", ()):
+        kind = entry[0]
+        if kind == "lower":
+            _tag, var_name, src_data, ann_data = entry
+            solver._enqueue_pending(
+                (
+                    "lower",
+                    intern_var(var_name),
+                    intern_constructed(src_data),
+                    elements[ann_data],
+                ),
+                0,
+            )
+        elif kind == "upper":
+            _tag, var_name, snk_data, ann_data = entry
+            solver._enqueue_pending(
+                (
+                    "upper",
+                    intern_var(var_name),
+                    intern_constructed(snk_data),
+                    elements[ann_data],
+                ),
+                _DRAINED_ALL,
+            )
+        elif kind == "edge":
+            _tag, src_name, dst_name, ann_data = entry
+            solver._enqueue_pending(
+                (
+                    "edge",
+                    intern_var(src_name),
+                    intern_var(dst_name),
+                    elements[ann_data],
+                ),
+                _DRAINED_ALL,
+            )
+        elif kind == "proj":
+            _tag, var_name, ctor_data, index, target_name, ann_data = entry
+            solver._enqueue_pending(
+                (
+                    "proj",
+                    intern_var(var_name),
+                    intern_constructor(ctor_data),
+                    index,
+                    intern_var(target_name),
+                    elements[ann_data],
+                ),
+                _DRAINED_ALL,
+            )
+        else:
+            raise ValueError(f"unknown pending fact kind {kind!r}")
+    for src_data, snk_data, ann_data in data.get("met", ()):
+        solver._met.add(
+            (
+                solver._intern_term(intern_constructed(src_data)),
+                solver._intern_term(intern_constructed(snk_data)),
+                elements[ann_data],
+            )
+        )
+    for src_data, snk_data, ann_data in data.get("inconsistencies", ()):
+        solver.inconsistencies.append(
+            Inconsistency(
+                intern_constructed(src_data),
+                intern_constructed(snk_data),
+                elements[ann_data],
             )
         )
     return solver
@@ -739,14 +961,16 @@ def read_snapshot(path: str | pathlib.Path) -> str:
     return payload.decode("utf-8")
 
 
-def write_solver_snapshot(path: str | pathlib.Path, solver: Solver) -> None:
+def write_solver_snapshot(
+    path: str | pathlib.Path, solver: Solver | FlatSolver
+) -> None:
     """Convenience: :func:`dump_solver` + :func:`write_snapshot`."""
     write_snapshot(path, dump_solver(solver))
 
 
 def load_solver_snapshot(
     path: str | pathlib.Path, expected_fingerprint: str | None = None
-) -> Solver:
+) -> Solver | FlatSolver:
     """Convenience: :func:`read_snapshot` + :func:`load_solver`."""
     return load_solver(
         read_snapshot(path), expected_fingerprint=expected_fingerprint

@@ -71,6 +71,12 @@ class Reachability:
 
     def _compute(self) -> None:
         solver = self.solver
+        # The flat core computes the same table entirely over interned
+        # ints and decodes it once at the end — delegate to it.
+        reach_table = getattr(solver, "reach_table", None)
+        if reach_table is not None:
+            self._table = reach_table(self.through_constructors)
+            return
         then = solver.algebra.then
         is_live = solver.algebra.is_live
         table = self._table

@@ -70,6 +70,15 @@ class SolverStats:
     uppers_added: int = 0
     projections_added: int = 0
     compositions: int = 0
+    # Difference propagation (ISSUE 7): neighbor-bucket entries the
+    # drain *skipped* because they were already paired when this fact's
+    # snapshot was taken — the re-compositions the pre-diff-prop solver
+    # would have attempted.  ``redundant_compositions`` counts (fact,
+    # neighbor) pairs composed more than once; it is only maintained
+    # when ``Solver(track_redundant=True)`` and is asserted to be zero
+    # at the fixpoint by the benchmarks and tests.
+    compositions_saved: int = 0
+    redundant_compositions: int = 0
     facts_deduped: int = 0
     marks: int = 0
     rollbacks: int = 0
@@ -90,6 +99,8 @@ class SolverStats:
             "uppers_added": self.uppers_added,
             "projections_added": self.projections_added,
             "compositions": self.compositions,
+            "compositions_saved": self.compositions_saved,
+            "redundant_compositions": self.redundant_compositions,
             "facts_deduped": self.facts_deduped,
             "marks": self.marks,
             "rollbacks": self.rollbacks,
@@ -128,6 +139,7 @@ class Solver:
         budget: Budget | None = None,
         cycle_elim: bool = True,
         cycle_search_bound: int = DEFAULT_SEARCH_BOUND,
+        track_redundant: bool = False,
     ):
         self.algebra = algebra if algebra is not None else UnannotatedAlgebra()
         #: Optional resource governor (see :mod:`repro.core.budget`).
@@ -199,7 +211,28 @@ class Solver:
         ] = {}
         self._met: set[tuple[Constructed, Constructed, Annotation]] = set()
         self._reasons: dict[FactKey, Reason] = {}
-        self._work: deque[FactKey] = deque()
+        # Difference propagation state: how many entries of a variable's
+        # lower-bound sequence have been *drained* (popped and paired
+        # against the full neighbor tables).  FIFO draining makes the
+        # drained entries a prefix of ``_lower_seq[var]``, so one counter
+        # per variable is a complete high-water mark.  Worklist entries
+        # are ``(fact, snap)`` pairs: for edge/upper/proj facts ``snap``
+        # is the counter value at insertion time, and the drain composes
+        # them only against ``lower_seq[var][:snap]`` — the older lowers;
+        # every newer lower walks the full neighbor tables itself when
+        # drained, so each (lower, neighbor) pair is composed exactly
+        # once at the fixpoint.  Overstating a snapshot is always safe
+        # (extra compositions dedupe); understating one loses pairs, so
+        # every path that resets state (rollback, rebuild_seqs, persist
+        # load) errs on the side of "already drained".
+        self._lower_drained: dict[Variable, int] = {}
+        #: Maintain ``stats.redundant_compositions`` by remembering every
+        #: (fact, neighbor) pair composed.  Off by default — the pair set
+        #: costs memory proportional to total compositions — and enabled
+        #: by tests and the benchmarks' verification passes.
+        self.track_redundant = track_redundant
+        self._pair_seen: set[tuple] = set()
+        self._work: deque[tuple[FactKey, int]] = deque()
         self.inconsistencies: list[Inconsistency] = []
         self.facts_processed = 0
         self.stats = SolverStats()
@@ -283,7 +316,11 @@ class Solver:
             for var, bucket in table.items():
                 if bucket:
                     keys.add(var)
+        # Both sides of every merge: a winner whose facts all
+        # canonicalized away (e.g. a stale self-loop dropped by a
+        # snapshot round-trip) would otherwise vanish from the set.
         keys.update(self._uf.parent)
+        keys.update(self._uf.parent.values())
         return keys
 
     def find(self, var: Variable) -> Variable:
@@ -404,6 +441,7 @@ class Solver:
                     upper_seq,
                     succ_seq,
                     proj_seq,
+                    drained,
                 ) = record
                 for table, bucket in (
                     (self._lower, lower),
@@ -418,6 +456,8 @@ class Solver:
                 ):
                     if bucket is not None:
                         table[var] = bucket
+                if drained is not None:
+                    self._lower_drained[var] = drained
             elif tag == "predfold":
                 _t, var, added = record
                 bucket = self._pred.get(var, {})
@@ -436,6 +476,14 @@ class Solver:
         for tag, var in touched:
             table, seq = tables[tag]
             seq[var] = list(table.get(var, {}))
+            if tag == "lower":
+                # Rollback removes a *suffix* of the lower sequence
+                # (appends only ever extend it), so the drained entries
+                # that survive are still a prefix: clamping the counter
+                # to the new length is exact.
+                count = self._lower_drained.get(var)
+                if count is not None and count > len(seq[var]):
+                    self._lower_drained[var] = len(seq[var])
 
     def _record(self, entry: tuple) -> None:
         if self._journal:
@@ -520,6 +568,12 @@ class Solver:
         for tag, var in touched:
             table, seq = tables[tag]
             seq[var] = list(table.get(var, {}))
+            if tag == "lower":
+                # Retraction runs at a fixpoint, where every surviving
+                # lower has been drained; the re-derive pass re-enqueues
+                # frontier facts explicitly, so "all drained" is the
+                # safe (and exact) counter value.
+                self._lower_drained[var] = len(seq[var])
 
     def pending_count(self) -> int:
         """Worklist backlog: facts recorded but not yet resolved against
@@ -859,7 +913,14 @@ class Solver:
             raise AssertionError(f"unknown fact kind {kind!r}")
         if reason is not None:
             self._reasons.setdefault(fact, reason)
-        self._work.append(fact)
+        # Difference-propagation snapshot: a non-lower fact records how
+        # many lowers at its variable were drained *before* it existed;
+        # only those need pairing from its side (newer lowers pair with
+        # it when they drain).  ``fact[1]`` is the canonical primary
+        # variable for every kind.
+        self._work.append(
+            (fact, 0 if kind == "lower" else self._lower_drained.get(fact[1], 0))
+        )
         if (
             kind == "edge"
             and self.cycle_elim
@@ -924,6 +985,12 @@ class Solver:
         upper_seq = self._upper_seq.pop(loser, None)
         succ_seq = self._succ_seq.pop(loser, None)
         proj_seq = self._proj_seq.pop(loser, None)
+        # The loser's drained counter dies with its bucket; the demerge
+        # record restores it on rollback.  Re-enqueued copies snapshot
+        # against the *winner's* counter in _enqueue, and re-enqueued
+        # lowers walk the winner's full neighbor tables when drained, so
+        # every pair at the merged variable is still composed.
+        drained = self._lower_drained.pop(loser, None)
         # Fold the loser's predecessor index into the winner's so future
         # reverse-path samples still see the incoming identity edges.
         added: list[tuple[Variable, Annotation]] = []
@@ -951,6 +1018,7 @@ class Solver:
                 upper_seq,
                 succ_seq,
                 proj_seq,
+                drained,
             )
         )
         # Re-enqueue the loser's facts onto the winner.  _enqueue
@@ -1065,11 +1133,14 @@ class Solver:
     def _drain(self) -> None:
         # Everything this loop touches per derived fact is hoisted into
         # locals: the composition operation, the counters, the iteration
-        # sequences.  The sequences are walked by index under a length
-        # snapshot — appends made while a fact is being processed are
-        # deliberately *not* seen here, exactly like the list(...) copies
-        # this replaces: a newly derived fact pairs with its neighbors
-        # when its own turn on the worklist comes.
+        # sequences.  Lower facts walk their neighbor sequences by index
+        # under a length snapshot — appends made while a fact is being
+        # processed are deliberately *not* seen here: a newly derived
+        # fact pairs with its neighbors when its own turn on the
+        # worklist comes.  Edge/upper/proj facts walk only the lowers
+        # that were already drained when they were inserted (difference
+        # propagation) — the newer lowers pair with them from the other
+        # side, so each pair is composed exactly once at the fixpoint.
         then = self.algebra.then
         stats = self.stats
         enqueue = self._enqueue
@@ -1078,8 +1149,12 @@ class Solver:
         upper_seq = self._upper_seq
         succ_seq = self._succ_seq
         proj_seq = self._proj_seq
+        lower_drained = self._lower_drained
+        idk = self._identity_key
         work = self._work
         record = self.record_reasons
+        track = self.track_redundant
+        pair_seen = self._pair_seen
         pn = self.pn_projections
         # Budget governance: with no budget the loop pays one
         # predictable ``is not None`` branch per fact; with one, the
@@ -1100,11 +1175,17 @@ class Solver:
                 if countdown <= 0:
                     countdown = check_every
                     budget.charge(check_every, self)
-            fact = work.popleft()
+            fact, snap = work.popleft()
             self.facts_processed += 1
             kind = fact[0]
             if kind == "lower":
                 _tag, var, src, f = fact
+                # Count this lower as drained *before* processing it:
+                # any fact enqueued while it is being processed must
+                # snapshot past it (it will not re-walk the neighbor
+                # tables), and overstating a snapshot only costs a
+                # deduped recomposition, never a missed pair.
+                lower_drained[var] = lower_drained.get(var, 0) + 1
                 seq = succ_seq.get(var)
                 if seq:
                     i, n = 0, len(seq)
@@ -1112,8 +1193,15 @@ class Solver:
                         dst_var, g = seq[i]
                         i += 1
                         stats.compositions += 1
+                        if track:
+                            pk = ("t", var, src, f, dst_var, g)
+                            if pk in pair_seen:
+                                stats.redundant_compositions += 1
+                            else:
+                                pair_seen.add(pk)
+                        h = f if g == idk else g if f == idk else then(f, g)
                         enqueue(
-                            ("lower", dst_var, src, then(f, g)),
+                            ("lower", dst_var, src, h),
                             Reason("trans", (fact, ("edge", var, dst_var, g)))
                             if record
                             else None,
@@ -1125,10 +1213,17 @@ class Solver:
                         snk, g = seq[i]
                         i += 1
                         stats.compositions += 1
+                        if track:
+                            pk = ("m", var, src, f, snk, g)
+                            if pk in pair_seen:
+                                stats.redundant_compositions += 1
+                            else:
+                                pair_seen.add(pk)
+                        h = f if g == idk else g if f == idk else then(f, g)
                         meet(
                             src,
                             snk,
-                            then(f, g),
+                            h,
                             None,
                             antecedents=(fact, ("upper", var, snk, g)),
                         )
@@ -1142,12 +1237,23 @@ class Solver:
                             i += 1
                             if ctor == src_ctor:
                                 stats.compositions += 1
+                                if track:
+                                    pk = ("p", var, src, f, ctor, index, target, g)
+                                    if pk in pair_seen:
+                                        stats.redundant_compositions += 1
+                                    else:
+                                        pair_seen.add(pk)
+                                h = (
+                                    f
+                                    if g == idk
+                                    else g if f == idk else then(f, g)
+                                )
                                 enqueue(
                                     (
                                         "edge",
                                         src.args[index - 1],
                                         target,
-                                        then(f, g),
+                                        h,
                                     ),
                                     Reason(
                                         "project",
@@ -1165,8 +1271,15 @@ class Solver:
                             ctor, index, target, g = seq[i]
                             i += 1
                             stats.compositions += 1
+                            if track:
+                                pk = ("pn", var, src, f, ctor, index, target, g)
+                                if pk in pair_seen:
+                                    stats.redundant_compositions += 1
+                                else:
+                                    pair_seen.add(pk)
+                            h = f if g == idk else g if f == idk else then(f, g)
                             enqueue(
-                                ("lower", target, src, then(f, g)),
+                                ("lower", target, src, h),
                                 Reason(
                                     "pn-project",
                                     (fact, ("proj", var, ctor, index, target, g)),
@@ -1178,13 +1291,24 @@ class Solver:
                 _tag, src_var, dst_var, g = fact
                 seq = lower_seq.get(src_var)
                 if seq:
-                    i, n = 0, len(seq)
-                    while i < n:
+                    n = len(seq)
+                    hi = snap if snap < n else n
+                    if hi < n:
+                        stats.compositions_saved += n - hi
+                    i = 0
+                    while i < hi:
                         lower_src, f = seq[i]
                         i += 1
                         stats.compositions += 1
+                        if track:
+                            pk = ("t", src_var, lower_src, f, dst_var, g)
+                            if pk in pair_seen:
+                                stats.redundant_compositions += 1
+                            else:
+                                pair_seen.add(pk)
+                        h = f if g == idk else g if f == idk else then(f, g)
                         enqueue(
-                            ("lower", dst_var, lower_src, then(f, g)),
+                            ("lower", dst_var, lower_src, h),
                             Reason(
                                 "trans",
                                 (("lower", src_var, lower_src, f), fact),
@@ -1196,15 +1320,26 @@ class Solver:
                 _tag, var, snk, g = fact
                 seq = lower_seq.get(var)
                 if seq:
-                    i, n = 0, len(seq)
-                    while i < n:
+                    n = len(seq)
+                    hi = snap if snap < n else n
+                    if hi < n:
+                        stats.compositions_saved += n - hi
+                    i = 0
+                    while i < hi:
                         src, f = seq[i]
                         i += 1
                         stats.compositions += 1
+                        if track:
+                            pk = ("m", var, src, f, snk, g)
+                            if pk in pair_seen:
+                                stats.redundant_compositions += 1
+                            else:
+                                pair_seen.add(pk)
+                        h = f if g == idk else g if f == idk else then(f, g)
                         meet(
                             src,
                             snk,
-                            then(f, g),
+                            h,
                             None,
                             antecedents=(("lower", var, src, f), fact),
                         )
@@ -1212,8 +1347,12 @@ class Solver:
                 _tag, var, ctor, index, target, g = fact
                 seq = lower_seq.get(var)
                 if seq:
-                    i, n = 0, len(seq)
-                    while i < n:
+                    n = len(seq)
+                    hi = snap if snap < n else n
+                    if hi < n:
+                        stats.compositions_saved += n - hi
+                    i = 0
+                    while i < hi:
                         src, f = seq[i]
                         i += 1
                         if (
@@ -1222,8 +1361,15 @@ class Solver:
                             and src.args
                         ):
                             stats.compositions += 1
+                            if track:
+                                pk = ("p", var, src, f, ctor, index, target, g)
+                                if pk in pair_seen:
+                                    stats.redundant_compositions += 1
+                                else:
+                                    pair_seen.add(pk)
+                            h = f if g == idk else g if f == idk else then(f, g)
                             enqueue(
-                                ("edge", src.args[index - 1], target, then(f, g)),
+                                ("edge", src.args[index - 1], target, h),
                                 Reason(
                                     "project", (("lower", var, src, f), fact)
                                 )
@@ -1232,8 +1378,15 @@ class Solver:
                             )
                         elif pn and src.is_constant:
                             stats.compositions += 1
+                            if track:
+                                pk = ("pn", var, src, f, ctor, index, target, g)
+                                if pk in pair_seen:
+                                    stats.redundant_compositions += 1
+                                else:
+                                    pair_seen.add(pk)
+                            h = f if g == idk else g if f == idk else then(f, g)
                             enqueue(
-                                ("lower", target, src, then(f, g)),
+                                ("lower", target, src, h),
                                 Reason(
                                     "pn-project", (("lower", var, src, f), fact)
                                 )

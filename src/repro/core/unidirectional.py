@@ -148,6 +148,15 @@ class ForwardSolver:
         self._live = self.machine.coreachable_states()
         self.states: dict[Node, set[int]] = {}
         self.facts_processed = 0
+        #: Composition accounting: ``compose_calls`` counts every
+        #: (fact, edge) pair considered; ``compose_evals`` counts the
+        #: pairs whose word actually had to be run through the machine.
+        #: The gap is the double-composition waste the ``(state, word)``
+        #: memo short-circuits — pairs that dedupe to an already-known
+        #: transition never pay for the run.
+        self.compose_calls = 0
+        self.compose_evals = 0
+        self._run_memo: dict[tuple[int, tuple[Symbol, ...]], int] = {}
         #: Optional resource governor; checked between facts, exactly
         #: like the bidirectional solver's drain (see repro.core.budget).
         self.budget = budget
@@ -176,6 +185,7 @@ class ForwardSolver:
         machine = self.machine
         work = self._work
         find = self.graph.find
+        run_memo = self._run_memo
         for src in sources:
             src = find(src)
             if machine.start in self._live and machine.start not in self.states.setdefault(src, set()):
@@ -196,7 +206,12 @@ class ForwardSolver:
             node, state = work.popleft()
             self.facts_processed += 1
             for succ, word in self.graph.successors(node):
-                nxt = machine.run(word, state)
+                self.compose_calls += 1
+                key = (state, word)
+                nxt = run_memo.get(key)
+                if nxt is None:
+                    self.compose_evals += 1
+                    nxt = run_memo[key] = machine.run(word, state)
                 if nxt not in self._live:
                     continue
                 # Edges recorded before a later merge may still name a
@@ -235,6 +250,14 @@ class BackwardSolver:
         self._reachable = self.machine.reachable_states()
         self.classes: dict[Node, set[frozenset[int]]] = {}
         self.facts_processed = 0
+        #: Same accounting as :class:`ForwardSolver`, but the memoized
+        #: compose here is a whole preimage computation (``n_states``
+        #: machine runs), so the short-circuit saves far more per hit.
+        self.compose_calls = 0
+        self.compose_evals = 0
+        self._pre_memo: dict[
+            tuple[frozenset[int], tuple[Symbol, ...]], frozenset[int]
+        ] = {}
         self.budget = budget
         self._work: deque[tuple[Node, frozenset[int]]] = deque()
 
@@ -260,6 +283,7 @@ class BackwardSolver:
         everything = frozenset(machine.accepting)
         work = self._work
         find = self.graph.find
+        pre_memo = self._pre_memo
         for sink in sinks:
             sink = find(sink)
             bucket = self.classes.setdefault(sink, set())
@@ -281,11 +305,16 @@ class BackwardSolver:
             node, cls = work.popleft()
             self.facts_processed += 1
             for pred, word in self.graph.predecessors(node):
-                prepended = frozenset(
-                    s
-                    for s in range(machine.n_states)
-                    if machine.run(word, s) in cls
-                )
+                self.compose_calls += 1
+                key = (cls, word)
+                prepended = pre_memo.get(key)
+                if prepended is None:
+                    self.compose_evals += 1
+                    prepended = pre_memo[key] = frozenset(
+                        s
+                        for s in range(machine.n_states)
+                        if machine.run(word, s) in cls
+                    )
                 if not (prepended & self._reachable):
                     continue  # no live way to begin such a word
                 pred = find(pred)

@@ -25,6 +25,7 @@ from repro.core.annotations import (
     MonoidAlgebra,
     ProductAlgebra,
 )
+from repro.core.flatcore import FlatSolver
 from repro.core.queries import Reachability
 from repro.core.solver import Solver
 from repro.core.terms import Constructor, Variable
@@ -53,12 +54,14 @@ class AnnotatedBitVectorAnalysis:
         problem: BitVectorProblem,
         algebra: ProductAlgebra | CompiledGenKillAlgebra | None = None,
         compiled: bool = False,
+        flat: bool = False,
         budget: Budget | None = None,
+        track_redundant: bool = False,
     ):
         self.cfg = cfg
         self.problem = problem
         if algebra is None:
-            if compiled:
+            if compiled or flat:
                 algebra = CompiledGenKillAlgebra(problem.n_bits)
             else:
                 bit_algebra = MonoidAlgebra(one_bit_machine())
@@ -81,7 +84,22 @@ class AnnotatedBitVectorAnalysis:
             self._kill = bit_algebra.symbol("k")
             self._eps = bit_algebra.identity
         self.algebra = algebra
-        self.solver = Solver(self.algebra, record_reasons=False, budget=budget)
+        if flat:
+            if not self._compiled:
+                raise ValueError(
+                    "flat=True needs the compiled gen/kill algebra "
+                    "(pass compiled=True or a CompiledGenKillAlgebra)"
+                )
+            self.solver: Solver | FlatSolver = FlatSolver(
+                self.algebra, budget=budget, track_redundant=track_redundant
+            )
+        else:
+            self.solver = Solver(
+                self.algebra,
+                record_reasons=False,
+                budget=budget,
+                track_redundant=track_redundant,
+            )
         self.pc = Constructor("pc", 0)()
         self._vars: dict[int, Variable] = {}
         self._encode()

@@ -27,13 +27,18 @@ class FlowAnalysis:
         pn: bool = False,
         compiled: bool = False,
         budget: Budget | None = None,
+        track_redundant: bool = False,
     ):
         if isinstance(program, str):
             program = lang.parse_flow_program(program)
         self.program = program
         self.pn = pn
         self.system: GeneratedSystem = generate(
-            program, pn=pn, compiled=compiled, budget=budget
+            program,
+            pn=pn,
+            compiled=compiled,
+            budget=budget,
+            track_redundant=track_redundant,
         )
         self._markers: dict[str, Constructed] = {}
         marker_batch: list[tuple] = []

@@ -302,6 +302,7 @@ def generate(
     pn: bool = False,
     compiled: bool = False,
     budget: Budget | None = None,
+    track_redundant: bool = False,
 ) -> GeneratedSystem:
     """Run both phases: infer, build the machine, emit constraints.
 
@@ -312,7 +313,13 @@ def generate(
     inference = Inferencer(program).run()
     machine = build_type_bracket_machine(inference.pair_shapes)
     algebra = CompiledMonoidAlgebra(machine) if compiled else MonoidAlgebra(machine)
-    solver = Solver(algebra, pn_projections=pn, record_reasons=False, budget=budget)
+    solver = Solver(
+        algebra,
+        pn_projections=pn,
+        record_reasons=False,
+        budget=budget,
+        track_redundant=track_redundant,
+    )
     batch: list[tuple] = []
     for constraint in inference.constraints:
         if constraint.kind == "sub":

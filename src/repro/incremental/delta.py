@@ -843,17 +843,24 @@ class DeltaSolver:
         # 8. Re-derive: re-enqueue every surviving fact at a frontier
         #    variable; the drain re-fires each rule application whose
         #    conclusion was over-deleted, and the re-derivations cascade.
+        #    Worklist entries are (fact, snapshot) pairs.  The snapshot 0
+        #    on edge/upper/proj entries skips their lower-window walk
+        #    entirely — sound here because every *lower* at a frontier
+        #    variable is re-enqueued too, and re-enqueued lowers walk the
+        #    full neighbor tables when drained, which covers every
+        #    (lower, neighbor) pair at the variable without the
+        #    edge-side duplicate.
         work = solver._work
         for var in frontier:
             v = find(var)
             for src, ann in solver._lower.get(v, {}):
-                work.append(("lower", v, src, ann))
+                work.append((("lower", v, src, ann), 0))
             for dst, ann in solver._succ.get(v, {}):
-                work.append(("edge", v, dst, ann))
+                work.append((("edge", v, dst, ann), 0))
             for snk, ann in solver._upper.get(v, {}):
-                work.append(("upper", v, snk, ann))
+                work.append((("upper", v, snk, ann), 0))
             for ctor, index, target, ann in solver._proj.get(v, {}):
-                work.append(("proj", v, ctor, index, target, ann))
+                work.append((("proj", v, ctor, index, target, ann), 0))
 
         # 9. Re-assert the given constraints of dissolved classes, the
         #    given-restores, and the patch additions; one drain covers

@@ -28,6 +28,7 @@ from typing import Any, Iterable
 from repro.cfg.graph import CFGNode, ProgramCFG
 from repro.core.annotations import Annotation, CompiledMonoidAlgebra, MonoidAlgebra
 from repro.core.budget import Budget
+from repro.core.flatcore import FlatSolver
 from repro.core.parametric import EntryKey, ParametricAlgebra
 from repro.core.queries import Reachability
 from repro.core.solver import Solver
@@ -162,6 +163,8 @@ class AnnotatedChecker:
         record_reasons: bool = True,
         budget: Budget | None = None,
         cycle_elim: bool = True,
+        flat: bool = False,
+        track_redundant: bool = False,
     ):
         self.cfg = cfg
         self.property = prop
@@ -177,17 +180,28 @@ class AnnotatedChecker:
                 self.algebra = ParametricAlgebra(
                     prop.machine, prop.parametric_symbols, eager=eager
                 )
-            elif compiled:
+            elif compiled or flat:
                 # The §8 specializer: annotations become table indices.
                 self.algebra = CompiledMonoidAlgebra(prop.machine)
             else:
                 self.algebra = MonoidAlgebra(prop.machine, eager=eager)
-            self.solver = Solver(
-                self.algebra,
-                record_reasons=record_reasons,
-                budget=budget,
-                cycle_elim=cycle_elim,
-            )
+            if flat:
+                # The flat-array core: int-indexed columns, no
+                # provenance (see :mod:`repro.core.flatcore`).
+                self.solver = FlatSolver(
+                    self.algebra,
+                    budget=budget,
+                    cycle_elim=cycle_elim,
+                    track_redundant=track_redundant,
+                )
+            else:
+                self.solver = Solver(
+                    self.algebra,
+                    record_reasons=record_reasons,
+                    budget=budget,
+                    cycle_elim=cycle_elim,
+                    track_redundant=track_redundant,
+                )
         self.pc = Constructor("pc", 0)()
         self._vars: dict[int, Variable] = {}
         self._constraints = 0

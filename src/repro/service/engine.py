@@ -489,10 +489,13 @@ class AnalysisEngine:
         def build() -> Any:
             cfg = self._parse_cfg(program)
             problem = call_tracking_problem(cfg, track)
+            # Dataflow never extracts witnesses, so it runs on the flat
+            # core (difference propagation over packed gen/kill ints).
             return AnnotatedBitVectorAnalysis(
                 cfg,
                 problem,
                 algebra=self._bitvector_algebra(problem.n_bits),
+                flat=True,
                 budget=budget,
             )
 

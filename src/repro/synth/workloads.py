@@ -129,10 +129,13 @@ def solve_bidirectional(
     workload: AnnotatedGraphWorkload,
     eager: bool = True,
     cycle_elim: bool = True,
+    track_redundant: bool = False,
 ) -> Solver:
     """Load an annotated-graph workload into the bidirectional solver."""
     algebra = MonoidAlgebra(machine, eager=eager)
-    solver = Solver(algebra, cycle_elim=cycle_elim)
+    solver = Solver(
+        algebra, cycle_elim=cycle_elim, track_redundant=track_redundant
+    )
     variables = [Variable(f"v{i}") for i in range(workload.n_vars)]
     for index in workload.sources:
         source = Constructor(f"src{index}", 0)()

@@ -272,6 +272,8 @@ class TestSolverStats:
             "uppers_added",
             "projections_added",
             "compositions",
+            "compositions_saved",
+            "redundant_compositions",
             "facts_deduped",
             "marks",
             "rollbacks",
