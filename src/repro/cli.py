@@ -237,11 +237,24 @@ def _cmd_spec(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.service import AnalysisEngine, AnalysisServer
 
     engine = AnalysisEngine(
-        cache_size=args.cache_size, snapshot_dir=args.snapshot_dir
+        cache_size=args.cache_size,
+        snapshot_dir=args.snapshot_dir,
+        journal_dir=args.journal_dir,
+        journal_fsync_every=args.journal_fsync_batch,
+        journal_compact_every=args.journal_compact_every,
     )
+    if engine.recoveries:
+        print(
+            f"repro service recovered {engine.recoveries} hot session(s) "
+            "from the journal",
+            file=sys.stderr,
+        )
     server = AnalysisServer(
         engine,
         workers=args.workers,
@@ -250,6 +263,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
     )
+
+    def _on_signal(signum: int, _frame: object) -> None:
+        # Only flag shutdown here; the main thread runs the drain so the
+        # handler stays async-signal-safe.
+        print(
+            f"repro service caught {signal.Signals(signum).name}; draining",
+            file=sys.stderr,
+        )
+        server.signal_shutdown()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
     if args.tcp:
         host, _sep, port_text = args.tcp.rpartition(":")
         host = host or "127.0.0.1"
@@ -259,23 +288,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise CLIError(f"invalid --tcp address {args.tcp!r} (want HOST:PORT)")
         bound_host, bound_port = server.start_tcp(host, port)
         print(f"repro service listening on {bound_host}:{bound_port}", file=sys.stderr)
-        try:
-            server.wait()
-        except KeyboardInterrupt:
-            pass
-        finally:
-            server.close()
-        return 0
-    server.serve_stdio()
+    else:
+        # stdio serving runs on a helper thread so the main thread can
+        # still observe SIGTERM/SIGINT and run the graceful drain.
+        threading.Thread(target=server.serve_stdio, daemon=True).start()
+    try:
+        server.wait()
+    except KeyboardInterrupt:  # pragma: no cover - handler normally wins
+        pass
+    outcome = server.drain(args.drain_seconds)
+    print(
+        f"repro service drained: {outcome['drained']} request(s) finished, "
+        f"{outcome['cancelled']} cancelled, "
+        f"{outcome['checkpointed']} session(s) checkpointed",
+        file=sys.stderr,
+    )
     return 0
 
 
 def _cmd_patch(args: argparse.Namespace) -> int:
+    import time as _time
+
     with open(args.file) as handle:
         program = handle.read()
     params: dict = {"program": program, "property": args.property}
     if args.base:
         params["base"] = args.base
+    if args.deadline_seconds is not None:
+        params["deadline"] = _time.time() + args.deadline_seconds
     if args.connect:
         from repro.service import ServiceClient, ServiceError
 
@@ -287,7 +327,10 @@ def _cmd_patch(args: argparse.Namespace) -> int:
             raise CLIError(f"invalid --connect address {args.connect!r}")
         try:
             with ServiceClient(host, port, retries=args.retries) as client:
-                result = client.request("patch", **params)
+                # client.patch attaches the idempotency key, so the
+                # CLI's transport retries are safe for this
+                # state-advancing op too.
+                result = client.patch(key=args.key, **params)
         except ServiceError as exc:
             raise CLIError(f"service error {exc.code}: {exc.message}")
         except OSError as exc:
@@ -330,6 +373,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     )
             params["assume"] = [pair.split(":", 1) for pair in args.assume]
         params["pn"] = args.pn
+    if args.deadline_seconds is not None and args.op in (
+        "check",
+        "dataflow",
+        "flow",
+    ):
+        import time as _time
+
+        params["deadline"] = _time.time() + args.deadline_seconds
 
     if args.connect:
         from repro.service import ServiceClient, ServiceError
@@ -473,6 +524,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--snapshot-dir", help="persist/reload solved systems in this directory"
     )
+    serve.add_argument(
+        "--journal-dir",
+        help="crash-durable write-ahead journal for hot patch sessions; "
+        "a restarted server replays it and recovers the sessions warm",
+    )
+    serve.add_argument(
+        "--journal-fsync-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fsync the journal every N appends (group commit; 1 = "
+        "every record durable before its patch applies)",
+    )
+    serve.add_argument(
+        "--journal-compact-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="snapshot-compact a session's journal every N records",
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="on SIGTERM/SIGINT, wait up to S seconds for in-flight "
+        "requests before cancelling them and checkpointing sessions",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     patch = commands.add_parser(
@@ -490,6 +569,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect", metavar="HOST:PORT", help="send to a running TCP service"
     )
     patch.add_argument("--retries", type=int, default=0)
+    patch.add_argument(
+        "--key",
+        help="explicit idempotency key (defaults to a generated one); "
+        "a retried, already-applied patch returns the recorded result",
+    )
+    patch.add_argument(
+        "--deadline-seconds",
+        type=float,
+        metavar="S",
+        help="absolute deadline S seconds from now, propagated end to "
+        "end (expired work is refused with deadline-exceeded)",
+    )
     patch.set_defaults(handler=_cmd_patch)
 
     query = commands.add_parser(
@@ -516,6 +607,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="reconnect attempts on connection failure (--connect only)",
+    )
+    query.add_argument(
+        "--deadline-seconds",
+        type=float,
+        metavar="S",
+        help="absolute deadline S seconds from now (analysis ops only)",
     )
     query.set_defaults(handler=_cmd_query)
 

@@ -18,6 +18,7 @@ from repro.core.budget import Budget, CancellationToken
 from repro.core.errors import (
     ConstraintError,
     Inconsistency,
+    JournalCorrupt,
     NoSolutionError,
     SnapshotCorrupt,
     SolverBudgetExceeded,
@@ -63,6 +64,7 @@ __all__ = [
     "BackwardSolver",
     "Budget",
     "CancellationToken",
+    "JournalCorrupt",
     "SnapshotCorrupt",
     "SolverBudgetExceeded",
     "SolverCancelled",

@@ -68,6 +68,24 @@ class SnapshotCorrupt(ValueError):
         self.detail = detail
 
 
+class JournalCorrupt(ValueError):
+    """A write-ahead journal record failed checksum or framing checks.
+
+    ``torn`` distinguishes damage confined to the journal's *tail* — the
+    expected leftovers of a crash mid-append, where every record before
+    the tear is still trustworthy — from damage in the middle of the
+    file, after which nothing past the damage point can be believed.
+    Recovery treats the two differently: a torn tail replays the intact
+    prefix; interior damage quarantines the whole session.
+    """
+
+    def __init__(self, path: str, detail: str, torn: bool = False):
+        super().__init__(f"corrupt journal {path}: {detail}")
+        self.path = path
+        self.detail = detail
+        self.torn = torn
+
+
 @dataclass(frozen=True)
 class Inconsistency:
     """A manifestly inconsistent constraint ``c^α(...) ⊆^f d^β(...)``.

@@ -961,6 +961,121 @@ def read_snapshot(path: str | pathlib.Path) -> str:
     return payload.decode("utf-8")
 
 
+# -- write-ahead journal record framing ---------------------------------------
+
+#: Header line opening a journal file.  Files that do not start with it
+#: are not journals (or lost their first sectors) and are rejected.
+JOURNAL_MAGIC = "#repro-journal v1"
+
+#: Per-record line prefix.  A journal is the magic line followed by zero
+#: or more record lines, each ``J <sha256-16> <size> <payload>\n`` with
+#: the checksum and byte size covering the payload exactly — a record is
+#: trusted iff its own line vouches for it, independent of its
+#: neighbors, which is what lets recovery replay the intact prefix of a
+#: torn file.
+JOURNAL_RECORD_TAG = "J"
+
+
+def frame_journal_record(payload: dict) -> bytes:
+    """One checksummed record line (with trailing newline) for ``payload``.
+
+    The payload is compact single-line JSON; the frame records its
+    SHA-256 prefix and byte length so :func:`parse_journal_record`
+    detects truncation (torn tail) and bit flips without trusting any
+    surrounding bytes.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    digest = hashlib.sha256(blob).hexdigest()[:16]
+    return (
+        f"{JOURNAL_RECORD_TAG} {digest} {len(blob)} ".encode("ascii")
+        + blob
+        + b"\n"
+    )
+
+
+def parse_journal_record(line: bytes, path: str = "<journal>") -> dict:
+    """Decode and verify one framed record line (no trailing newline).
+
+    Raises :class:`~repro.core.errors.JournalCorrupt` when the frame is
+    malformed, the size disagrees (truncation) or the checksum does not
+    match (bit rot).  ``torn`` is left False here — only the reader
+    knows whether the damage sits at the tail.
+    """
+    from repro.core.errors import JournalCorrupt
+
+    parts = line.split(b" ", 3)
+    if len(parts) != 4 or parts[0] != JOURNAL_RECORD_TAG.encode("ascii"):
+        raise JournalCorrupt(path, f"malformed record frame {line[:40]!r}")
+    _tag, digest, size_text, blob = parts
+    try:
+        size = int(size_text)
+    except ValueError:
+        raise JournalCorrupt(path, f"malformed record size {size_text!r}")
+    if len(blob) != size:
+        raise JournalCorrupt(
+            path,
+            f"record payload is {len(blob)} bytes but frame promised {size} "
+            "(truncated or padded)",
+        )
+    actual = hashlib.sha256(blob).hexdigest()[:16]
+    if actual != digest.decode("ascii", "replace"):
+        raise JournalCorrupt(
+            path,
+            f"record checksum mismatch (frame {digest!r}, payload {actual!r})",
+        )
+    try:
+        payload = json.loads(blob)
+    except json.JSONDecodeError as exc:
+        raise JournalCorrupt(path, f"record is not JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise JournalCorrupt(path, "record payload is not an object")
+    return payload
+
+
+def read_journal(path: str | pathlib.Path) -> tuple[list[dict], str | None]:
+    """Read a journal file: ``(intact records, tail damage or None)``.
+
+    Damage confined to the *last* record line — a torn frame, a missing
+    trailing newline, a checksum mismatch right at the tail — is the
+    signature of a crash mid-append: the intact prefix is returned along
+    with a description of the tear, and the caller decides whether to
+    trust it.  Damage anywhere *before* the tail (or a missing/forged
+    magic line) means the file cannot be trusted at all and raises
+    :class:`~repro.core.errors.JournalCorrupt` with ``torn=False``.
+    """
+    from repro.core.errors import JournalCorrupt
+
+    path = pathlib.Path(path)
+    raw = path.read_bytes()
+    name = str(path)
+    if not raw.startswith(JOURNAL_MAGIC.encode("ascii")):
+        raise JournalCorrupt(name, "missing journal magic header")
+    lines = raw.split(b"\n")
+    # A well-formed journal ends with a newline, so the final split
+    # element is empty; anything else is an unterminated (torn) tail.
+    torn_tail = lines[-1] != b""
+    body = lines[1:-1] if not torn_tail else lines[1:]
+    records: list[dict] = []
+    for index, line in enumerate(body):
+        if not line:
+            continue
+        at_tail = index == len(body) - 1
+        try:
+            records.append(parse_journal_record(line, name))
+        except JournalCorrupt as exc:
+            if at_tail:
+                return records, f"torn tail record: {exc.detail}"
+            raise JournalCorrupt(
+                name,
+                f"record {index} is damaged before the tail: {exc.detail}",
+            )
+    if torn_tail and (not body or body[-1] == b""):
+        return records, "torn tail record: empty unterminated line"
+    return records, None
+
+
 def write_solver_snapshot(
     path: str | pathlib.Path, solver: Solver | FlatSolver
 ) -> None:

@@ -15,14 +15,29 @@ package serves that workload:
   underlying solve, bounded-queue admission control (load shedding), a
   per-fingerprint circuit breaker, and per-request fault isolation;
 * :class:`~repro.service.client.ServiceClient` — the matching client,
-  with jittered-exponential-backoff reconnect/retry;
+  with jittered-exponential-backoff reconnect/retry and auto-attached
+  ``patch`` idempotency keys;
+* :class:`~repro.service.journal.SessionJournal` — the crash-durable
+  write-ahead journal for hot patch sessions: checksummed records,
+  fsync batching, snapshot compaction, typed quarantine on damage;
 * :class:`~repro.service.metrics.Metrics` — request/cache/solver
   counters surfaced by the ``stats`` operation.
 """
 
 from repro.service import protocol
-from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    deadline_in,
+)
 from repro.service.engine import AnalysisEngine, EngineError, program_hash
+from repro.service.journal import (
+    QUARANTINE_SLUGS,
+    JournalLineage,
+    Quarantined,
+    SessionJournal,
+)
 from repro.service.metrics import Metrics
 from repro.service.protocol import PROTOCOL_VERSION
 from repro.service.server import AnalysisServer, CircuitBreaker
@@ -32,11 +47,16 @@ __all__ = [
     "AnalysisServer",
     "CircuitBreaker",
     "EngineError",
+    "JournalLineage",
     "Metrics",
     "PROTOCOL_VERSION",
+    "QUARANTINE_SLUGS",
+    "Quarantined",
     "ServiceClient",
     "ServiceError",
     "ServiceUnavailable",
+    "SessionJournal",
+    "deadline_in",
     "program_hash",
     "protocol",
 ]

@@ -18,9 +18,19 @@ a dropped socket — are retried with jittered exponential backoff up to
 ``retries`` times, reconnecting each attempt; when every attempt fails
 the client raises :class:`ServiceUnavailable` (wire code
 ``unavailable``).  Retrying re-sends the request, which is safe because
-every operation is idempotent (analyses are cached by content hash).
-*Error responses* from a live server are never retried — they are
-answers, not failures.
+every operation is idempotent: analyses are cached by content hash, and
+``patch`` — the one state-advancing op — auto-attaches an idempotency
+``key``, so a retry whose first send *was* applied (the response was
+lost in flight, or the server crashed after journaling) answers from
+the recorded result instead of degrading to a ``base-mismatch`` cold
+solve.  *Error responses* from a live server are never retried — they
+are answers, not failures.
+
+An optional ``deadline`` (absolute Unix seconds) on any analysis op
+propagates end to end: the server refuses already-expired work before
+admission (``deadline-exceeded``) and caps the solve budget with the
+remaining time.  The convenience ``deadline_in(seconds)`` helper builds
+one from a relative timeout.
 """
 
 from __future__ import annotations
@@ -32,6 +42,11 @@ import time
 from typing import Any
 
 from repro.service import protocol
+
+
+def deadline_in(seconds: float) -> float:
+    """An absolute ``deadline`` param value ``seconds`` from now."""
+    return time.time() + seconds
 
 
 class ServiceError(Exception):
@@ -193,15 +208,33 @@ class ServiceClient:
         return self.request("check", program=program, property=property, **options)
 
     def patch(
-        self, program: str, property: str, base: str | None = None, **options: Any
+        self,
+        program: str,
+        property: str,
+        base: str | None = None,
+        key: str | None = None,
+        **options: Any,
     ) -> dict:
         """Differentially re-check an edited program.
 
         Pass the previous response's ``version`` as ``base`` to insist
         the server patch from that exact program (a mismatch falls back
         to a cold solve rather than patching from the wrong base).
+
+        ``key`` is the idempotency token journaled with the patch; one
+        is generated automatically (from the client's seedable RNG) so
+        transport-level retries of an already-applied patch return the
+        recorded result instead of a ``base-mismatch`` cold solve.
+        Pass an explicit key to correlate retries across client
+        instances.
         """
-        params: dict[str, Any] = {"program": program, "property": property}
+        if key is None:
+            key = f"{self._rng.getrandbits(128):032x}"
+        params: dict[str, Any] = {
+            "program": program,
+            "property": property,
+            "key": key,
+        }
         if base is not None:
             params["base"] = base
         params.update(options)

@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import pathlib
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable
 
@@ -66,7 +67,17 @@ from repro.dfa.gallery import one_bit_machine
 from repro.modelcheck import PROPERTY_FACTORIES, AnnotatedChecker
 from repro.modelcheck.properties import Property
 from repro.service import protocol
+from repro.service.journal import (
+    Q_BAD_LINEAGE,
+    Q_REPLAY_FAILED,
+    Q_SNAPSHOT_MISMATCH,
+    Quarantined,
+    SessionJournal,
+)
 from repro.service.metrics import Metrics
+
+#: Cap on remembered idempotent patch results per hot session.
+_IDEMPOTENCY_WINDOW = 64
 
 
 class EngineError(Exception):
@@ -104,14 +115,23 @@ class _DeltaEntry:
     ``phash`` is the program hash the session currently embodies — the
     version token echoed to clients.  ``check`` is ``None`` after a
     failed patch until the next request rebuilds it cold.
+
+    ``idem`` remembers the last few patch results by idempotency key so
+    a client retry of an already-applied patch answers from the record
+    instead of degrading to ``base-mismatch``; ``last_key`` survives
+    journal recovery (the in-memory window does not) so the
+    crashed-mid-response retry still short-circuits.
     """
 
-    __slots__ = ("lock", "check", "phash")
+    __slots__ = ("lock", "check", "phash", "prop_name", "last_key", "idem")
 
     def __init__(self) -> None:
         self.lock = threading.Lock()
         self.check: Any = None
         self.phash: str | None = None
+        self.prop_name: str | None = None
+        self.last_key: str | None = None
+        self.idem: "OrderedDict[str, dict]" = OrderedDict()
 
 
 class AnalysisEngine:
@@ -122,6 +142,10 @@ class AnalysisEngine:
         cache_size: int = 64,
         snapshot_dir: str | pathlib.Path | None = None,
         metrics: Metrics | None = None,
+        journal_dir: str | pathlib.Path | None = None,
+        journal_fsync_every: int = 1,
+        journal_compact_every: int = 256,
+        recover: bool = True,
     ):
         if cache_size < 1:
             raise ValueError("cache_size must be at least 1")
@@ -138,6 +162,174 @@ class AnalysisEngine:
         self._solved: "OrderedDict[Any, _Entry]" = OrderedDict()
         # machine fingerprint -> hot patchable session (one per property)
         self._delta: dict[str, _DeltaEntry] = {}
+        self.started_at = time.monotonic()
+        self.recoveries = 0
+        # fingerprint -> quarantine slug; surfaced as the typed
+        # ``quarantined-<slug>`` fallback on the next patch request.
+        self._quarantined: dict[str, str] = {}
+        self.journal: SessionJournal | None = (
+            SessionJournal(
+                journal_dir,
+                fsync_every=journal_fsync_every,
+                compact_every=journal_compact_every,
+            )
+            if journal_dir is not None
+            else None
+        )
+        if self.journal is not None and recover:
+            self._recover_sessions()
+
+    def close(self) -> None:
+        """Flush and close the session journal (if any)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    # -- durability: journal recovery ------------------------------------------
+
+    def _quarantine_session(self, fingerprint: str, slug: str, detail: str) -> None:
+        assert self.journal is not None
+        self.journal.quarantine(fingerprint, slug, detail)
+        self._quarantined[fingerprint] = slug
+        self.metrics.incr("journal.quarantined")
+        self.metrics.incr(f"journal.quarantined.{slug}")
+
+    def _recover_sessions(self) -> None:
+        """Rebuild hot patch sessions from their journals at startup.
+
+        For each journal: structurally verify it (:meth:`SessionJournal.load`),
+        rebuild the base state *cold from the journaled source* — the
+        only path that leaves the session patchable, since loaded
+        snapshots carry no provenance — then replay the patch suffix
+        through the normal ``apply_source`` pipeline.  The compaction
+        snapshot, when present and loadable, serves as an integrity
+        oracle: its canonical solved form must agree with the rebuilt
+        base.  Any failure quarantines the fingerprint with a typed
+        slug; the next patch request answers cold with a
+        ``quarantined-<slug>`` fallback instead of serving suspect
+        state.
+        """
+        from repro.incremental import StableCheck
+
+        journal = self.journal
+        assert journal is not None
+        for fp in journal.fingerprints():
+            outcome = journal.load(fp)
+            if isinstance(outcome, Quarantined):
+                self._quarantined[fp] = outcome.slug
+                self.metrics.incr("journal.quarantined")
+                self.metrics.incr(f"journal.quarantined.{outcome.slug}")
+                continue
+            lineage = outcome
+            if PROPERTY_FACTORIES.get(lineage.property_name) is None:
+                self._quarantine_session(
+                    fp,
+                    Q_REPLAY_FAILED,
+                    f"unknown property {lineage.property_name!r}",
+                )
+                continue
+            prop, fingerprint = self._property(lineage.property_name)
+            if fingerprint != fp:
+                self._quarantine_session(
+                    fp,
+                    Q_BAD_LINEAGE,
+                    f"journal names property {lineage.property_name!r} whose "
+                    f"machine fingerprint is {fingerprint!r}, not {fp!r}",
+                )
+                continue
+            if program_hash(lineage.base_source) != lineage.base_version:
+                self._quarantine_session(
+                    fp,
+                    Q_BAD_LINEAGE,
+                    "base source does not hash to the base version token",
+                )
+                continue
+            if any(
+                program_hash(record["source"]) != record["version"]
+                for record in lineage.patches
+            ):
+                self._quarantine_session(
+                    fp,
+                    Q_BAD_LINEAGE,
+                    "a patch source does not hash to its version token",
+                )
+                continue
+            mismatch = False
+            try:
+                with self.metrics.time("journal.replay"):
+                    check = StableCheck(
+                        lineage.base_source,
+                        prop,
+                        algebra=self._check_algebra(prop, fp),
+                    )
+                    oracle = journal.read_snapshot_oracle(lineage)
+                    if oracle is not None and set(oracle.canonical_facts()) != set(
+                        check.solver.canonical_facts()
+                    ):
+                        mismatch = True
+                    else:
+                        for record in lineage.patches:
+                            check.apply_source(record["source"])
+            except Exception as exc:
+                self._quarantine_session(
+                    fp, Q_REPLAY_FAILED, f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            if mismatch:
+                self._quarantine_session(
+                    fp,
+                    Q_SNAPSHOT_MISMATCH,
+                    "compaction snapshot disagrees with the replayed base solve",
+                )
+                continue
+            entry = _DeltaEntry()
+            entry.check = check
+            entry.phash = lineage.version
+            entry.prop_name = lineage.property_name
+            entry.last_key = (
+                lineage.patches[-1].get("key") if lineage.patches else None
+            )
+            with self._lock:
+                self._delta[fp] = entry
+            self.recoveries += 1
+            self.metrics.incr("journal.recovered")
+
+    def checkpoint_sessions(self) -> int:
+        """Compact every live hot session to a snapshot (the drain path).
+
+        Returns the number of sessions checkpointed.  Each compaction
+        rotates the session's journal to a single base record carrying
+        the current source and version, so the next startup replays
+        nothing — it re-solves the base and verifies it against the
+        snapshot oracle.
+        """
+        if self.journal is None:
+            return 0
+        with self._lock:
+            sessions = list(self._delta.items())
+        checkpointed = 0
+        for fingerprint, entry in sessions:
+            with entry.lock:
+                if (
+                    entry.check is None
+                    or entry.phash is None
+                    or entry.prop_name is None
+                ):
+                    continue
+                try:
+                    with self.metrics.time("journal.compact"):
+                        self.journal.compact(
+                            fingerprint,
+                            entry.prop_name,
+                            entry.phash,
+                            entry.check.source,
+                            entry.check.solver,
+                        )
+                except (TypeError, OSError):
+                    self.metrics.incr("journal.compact_failed")
+                    continue
+            checkpointed += 1
+        self.journal.flush()
+        return checkpointed
 
     # -- machine / monoid caching -------------------------------------------
 
@@ -357,11 +549,43 @@ class AnalysisEngine:
             response["violations"] = response["violations"][:max_findings]
         return response
 
+    def _journal_append(
+        self,
+        fingerprint: str,
+        prop_name: str,
+        check: Any,
+        base: str | None,
+        version: str,
+        source: str,
+        key: str | None,
+    ) -> int:
+        """Write-ahead log one accepted patch; 0 on (counted) failure."""
+        assert self.journal is not None
+        try:
+            try:
+                return self.journal.append(
+                    fingerprint, base or "", version, source, key
+                )
+            except KeyError:
+                # The session predates the journal (journal_dir added to
+                # a warm engine, or the directory was wiped): open it at
+                # the session's *current* state, then log the patch.
+                self.journal.begin(
+                    fingerprint, prop_name, base or "", check.source
+                )
+                return self.journal.append(
+                    fingerprint, base or "", version, source, key
+                )
+        except OSError:
+            self.metrics.incr("journal.append_failed")
+            return 0
+
     def patch(
         self,
         program: str,
         property: str,
         base: str | None = None,
+        key: str | None = None,
         budget: Budget | None = None,
     ) -> dict:
         """Differentially re-check an edited ``program``.
@@ -370,10 +594,18 @@ class AnalysisEngine:
         property machine and advances it to ``program`` by constraint
         patching (diff the stable encodings, DRed-repair the solved
         form).  Falls back to a cold solve — never an error — when
-        there is no hot session (``cold-start``), the client's ``base``
-        version token does not match the session (``base-mismatch``),
-        or the patch itself fails (``patch-failed``, after discarding
-        the possibly-mid-repair session).
+        there is no hot session (``cold-start``, or
+        ``quarantined-<slug>`` when recovery refused the session's
+        journal), the client's ``base`` version token does not match
+        the session (``base-mismatch``), or the patch itself fails
+        (``patch-failed``, after discarding the possibly-mid-repair
+        session).
+
+        With a journal, every accepted patch is logged *ahead of
+        application*; ``key`` is the client's idempotency token — a
+        retry of an already-applied patch (same key, same program)
+        answers from the session/record with ``replayed: true`` instead
+        of degrading to ``base-mismatch``.
         """
         from repro.incremental import StableCheck
         from repro.incremental.delta import UnsupportedConstraintError
@@ -396,13 +628,40 @@ class AnalysisEngine:
         with entry.lock:
             fallback: str | None = None
             patch_stats: dict | None = None
+            replayed = False
             check = entry.check
             old_phash = entry.phash
-            if check is None:
-                fallback = "cold-start"
-            elif base is not None and base != entry.phash:
-                fallback = "base-mismatch"
-            if fallback is None:
+            if key is not None:
+                recorded = entry.idem.get(key)
+                if recorded is not None and recorded.get("version") == phash:
+                    self.metrics.incr("patch.replayed")
+                    response = dict(recorded)
+                    response["replayed"] = True
+                    return response
+                if (
+                    check is not None
+                    and key == entry.last_key
+                    and phash == entry.phash
+                ):
+                    # The journal says this exact patch already applied
+                    # (recovered session whose in-memory window is gone,
+                    # or a response lost in flight): answer from the
+                    # session instead of a base-mismatch cold solve.
+                    self.metrics.incr("patch.replayed")
+                    replayed = True
+            if not replayed:
+                if check is None:
+                    slug = self._quarantined.pop(fingerprint, None)
+                    fallback = f"quarantined-{slug}" if slug else "cold-start"
+                elif base is not None and base != entry.phash:
+                    fallback = "base-mismatch"
+            journal_count = 0
+            if fallback is None and not replayed:
+                if self.journal is not None:
+                    journal_count = self._journal_append(
+                        fingerprint, property, check, old_phash, phash,
+                        program, key,
+                    )
                 try:
                     with self.metrics.time("patch"):
                         outcome = check.apply_source(program)
@@ -443,8 +702,32 @@ class AnalysisEngine:
                     raise EngineError(
                         protocol.E_BUDGET, f"{exc} (progress: {exc.progress})"
                     ) from exc
+                if self.journal is not None:
+                    # Any cold (re)build starts a fresh journal at the
+                    # known-good state — this also discards a record
+                    # appended for a patch that then failed to apply.
+                    try:
+                        self.journal.begin(fingerprint, property, phash, program)
+                    except OSError:
+                        self.metrics.incr("journal.append_failed")
+            elif (
+                not replayed
+                and self.journal is not None
+                and journal_count
+                and self.journal.should_compact(journal_count)
+            ):
+                try:
+                    with self.metrics.time("journal.compact"):
+                        self.journal.compact(
+                            fingerprint, property, phash, program, check.solver
+                        )
+                except (TypeError, OSError):
+                    self.metrics.incr("journal.compact_failed")
             entry.check = check
             entry.phash = phash
+            entry.prop_name = property
+            if not replayed:
+                entry.last_key = key
             result = check.check()
             violations = [
                 {
@@ -455,7 +738,7 @@ class AnalysisEngine:
                 }
                 for v in result.violations
             ]
-            return {
+            response = {
                 "property": property,
                 "fingerprint": fingerprint,
                 "program": phash,
@@ -464,11 +747,17 @@ class AnalysisEngine:
                 "patched": fallback is None,
                 "fallback": fallback,
                 "patch": patch_stats,
+                "replayed": replayed,
                 "has_violation": result.has_violation,
                 "violations": violations,
                 "constraints": result.constraints,
                 "facts": result.facts,
             }
+            if key is not None:
+                entry.idem[key] = dict(response)
+                while len(entry.idem) > _IDEMPOTENCY_WINDOW:
+                    entry.idem.popitem(last=False)
+            return response
 
     def dataflow(
         self, program: str, track: list[str], budget: Budget | None = None
@@ -614,6 +903,15 @@ class AnalysisEngine:
         snapshot["cache"] = cache_info
         snapshot["solver"] = aggregate.as_dict()
         snapshot["protocol"] = protocol.PROTOCOL_VERSION
+        snapshot["uptime_s"] = round(time.monotonic() - self.started_at, 3)
+        snapshot["recoveries"] = self.recoveries
+        if self.journal is not None:
+            snapshot["journal"] = {
+                "appends": self.journal.appends,
+                "fsyncs": self.journal.fsyncs,
+                "compactions": self.journal.compactions,
+                "quarantined": len(self._quarantined),
+            }
         return snapshot
 
     # -- dispatch (used by the server) ----------------------------------------
@@ -625,7 +923,32 @@ class AnalysisEngine:
         The server's budget (deadline + cancellation token) is the outer
         bound; a client-requested budget can only tighten it.  With no
         server budget a fresh one is built from the wire spec alone.
+
+        An absolute ``deadline`` param (Unix seconds) is folded in the
+        same way: already expired is a typed ``deadline-exceeded``
+        refusal, otherwise the remaining time caps ``max_seconds`` so
+        the solve never outlives its caller.
         """
+        deadline = params.get("deadline")
+        if deadline is not None:
+            if isinstance(deadline, bool) or not isinstance(
+                deadline, (int, float)
+            ):
+                raise EngineError(
+                    protocol.E_BAD_REQUEST,
+                    "deadline must be an absolute unix timestamp (seconds)",
+                )
+            remaining = float(deadline) - time.time()
+            if remaining <= 0:
+                raise EngineError(
+                    protocol.E_DEADLINE,
+                    f"deadline expired {-remaining:.3f}s before the solve "
+                    "started",
+                )
+            if budget is None:
+                budget = Budget(max_seconds=remaining)
+            else:
+                budget = budget.tighten(max_seconds=remaining)
         spec = params.get("budget")
         if spec is None:
             return budget
@@ -675,10 +998,16 @@ class AnalysisEngine:
                 raise EngineError(
                     protocol.E_BAD_REQUEST, "patch 'base' must be a string"
                 )
+            key = params.get("key")
+            if key is not None and not isinstance(key, str):
+                raise EngineError(
+                    protocol.E_BAD_REQUEST, "patch 'key' must be a string"
+                )
             return self.patch(
                 params["program"],
                 params["property"],
                 base=base,
+                key=key,
                 budget=budget,
             )
         if op == "check":

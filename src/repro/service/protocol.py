@@ -30,19 +30,29 @@ Operations
 The analysis ops (``check``, ``patch``, ``dataflow``, ``flow``) accept a
 reserved optional ``budget`` param — an object with any of ``steps``
 (int) and ``seconds`` (float) — bounding the solve; exhaustion yields
-the ``budget-exceeded`` error code.  Servers additionally enforce their
-own per-request deadline and admission limits (``timeout``,
-``overloaded``, ``cancelled``, ``circuit-open``).
+the ``budget-exceeded`` error code.  They also accept a reserved
+``deadline`` param — an *absolute* Unix timestamp (float seconds): work
+that arrives already expired is refused with ``deadline-exceeded``
+before admission, and otherwise the remaining time tightens the solve
+budget end to end.  Servers additionally enforce their own per-request
+deadline and admission limits (``timeout``, ``overloaded``,
+``cancelled``, ``circuit-open``).
 ``patch``
     params: ``program`` (the *edited* mini-C source), ``property``
     (registry name), optional ``base`` (a version token: the program
     hash the client believes the server's hot session is at — from a
-    prior response's ``version`` field).  The server keeps one patchable
+    prior response's ``version`` field), optional ``key`` (an opaque
+    idempotency token: a *retry* of an already-applied patch — same
+    key, same program — answers from the session instead of degrading
+    to ``base-mismatch``; responses served this way set ``replayed``).
+    The server keeps one patchable
     solved session per property machine; when the request can be served
     by differential re-solving it patches that session, otherwise it
     falls back to a cold solve.  The result always reflects ``program``:
     ``patched`` (bool) says which path ran, ``fallback`` carries a
-    reason slug (``cold-start``, ``base-mismatch``, ``patch-failed``)
+    reason slug (``cold-start``, ``base-mismatch``, ``patch-failed``,
+    or ``quarantined-<reason>`` for the first request after a journal
+    quarantine)
     when ``patched`` is false, ``version`` is the new program hash to
     send as ``base`` next time, and ``patch`` holds the
     :class:`~repro.incremental.delta.PatchStats` counters on the patched
@@ -97,6 +107,13 @@ E_CANCELLED = "cancelled"
 E_BUDGET = "budget-exceeded"
 E_CIRCUIT_OPEN = "circuit-open"
 E_UNAVAILABLE = "unavailable"
+#: Deadline propagation (PR 8).  Analysis ops accept a reserved
+#: ``deadline`` param — an absolute Unix timestamp (float seconds).  A
+#: request that arrives already expired is refused *before* admission
+#: with this code; otherwise the remaining time tightens the solve
+#: budget, so a solve never outlives its caller.  The deadline is
+#: excluded from the circuit-breaker fingerprint (it varies per send).
+E_DEADLINE = "deadline-exceeded"
 
 ERROR_CODES = frozenset(
     {
@@ -113,6 +130,7 @@ ERROR_CODES = frozenset(
         E_BUDGET,
         E_CIRCUIT_OPEN,
         E_UNAVAILABLE,
+        E_DEADLINE,
     }
 )
 

@@ -18,6 +18,10 @@ request gets:
   cancelled, the solver stops at its next budget check point, and the
   pool slot is released (no leaked busy thread warming a cache nobody
   asked for);
+* **deadline propagation**: a client-sent absolute ``deadline`` param
+  is honored end to end — expired work is refused before admission
+  (``deadline-exceeded``), and the remaining time caps both the waiter
+  and the solve budget, so a solve never outlives its caller;
 * **admission control**: at most ``workers + max_queue`` analysis
   requests are in flight; beyond that new work is shed immediately with
   the ``overloaded`` error instead of queueing unboundedly;
@@ -31,7 +35,10 @@ request gets:
 Shutdown is graceful: the ``shutdown`` op (or :meth:`AnalysisServer.close`)
 stops accepting new work, acknowledges the requester, unblocks the
 accept loop, cancels every outstanding request's token, and drains the
-pool.
+pool.  :meth:`AnalysisServer.drain` is the stronger form the CLI wires
+to SIGTERM/SIGINT: it *waits* for in-flight work (up to a drain
+deadline) before cancelling, then checkpoints hot patch sessions to
+their journals so a restarted server recovers them warm.
 """
 
 from __future__ import annotations
@@ -247,6 +254,37 @@ class AnalysisServer:
                 )
             )
         governed = request.op in ANALYSIS_OPS
+        deadline: float | None = None
+        if governed and "deadline" in request.params:
+            # Strip the deadline before fingerprinting — an absolute
+            # timestamp varies per send, and must not split the breaker
+            # buckets for what is otherwise the same request.
+            raw_deadline = request.params.pop("deadline")
+            if isinstance(raw_deadline, bool) or not isinstance(
+                raw_deadline, (int, float)
+            ):
+                self.metrics.incr("requests.failed")
+                return protocol.encode_response(
+                    protocol.error_response(
+                        request.id,
+                        protocol.E_BAD_REQUEST,
+                        "deadline must be an absolute unix timestamp (seconds)",
+                    )
+                )
+            deadline = float(raw_deadline)
+            expired = time.time() - deadline
+            if expired >= 0:
+                # Already-dead work is refused *before* admission — it
+                # must not occupy a pool slot or trip the breaker.
+                self.metrics.incr("requests.deadline_exceeded")
+                self.metrics.incr("requests.failed")
+                return protocol.encode_response(
+                    protocol.error_response(
+                        request.id,
+                        protocol.E_DEADLINE,
+                        f"deadline expired {expired:.3f}s before admission",
+                    )
+                )
         fingerprint = (
             request_fingerprint(request.op, request.params) if governed else None
         )
@@ -278,8 +316,14 @@ class AnalysisServer:
                 )
             # The token (cancelled when the waiter times out) is the
             # real deadline; max_seconds at 2× is a dead-man's switch in
-            # case the waiting thread itself is gone.
+            # case the waiting thread itself is gone.  A client deadline
+            # caps both: the solve itself never outlives the caller.
             backstop = None if self.timeout is None else self.timeout * 2
+            if deadline is not None:
+                remaining = max(0.001, deadline - time.time())
+                backstop = (
+                    remaining if backstop is None else min(backstop, remaining)
+                )
             budget = Budget(max_seconds=backstop, token=token)
         with self.metrics.time("request"):
             if not governed:
@@ -304,10 +348,17 @@ class AnalysisServer:
                     self._release(token)
 
             future: Future = self._pool.submit(run_and_release)
+            wait_timeout = self.timeout
+            if deadline is not None:
+                remaining = max(0.001, deadline - time.time())
+                wait_timeout = (
+                    remaining
+                    if wait_timeout is None
+                    else min(wait_timeout, remaining)
+                )
             try:
-                response = future.result(timeout=self.timeout)
+                response = future.result(timeout=wait_timeout)
             except FutureTimeoutError:
-                self.metrics.incr("requests.timeout")
                 if token is not None:
                     # Revoke the work: a queued future is dropped (and
                     # its slot released here); a running one observes
@@ -316,11 +367,20 @@ class AnalysisServer:
                     token.cancel()
                     if future.cancel():
                         self._release(token)
-                response = protocol.error_response(
-                    request.id,
-                    protocol.E_TIMEOUT,
-                    f"request did not finish within {self.timeout}s",
-                )
+                if deadline is not None and time.time() >= deadline:
+                    self.metrics.incr("requests.deadline_exceeded")
+                    response = protocol.error_response(
+                        request.id,
+                        protocol.E_DEADLINE,
+                        "deadline expired while the request was running",
+                    )
+                else:
+                    self.metrics.incr("requests.timeout")
+                    response = protocol.error_response(
+                        request.id,
+                        protocol.E_TIMEOUT,
+                        f"request did not finish within {self.timeout}s",
+                    )
         if not response.ok:
             self.metrics.incr("requests.failed")
         return protocol.encode_response(response)
@@ -426,6 +486,65 @@ class AnalysisServer:
         """Block until shutdown is requested; True if it was."""
         return self._shutdown.wait(timeout)
 
+    def signal_shutdown(self) -> None:
+        """Request shutdown without tearing anything down yet.
+
+        Safe to call from a signal handler: it only sets the shutdown
+        event, unblocking :meth:`wait` so the owning thread can run the
+        graceful :meth:`drain`.
+        """
+        self._shutdown.set()
+
+    def drain(self, drain_seconds: float = 5.0) -> dict:
+        """Gracefully stop: finish in-flight work, checkpoint, close.
+
+        Stops accepting (shutdown flag + listener closed), waits up to
+        ``drain_seconds`` for admitted requests to finish, cancels
+        whatever is still running via its token, checkpoints hot patch
+        sessions to their journals, and tears the server down.  Returns
+        ``{"drained": n, "cancelled": m, "checkpointed": k}`` — the
+        requests that completed during the drain window, the ones
+        revoked at the deadline, and the sessions checkpointed.
+        """
+        self._shutdown.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._admit_lock:
+            start = self._inflight
+        deadline = time.monotonic() + max(0.0, drain_seconds)
+        while time.monotonic() < deadline:
+            with self._admit_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.02)
+        with self._admit_lock:
+            cancelled = self._inflight
+            tokens = list(self._tokens)
+        for token in tokens:
+            token.cancel()
+        # Give revoked workers a moment to observe the token and unwind
+        # so checkpointing sees settled sessions, not mid-repair ones.
+        grace = time.monotonic() + 2.0
+        while cancelled and time.monotonic() < grace:
+            with self._admit_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.02)
+        checkpoint = getattr(self.engine, "checkpoint_sessions", None)
+        checkpointed = checkpoint() if callable(checkpoint) else 0
+        self.metrics.incr("drain.completed", max(0, start - cancelled))
+        self.metrics.incr("drain.cancelled", cancelled)
+        self.close()
+        return {
+            "drained": max(0, start - cancelled),
+            "cancelled": cancelled,
+            "checkpointed": checkpointed,
+        }
+
     def close(self) -> None:
         """Stop accepting, close the listener and connections, drain.
 
@@ -456,6 +575,9 @@ class AnalysisServer:
             except OSError:
                 pass
         self._pool.shutdown(wait=False)
+        engine_close = getattr(self.engine, "close", None)
+        if callable(engine_close):
+            engine_close()
 
     def __enter__(self) -> "AnalysisServer":
         return self

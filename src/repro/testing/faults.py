@@ -22,6 +22,18 @@ What can be injected:
   the solved form partially repaired (facts deleted, re-derivation not
   yet run) — the state the service's cold-solve fallback must recover
   from;
+* **journal damage** — :meth:`FaultInjector.tear_journal_tail` and
+  :meth:`FaultInjector.corrupt_journal_record` model a crash mid-append
+  and bit rot inside a committed record, the two damage classes
+  :meth:`repro.service.journal.SessionJournal.load` must quarantine;
+* **crash between append and fsync** —
+  :meth:`FaultInjector.crash_before_fsync` patches the journal's fsync
+  seam, so a record reaches the OS buffer but the durability barrier
+  never runs (the group-commit window a torn tail comes from);
+* **mid-compaction crashes** — compaction's rotation commits through
+  the same :data:`repro.core.persist._rename` seam as snapshots, so
+  :meth:`FaultInjector.crash_during_dump` covers a crash between the
+  snapshot write and the journal rotation;
 * **slow/hung workers** — :class:`SpinningEngine` stands in for an
   analysis engine whose work never finishes unless the server's budget
   or cancellation token stops it (the worker-leak scenario);
@@ -121,6 +133,78 @@ class FaultInjector:
         finally:
             persist._rename = original
 
+    # -- journal faults --------------------------------------------------------
+
+    def tear_journal_tail(self, path: Any, max_cut: int | None = None) -> int:
+        """Tear the *last* record of a journal (a crash mid-append).
+
+        Cuts a random number of bytes off the end — strictly inside the
+        final record, so every earlier record stays intact and
+        :func:`repro.core.persist.read_journal` reports tail damage
+        rather than interior corruption.  Returns the bytes removed.
+        """
+        raw = open(path, "rb").read()
+        lines = raw.split(b"\n")
+        # raw ends with a newline on a clean journal, so the last
+        # *record* is lines[-2]; never cut past it into earlier records.
+        last = lines[-2] if lines[-1] == b"" else lines[-1]
+        if not last:
+            raise ValueError(f"{path} has no tail record to tear")
+        limit = len(last) + 1  # may also eat the trailing newline
+        if max_cut is not None:
+            limit = min(limit, max_cut)
+        cut = self.rng.randrange(1, limit + 1)
+        with open(path, "wb") as handle:
+            handle.write(raw[: len(raw) - cut])
+        return cut
+
+    def corrupt_journal_record(self, path: Any, record: int = 0) -> int:
+        """Flip one bit inside a committed journal record's payload.
+
+        ``record`` indexes the framed records (0 = the base record).
+        The checksum in the frame must catch the damage; returns the
+        absolute byte offset flipped.
+        """
+        raw = bytearray(open(path, "rb").read())
+        lines = raw.split(b"\n")
+        index = record + 1  # line 0 is the magic header
+        if index >= len(lines) or not lines[index]:
+            raise ValueError(f"{path} has no record {record}")
+        # Flip inside the JSON payload (after "J <digest> <size> ").
+        line = lines[index]
+        payload_start = line.index(b"{")
+        offset_in_line = self.rng.randrange(payload_start, len(line))
+        prefix = sum(len(l) + 1 for l in lines[:index])
+        offset = prefix + offset_in_line
+        raw[offset] ^= 1 << self.rng.randrange(8)
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+        return offset
+
+    @contextlib.contextmanager
+    def crash_before_fsync(self) -> Iterator[None]:
+        """Simulate a crash between a journal append and its fsync.
+
+        Inside the context, the journal's fsync seam raises
+        :class:`FaultError` — the record bytes are in the OS buffer (and
+        visible to a reader) but the durability barrier never ran.  On
+        a real power loss any suffix of those bytes may survive; tests
+        combine this with :meth:`tear_journal_tail` to model the torn
+        outcome, or restart the engine directly to model the lucky case
+        where the page made it out anyway.
+        """
+        from repro.service import journal
+
+        def exploding_fsync(fd: int) -> None:
+            raise FaultError(f"injected crash before fsync of fd {fd}")
+
+        original = journal._fsync
+        journal._fsync = exploding_fsync
+        try:
+            yield
+        finally:
+            journal._fsync = original
+
     @contextlib.contextmanager
     def crash_during_patch(self) -> Iterator[None]:
         """Simulate a crash in the middle of a differential re-solve.
@@ -193,7 +277,13 @@ class FlakyProxy:
       immediately (server "crashing" on connect);
     * with ``drop_after`` set, each surviving connection is severed as
       soon as that many response lines have been relayed back to the
-      client (server "dying" mid-conversation).
+      client (server "dying" mid-conversation);
+    * with ``drop_response`` set, the connection carrying the Nth
+      response (counted across the proxy's lifetime) is severed
+      *instead of* relaying it — the server did the work and answered,
+      but the client never hears back.  This is the window that makes
+      blind retries of non-idempotent requests dangerous, and what the
+      ``patch`` idempotency key defends against.
 
     Counters are shared across connections, so a client that retries
     eventually gets through — which is the behavior under test.
@@ -205,10 +295,13 @@ class FlakyProxy:
         upstream_port: int,
         fail_connects: int = 0,
         drop_after: int | None = None,
+        drop_response: int | None = None,
     ):
         self.upstream = (upstream_host, upstream_port)
         self.fail_connects = fail_connects
         self.drop_after = drop_after
+        self.drop_response = drop_response
+        self.responses = 0
         self.connects = 0
         self._lock = threading.Lock()
         self._listener: socket.socket | None = None
@@ -300,8 +393,20 @@ class FlakyProxy:
                 chunk = upstream.recv(65536)
                 if not chunk:
                     break
+                lines = chunk.count(b"\n")
+                with self._lock:
+                    total = self.responses + lines
+                    swallow = (
+                        self.drop_response is not None
+                        and lines
+                        and total >= self.drop_response
+                        and self.responses < self.drop_response
+                    )
+                    self.responses = total
+                if swallow:
+                    break  # the server answered; the client never hears it
                 client.sendall(chunk)
-                responses += chunk.count(b"\n")
+                responses += lines
                 if self.drop_after is not None and responses >= self.drop_after:
                     break  # injected mid-conversation death
         except OSError:

@@ -549,3 +549,147 @@ class TestClientRetry:
         finally:
             proxy.stop()
             server.close()
+
+
+# ---------------------------------------------------------------------------
+# journal crash durability
+# ---------------------------------------------------------------------------
+
+JOURNAL_P1 = "void main() {\n  open();\n  use();\n  close();\n}\n"
+JOURNAL_P2 = "void main() {\n  open();\n  use();\n  use();\n  close();\n}\n"
+JOURNAL_PROP = "chroot-jail"
+
+
+class TestJournalFaults:
+    def _session(self, tmp_path, **engine_kw):
+        """An engine with one journaled hot session two patches deep."""
+        engine = AnalysisEngine(journal_dir=tmp_path, **engine_kw)
+        r1 = engine.patch(JOURNAL_P1, JOURNAL_PROP)
+        r2 = engine.patch(JOURNAL_P2, JOURNAL_PROP, base=r1["version"])
+        return engine, r1, r2
+
+    def _cold(self, source):
+        return AnalysisEngine().patch(source, JOURNAL_PROP)
+
+    def test_torn_tail_quarantines_to_cold_fallback(self, tmp_path):
+        injector = FaultInjector(SEED)
+        engine, r1, r2 = self._session(tmp_path)
+        engine.close()
+        fp = r2["fingerprint"]
+        wal = tmp_path / f"{fp}.wal"
+        cut = injector.tear_journal_tail(wal)
+        assert cut > 0
+        fresh = AnalysisEngine(journal_dir=tmp_path)
+        assert fresh.recoveries == 0
+        assert fresh.metrics.get("journal.quarantined") == 1
+        result = fresh.patch(JOURNAL_P2, JOURNAL_PROP, base=r2["version"])
+        assert result["fallback"] == "quarantined-torn-record"
+        # the damaged evidence is preserved for the operator
+        assert (tmp_path / f"{fp}.wal.quarantined").exists()
+        cold = self._cold(JOURNAL_P2)
+        for field in ("has_violation", "violations", "facts"):
+            assert result[field] == cold[field]
+        # the session is live again after the typed fallback
+        follow = fresh.patch(JOURNAL_P1, JOURNAL_PROP, base=result["version"])
+        assert follow["patched"] is True
+        fresh.close()
+
+    def test_bit_flip_quarantines_to_cold_fallback(self, tmp_path):
+        injector = FaultInjector(SEED)
+        engine, r1, r2 = self._session(tmp_path)
+        engine.close()
+        fp = r2["fingerprint"]
+        injector.corrupt_journal_record(tmp_path / f"{fp}.wal", record=0)
+        fresh = AnalysisEngine(journal_dir=tmp_path)
+        result = fresh.patch(JOURNAL_P2, JOURNAL_PROP, base=r2["version"])
+        assert result["fallback"] == "quarantined-corrupt-record"
+        cold = self._cold(JOURNAL_P2)
+        for field in ("has_violation", "violations", "facts"):
+            assert result[field] == cold[field]
+        fresh.close()
+
+    def test_crash_between_append_and_fsync(self, tmp_path):
+        """The record hits the OS before fsync: a crash there loses the
+        *acknowledgement*, not the record — restart replays it and a
+        keyed retry answers from the recovered session."""
+        injector = FaultInjector(SEED)
+        engine, _, r2 = self._session(tmp_path)
+        with injector.crash_before_fsync():
+            with pytest.raises(FaultError):
+                engine.patch(
+                    JOURNAL_P1, JOURNAL_PROP, base=r2["version"], key="retry-me"
+                )
+        engine.close()
+        fresh = AnalysisEngine(journal_dir=tmp_path)
+        assert fresh.recoveries == 1
+        retry = fresh.patch(
+            JOURNAL_P1, JOURNAL_PROP, base=r2["version"], key="retry-me"
+        )
+        assert retry["replayed"] is True
+        assert retry["patched"] is True
+        cold = self._cold(JOURNAL_P1)
+        for field in ("has_violation", "violations", "facts"):
+            assert retry[field] == cold[field]
+        fresh.close()
+
+    def test_crash_mid_compaction_preserves_wal(self, tmp_path):
+        """A crash while writing the compaction snapshot must leave the
+        un-rotated journal behind; restart replays the full suffix."""
+        injector = FaultInjector(SEED)
+        engine = AnalysisEngine(journal_dir=tmp_path, journal_compact_every=1)
+        r1 = engine.patch(JOURNAL_P1, JOURNAL_PROP)
+        with injector.crash_during_dump():
+            with pytest.raises(FaultError):
+                engine.patch(JOURNAL_P2, JOURNAL_PROP, base=r1["version"])
+        engine.close()
+        fresh = AnalysisEngine(journal_dir=tmp_path)
+        assert fresh.recoveries == 1
+        assert fresh.metrics.get("journal.quarantined") == 0
+        # the patch had applied before the compaction crash; the
+        # recovered session is at the new version
+        from repro.service import program_hash
+
+        result = fresh.patch(
+            JOURNAL_P1, JOURNAL_PROP, base=program_hash(JOURNAL_P2)
+        )
+        assert result["patched"] is True
+        fresh.close()
+
+
+class TestIdempotentRetry:
+    def test_lost_response_replays_instead_of_base_mismatch(self, tmp_path):
+        """Satellite regression: the proxy swallows the server's patch
+        response *after* the server applied it; the client's transparent
+        retry carries the same auto-generated idempotency key, so the
+        server answers from the journaled session instead of degrading
+        to a base-mismatch cold solve."""
+        engine = AnalysisEngine(journal_dir=tmp_path)
+        server = AnalysisServer(engine, workers=2)
+        host, port = server.start_tcp()
+        proxy = FlakyProxy(host, port, drop_response=2)
+        proxy_host, proxy_port = proxy.start()
+        try:
+            client = ServiceClient(
+                proxy_host,
+                proxy_port,
+                retries=3,
+                backoff=0.01,
+                retry_seed=SEED,
+            )
+            first = client.patch(JOURNAL_P1, JOURNAL_PROP)
+            assert first["replayed"] is False
+            # response #2 is swallowed mid-flight; the retry re-sends
+            # the identical request (same key) over a new connection
+            second = client.patch(
+                JOURNAL_P2, JOURNAL_PROP, base=first["version"]
+            )
+            assert proxy.responses >= 2
+            assert second["replayed"] is True
+            assert second["patched"] is True
+            assert second["fallback"] is None
+            assert engine.metrics.get("patch.replayed") == 1
+            assert engine.metrics.get("patch.fallback.base-mismatch") == 0
+            client.close()
+        finally:
+            proxy.stop()
+            server.close()

@@ -1,0 +1,410 @@
+"""Unit tests for the crash-durable session journal and its plumbing.
+
+Covers the checksummed record framing in ``repro.core.persist``, the
+:class:`~repro.service.journal.SessionJournal` write/load lifecycle
+(append, fsync batching, compaction, quarantine), the engine's
+idempotency-key handling, and end-to-end deadline propagation through
+engine and server.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.errors import JournalCorrupt
+from repro.core.persist import (
+    JOURNAL_MAGIC,
+    frame_journal_record,
+    parse_journal_record,
+    read_journal,
+)
+from repro.service import (
+    AnalysisEngine,
+    AnalysisServer,
+    EngineError,
+    SessionJournal,
+    deadline_in,
+    program_hash,
+    protocol,
+)
+from repro.service.journal import (
+    Q_BAD_LINEAGE,
+    Q_MISSING_BASE,
+    QUARANTINE_SLUGS,
+    JournalLineage,
+    Quarantined,
+)
+
+P1 = "void main() {\n  open();\n  use();\n  close();\n}\n"
+P2 = "void main() {\n  open();\n  use();\n  use();\n  close();\n}\n"
+P3 = "void main() {\n  open();\n  close();\n}\n"
+PROP = "chroot-jail"
+
+
+def make_request(op, params, id=1):
+    return json.dumps({"v": 1, "id": id, "op": op, "params": params})
+
+
+# ---------------------------------------------------------------------------
+# record framing (repro.core.persist)
+# ---------------------------------------------------------------------------
+
+
+class TestJournalFraming:
+    def test_round_trip(self):
+        payload = {"kind": "patch", "seq": 3, "source": "x\ny", "key": None}
+        line = frame_journal_record(payload).rstrip(b"\n")
+        assert parse_journal_record(line) == payload
+
+    def test_checksum_detects_payload_damage(self):
+        line = bytearray(frame_journal_record({"kind": "base", "v": 1}).rstrip(b"\n"))
+        line[line.index(b"{") + 2] ^= 0x04
+        with pytest.raises(JournalCorrupt) as err:
+            parse_journal_record(bytes(line))
+        assert "checksum" in err.value.detail
+
+    def test_size_field_detects_truncation(self):
+        line = frame_journal_record({"kind": "base", "v": 1}).rstrip(b"\n")
+        with pytest.raises(JournalCorrupt):
+            parse_journal_record(line[:-4])
+
+    def test_malformed_frame_rejected(self):
+        with pytest.raises(JournalCorrupt):
+            parse_journal_record(b"not a framed record")
+
+    def test_read_journal_reports_torn_tail(self, tmp_path):
+        path = tmp_path / "t.wal"
+        good = frame_journal_record({"kind": "base", "n": 0})
+        tail = frame_journal_record({"kind": "patch", "n": 1})
+        path.write_bytes(JOURNAL_MAGIC.encode() + b"\n" + good + tail[:-5])
+        records, damage = read_journal(path)
+        assert [r["n"] for r in records] == [0]
+        assert damage is not None and "torn" in damage
+
+    def test_read_journal_interior_damage_raises(self, tmp_path):
+        path = tmp_path / "t.wal"
+        bad = bytearray(frame_journal_record({"kind": "base", "n": 0}))
+        bad[bad.index(b"{") + 1] ^= 0x01
+        tail = frame_journal_record({"kind": "patch", "n": 1})
+        path.write_bytes(JOURNAL_MAGIC.encode() + b"\n" + bytes(bad) + tail)
+        with pytest.raises(JournalCorrupt) as err:
+            read_journal(path)
+        assert not err.value.torn
+
+    def test_read_journal_rejects_missing_magic(self, tmp_path):
+        path = tmp_path / "t.wal"
+        path.write_bytes(frame_journal_record({"kind": "base"}))
+        with pytest.raises(JournalCorrupt):
+            read_journal(path)
+
+
+# ---------------------------------------------------------------------------
+# SessionJournal lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestSessionJournal:
+    def test_begin_append_load_round_trip(self, tmp_path):
+        journal = SessionJournal(tmp_path)
+        journal.begin("fp1", "prop", "v0", "src0")
+        journal.append("fp1", "v0", "v1", "src1", "k1")
+        journal.append("fp1", "v1", "v2", "src2", None)
+        journal.close()
+        lineage = SessionJournal(tmp_path).load("fp1")
+        assert isinstance(lineage, JournalLineage)
+        assert lineage.base_version == "v0"
+        assert lineage.base_source == "src0"
+        assert [p["version"] for p in lineage.patches] == ["v1", "v2"]
+        assert lineage.patches[0]["key"] == "k1"
+        assert lineage.version == "v2"
+
+    def test_append_requires_begin(self, tmp_path):
+        journal = SessionJournal(tmp_path)
+        with pytest.raises(KeyError):
+            journal.append("fp1", "v0", "v1", "src", None)
+
+    def test_fsync_batching_counts(self, tmp_path):
+        journal = SessionJournal(tmp_path, fsync_every=3)
+        journal.begin("fp1", "prop", "v0", "s0")
+        for i in range(7):
+            journal.append("fp1", f"v{i}", f"v{i + 1}", "s", None)
+        assert journal.fsyncs == 2  # records 3 and 6; 7th is pending
+        journal.flush()
+        assert journal.fsyncs == 3
+
+    def test_load_resumes_append_chain(self, tmp_path):
+        journal = SessionJournal(tmp_path)
+        journal.begin("fp1", "prop", "v0", "s0")
+        journal.append("fp1", "v0", "v1", "s1", None)
+        journal.close()
+        journal2 = SessionJournal(tmp_path)
+        lineage = journal2.load("fp1")
+        assert isinstance(lineage, JournalLineage)
+        journal2.append("fp1", "v1", "v2", "s2", None)
+        journal2.close()
+        lineage = SessionJournal(tmp_path).load("fp1")
+        assert [p["seq"] for p in lineage.patches] == [1, 2]
+
+    def test_compact_rotates_and_prunes(self, tmp_path):
+        from repro.incremental import StableCheck
+        from repro.modelcheck import PROPERTY_FACTORIES
+
+        check = StableCheck(P1, PROPERTY_FACTORIES[PROP]())
+        journal = SessionJournal(tmp_path, compact_every=2)
+        journal.begin("fp1", PROP, "v0", P3)
+        count = journal.append("fp1", "v0", "v1", P2, None)
+        count = journal.append("fp1", "v1", "v2", P1, None)
+        assert journal.should_compact(count)
+        journal.compact("fp1", PROP, "v2", P1, check.solver)
+        assert journal.compactions == 1
+        lineage = SessionJournal(tmp_path).load("fp1")
+        assert lineage.base_version == "v2"
+        assert lineage.patches == []
+        assert lineage.snapshot is not None
+        assert (tmp_path / lineage.snapshot).exists()
+
+    def test_quarantine_preserves_evidence(self, tmp_path):
+        journal = SessionJournal(tmp_path)
+        journal.begin("fp1", "prop", "v0", "s0")
+        journal.close()
+        verdict = journal.quarantine("fp1", Q_BAD_LINEAGE, "because")
+        assert isinstance(verdict, Quarantined)
+        assert not journal.wal_path("fp1").exists()
+        assert journal.quarantine_path("fp1").exists()
+        assert journal.fingerprints() == []
+
+    def test_load_quarantines_missing_base(self, tmp_path):
+        path = tmp_path / "fp1.wal"
+        record = frame_journal_record(
+            {"kind": "patch", "seq": 1, "base": "a", "version": "b",
+             "source": "s", "key": None}
+        )
+        path.write_bytes(JOURNAL_MAGIC.encode() + b"\n" + record)
+        verdict = SessionJournal(tmp_path).load("fp1")
+        assert isinstance(verdict, Quarantined)
+        assert verdict.slug == Q_MISSING_BASE
+
+    def test_load_quarantines_broken_chain(self, tmp_path):
+        path = tmp_path / "fp1.wal"
+        base = frame_journal_record(
+            {"kind": "base", "fingerprint": "fp1", "property": "p",
+             "version": "v0", "source": "s", "snapshot": None}
+        )
+        patch = frame_journal_record(
+            {"kind": "patch", "seq": 1, "base": "WRONG", "version": "v1",
+             "source": "s", "key": None}
+        )
+        path.write_bytes(JOURNAL_MAGIC.encode() + b"\n" + base + patch)
+        verdict = SessionJournal(tmp_path).load("fp1")
+        assert isinstance(verdict, Quarantined)
+        assert verdict.slug == Q_BAD_LINEAGE
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            SessionJournal(tmp_path, fsync_every=0)
+        with pytest.raises(ValueError):
+            SessionJournal(tmp_path, compact_every=0)
+        assert len(set(QUARANTINE_SLUGS)) == 6
+
+
+# ---------------------------------------------------------------------------
+# engine: journaling, idempotency keys, recovery counters
+# ---------------------------------------------------------------------------
+
+
+class TestEngineJournal:
+    def test_patch_writes_ahead(self, tmp_path):
+        engine = AnalysisEngine(journal_dir=tmp_path)
+        r1 = engine.patch(P1, PROP)
+        r2 = engine.patch(P2, PROP, base=r1["version"])
+        engine.close()
+        fp = r2["fingerprint"]
+        lineage = SessionJournal(tmp_path).load(fp)
+        assert isinstance(lineage, JournalLineage)
+        assert lineage.base_version == r1["version"]
+        assert lineage.base_source == P1
+        assert [p["version"] for p in lineage.patches] == [r2["version"]]
+        assert program_hash(lineage.patches[0]["source"]) == r2["version"]
+
+    def test_idempotent_retry_in_memory(self, tmp_path):
+        engine = AnalysisEngine(journal_dir=tmp_path)
+        r1 = engine.patch(P1, PROP, key="a")
+        r2 = engine.patch(P2, PROP, base=r1["version"], key="b")
+        retry = engine.patch(P2, PROP, base=r1["version"], key="b")
+        assert retry["replayed"] is True
+        assert retry["version"] == r2["version"]
+        assert retry["has_violation"] == r2["has_violation"]
+        counters = engine.metrics.snapshot()["counters"]
+        assert counters["patch.replayed"] == 1
+        assert counters.get("patch.fallback.base-mismatch", 0) == 0
+        engine.close()
+
+    def test_idempotent_retry_without_key_degrades(self):
+        engine = AnalysisEngine()
+        r1 = engine.patch(P1, PROP)
+        engine.patch(P2, PROP, base=r1["version"])
+        retry = engine.patch(P2, PROP, base=r1["version"])
+        assert retry["fallback"] == "base-mismatch"
+
+    def test_idempotent_retry_across_restart(self, tmp_path):
+        engine = AnalysisEngine(journal_dir=tmp_path)
+        r1 = engine.patch(P1, PROP, key="a")
+        r2 = engine.patch(P2, PROP, base=r1["version"], key="b")
+        engine.close()
+        engine2 = AnalysisEngine(journal_dir=tmp_path)
+        assert engine2.recoveries == 1
+        retry = engine2.patch(P2, PROP, base=r1["version"], key="b")
+        assert retry["replayed"] is True
+        assert retry["patched"] is True
+        assert retry["version"] == r2["version"]
+        engine2.close()
+
+    def test_compaction_threshold(self, tmp_path):
+        engine = AnalysisEngine(journal_dir=tmp_path, journal_compact_every=2)
+        r = engine.patch(P1, PROP)
+        for source in (P2, P3, P1, P2):
+            r = engine.patch(source, PROP, base=r["version"])
+        assert engine.journal.compactions == 2
+        engine.close()
+        engine2 = AnalysisEngine(journal_dir=tmp_path)
+        assert engine2.recoveries == 1
+        assert engine2._quarantined == {}
+        engine2.close()
+
+    def test_stats_reports_uptime_recoveries_journal(self, tmp_path):
+        engine = AnalysisEngine(journal_dir=tmp_path)
+        stats = engine.stats()
+        assert stats["uptime_s"] >= 0
+        assert stats["recoveries"] == 0
+        assert stats["journal"] == {
+            "appends": 0, "fsyncs": 0, "compactions": 0, "quarantined": 0
+        }
+        engine.close()
+
+    def test_stats_without_journal_omits_section(self):
+        stats = AnalysisEngine().stats()
+        assert "journal" not in stats
+        assert "uptime_s" in stats
+
+    def test_checkpoint_sessions_bounds_replay(self, tmp_path):
+        engine = AnalysisEngine(journal_dir=tmp_path)
+        r1 = engine.patch(P1, PROP)
+        engine.patch(P2, PROP, base=r1["version"])
+        assert engine.checkpoint_sessions() == 1
+        engine.close()
+        lineage = SessionJournal(tmp_path).load(r1["fingerprint"])
+        assert lineage.patches == []  # rotated: nothing left to replay
+        assert lineage.base_source == P2
+
+
+# ---------------------------------------------------------------------------
+# deadline propagation
+# ---------------------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_engine_rejects_expired_deadline(self):
+        engine = AnalysisEngine()
+        with pytest.raises(EngineError) as err:
+            engine.dispatch(
+                "check",
+                {"program": P1, "property": PROP, "deadline": time.time() - 1},
+            )
+        assert err.value.code == protocol.E_DEADLINE
+
+    def test_engine_rejects_bad_deadline_type(self):
+        engine = AnalysisEngine()
+        with pytest.raises(EngineError) as err:
+            engine.dispatch(
+                "check",
+                {"program": P1, "property": PROP, "deadline": True},
+            )
+        assert err.value.code == protocol.E_BAD_REQUEST
+
+    def test_engine_accepts_live_deadline(self):
+        engine = AnalysisEngine()
+        result = engine.dispatch(
+            "check",
+            {"program": P1, "property": PROP, "deadline": deadline_in(30)},
+        )
+        assert result["property"] == PROP
+
+    def test_server_refuses_expired_before_admission(self):
+        server = AnalysisServer(workers=1)
+        try:
+            reply = json.loads(
+                server.process_line(
+                    make_request(
+                        "patch",
+                        {
+                            "program": P1,
+                            "property": PROP,
+                            "deadline": time.time() - 5,
+                        },
+                    )
+                )
+            )
+            assert reply["error"]["code"] == protocol.E_DEADLINE
+            assert server.metrics.get("requests.deadline_exceeded") == 1
+            # refused work never reached the pool or the breaker
+            assert server.metrics.get("requests.inflight") == 0
+        finally:
+            server.close()
+
+    def test_server_deadline_does_not_split_breaker_buckets(self):
+        from repro.service.server import request_fingerprint
+
+        params = {"program": P1, "property": PROP}
+        with_deadline = dict(params, deadline=time.time() + 60)
+        # the server pops the deadline before fingerprinting; the
+        # fingerprints of the remaining params must coincide
+        with_deadline.pop("deadline")
+        assert request_fingerprint("patch", params) == request_fingerprint(
+            "patch", with_deadline
+        )
+
+    def test_server_live_deadline_serves(self):
+        server = AnalysisServer(workers=1)
+        try:
+            reply = json.loads(
+                server.process_line(
+                    make_request(
+                        "check",
+                        {
+                            "program": P1,
+                            "property": PROP,
+                            "deadline": time.time() + 60,
+                        },
+                    )
+                )
+            )
+            assert reply["ok"]
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# graceful drain
+# ---------------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_drain_reports_counts_and_checkpoints(self, tmp_path):
+        engine = AnalysisEngine(journal_dir=tmp_path)
+        server = AnalysisServer(engine, workers=2)
+        reply = json.loads(
+            server.process_line(
+                make_request("patch", {"program": P1, "property": PROP})
+            )
+        )
+        assert reply["ok"]
+        outcome = server.drain(drain_seconds=1.0)
+        assert outcome == {"drained": 0, "cancelled": 0, "checkpointed": 1}
+        assert server.closing
+
+    def test_drain_is_idempotent_with_close(self, tmp_path):
+        engine = AnalysisEngine(journal_dir=tmp_path)
+        server = AnalysisServer(engine, workers=1)
+        server.drain(drain_seconds=0.1)
+        server.close()  # second teardown must not raise
