@@ -76,9 +76,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
     if args.engine in ("annotated", "both"):
         flat = getattr(args, "flat", False)
+        shards = getattr(args, "shards", 1)
         if flat and args.traces:
             print("error: --flat records no provenance; drop --traces",
                   file=sys.stderr)
+            return 2
+        if shards > 1 and args.traces:
+            print("error: sharded solving records no provenance; "
+                  "drop --traces", file=sys.stderr)
             return 2
         checker = AnnotatedChecker(
             cfg,
@@ -87,6 +92,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             budget=budget,
             cycle_elim=not args.no_cycle_elim,
             flat=flat,
+            shards=shards,
             # Verbose runs measure the difference-propagation invariant:
             # at the fixpoint no (fact, edge) pair composes twice.
             track_redundant=args.verbose,
@@ -95,6 +101,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"[annotated] {'VIOLATION' if result.has_violation else 'clean'} "
               f"({len(result.violations)} finding(s), "
               f"{result.facts} solved-form facts)")
+        if checker.sharded is not None and args.verbose:
+            solution = checker.sharded
+            print(f"  shards: {solution.shards} "
+                  f"(sizes {solution.plan.sizes}), "
+                  f"{solution.rounds} exchange round(s), "
+                  f"{solution.exchanged} fact(s) exchanged")
+            for row in solution.shard_stats():
+                print(f"    shard {row['shard']}: {row['facts']} facts, "
+                      f"{row['compositions']} compositions")
         if args.verbose:
             for field, value in checker.solver.stats.as_dict().items():
                 print(f"  {field:22} {value}")
@@ -248,6 +263,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         journal_dir=args.journal_dir,
         journal_fsync_every=args.journal_fsync_batch,
         journal_compact_every=args.journal_compact_every,
+        shards=args.shards,
     )
     if engine.recoveries:
         print(
@@ -255,6 +271,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "from the journal",
             file=sys.stderr,
         )
+    if args.process_pool:
+        return _serve_process_pool(args, engine)
     server = AnalysisServer(
         engine,
         workers=args.workers,
@@ -303,6 +321,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{outcome['checkpointed']} session(s) checkpointed",
         file=sys.stderr,
     )
+    return 0
+
+
+def _serve_process_pool(args: argparse.Namespace, engine) -> int:
+    """``serve --process-pool``: the selectors front door + worker pool."""
+    import signal
+
+    from repro.modelcheck import PROPERTY_FACTORIES
+    from repro.service.frontdoor import AsyncAnalysisServer
+
+    if not args.tcp:
+        raise CLIError("--process-pool requires --tcp HOST:PORT")
+    if args.preload == "all":
+        preload = sorted(PROPERTY_FACTORIES)
+    else:
+        preload = [name for name in args.preload.split(",") if name]
+    host, _sep, port_text = args.tcp.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise CLIError(f"invalid --tcp address {args.tcp!r} (want HOST:PORT)")
+    server = AsyncAnalysisServer(
+        engine,
+        workers=args.workers,
+        preload=preload,
+        shards=args.shards,
+        timeout=args.timeout,
+        max_queue=args.max_queue,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+
+    def _on_signal(signum: int, _frame: object) -> None:
+        print(
+            f"repro service caught {signal.Signals(signum).name}; draining",
+            file=sys.stderr,
+        )
+        server._shutdown.set()
+        server._wake()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    bound_host, bound_port = server.start(host, port)
+    print(
+        f"repro service listening on {bound_host}:{bound_port} "
+        f"({args.workers} process worker(s), {args.shards} shard(s), "
+        f"{len(preload)} preloaded propert{'y' if len(preload) == 1 else 'ies'})",
+        file=sys.stderr,
+    )
+    try:
+        server.wait()
+    except KeyboardInterrupt:  # pragma: no cover - handler normally wins
+        pass
+    server.close(drain_timeout=args.drain_seconds)
+    print("repro service stopped", file=sys.stderr)
     return 0
 
 
@@ -434,6 +511,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve on the flat-array core (compiled algebra, no witness "
         "provenance; incompatible with --traces)",
     )
+    check.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="partition the constraint graph into K regions solved "
+        "independently and stitched to the same solved form "
+        "(repro.core.partition; no witness provenance)",
+    )
     check.add_argument("--collapse-cycles", action="store_true")
     check.add_argument(
         "--no-cycle-elim",
@@ -499,6 +585,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--tcp", metavar="HOST:PORT", help="listen on TCP instead of stdio"
     )
     serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="partition each cold solve into K stitched regions "
+        "(repro.core.partition)",
+    )
+    serve.add_argument(
+        "--process-pool",
+        action="store_true",
+        help="serve through the selectors front door with a pool of "
+        "worker *processes* (true CPU parallelism; requires --tcp); "
+        "patches stay in this process (single journal writer)",
+    )
+    serve.add_argument(
+        "--preload",
+        metavar="PROPS",
+        default="",
+        help="comma-separated property names every pool worker compiles "
+        "at startup ('all' = every known property)",
+    )
     serve.add_argument(
         "--timeout", type=float, default=None, help="per-request timeout (seconds)"
     )

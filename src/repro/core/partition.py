@@ -1,0 +1,695 @@
+"""Sharded solving: partition the constraint graph, solve regions in
+parallel, stitch the frontier to the same canonical solved form.
+
+The scalability story of Section 8 is single-solver engineering; this
+module adds the orthogonal axis — *data* parallelism over the
+constraint graph itself.  The partitioner quotients the variable graph
+by identity-annotated SCCs first (via :meth:`collapse_map`, the same
+canonical quotient cycle elimination uses), because splitting an
+identity cycle across shards only creates avoidable frontier traffic:
+every member carries the same solved form.  A deterministic
+min-cut-ish region grower then assigns quotient nodes to ``K`` regions,
+greedily growing the currently-smallest region along its
+heaviest-connected unassigned neighbor — a pure function of the
+constraint multiset, so shard assignment is reproducible run to run.
+
+Each region becomes one solver (the flat core when the algebra is
+compiled) holding the constraints *homed* to it: a constraint lives in
+the shard of the variable whose bucket columns will consume it — the
+source of an edge, the anchor of an upper or a projection — because
+every resolution rule of the system fires by scanning the consumer
+columns at the variable where a lower bound lands (see
+:meth:`repro.core.flatcore.FlatSolver._drain`).  That locality is what
+makes the stitch fixpoint small: shards exchange only *lower bounds* of
+shared variables, importing them into every shard holding consumer
+columns for that variable, and re-drain until no shard learns a new
+fact.
+
+Soundness and completeness of the stitch: every shard applies the same
+resolution rules to facts derivable in the global system (plus imports
+of globally derived facts), so the union of shard facts never exceeds
+the global closure.  Conversely, any rule instance of the global
+closure pairs a lower bound at ``v`` with a consumer fact at ``v``; the
+consumer exists in some shard ``S`` (asserted constraints are homed
+somewhere, derived consumers are derived in the shard that fired the
+deriving rule), and at the exchange fixpoint ``S`` has imported every
+lower bound at ``v`` — so the instance has fired in ``S`` and its
+conclusion is in the union.  By induction the union *is* the global
+closure, and canonicalizing it through the full identity-cycle quotient
+(:meth:`canonical_facts`) yields the same canonical solved form as a
+single-solver run — the property the equivalence suite asserts for
+``K ∈ {1, 2, 4}`` with cycle elimination on and off.
+
+Cross-process execution uses the flat-column wire format: a shard
+worker solves its region and returns the canonical v3 dump
+(:func:`repro.core.persist.dump_solver` — int-interned columns, the
+format snapshots share), which the parent reloads without re-closing.
+Compiled-annotation indices are deterministic per machine (the monoid
+enumeration is a pure function of the automaton), so indices agree
+across worker processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.core.budget import Budget
+from repro.core.errors import ConstraintError, Inconsistency
+from repro.core.flatcore import FlatSolver
+from repro.core.solver import FactKey, Solver
+from repro.core.terms import Constructed, Projection, SetExpression, Variable
+
+
+def _is_flat_algebra(algebra: Any) -> bool:
+    """Compiled algebras (int annotations) run on the flat core."""
+    return getattr(algebra, "identity_index", None) is not None
+
+
+def _make_solver(
+    algebra: Any,
+    *,
+    cycle_elim: bool,
+    pn_projections: bool = False,
+    budget: Budget | None = None,
+    track_redundant: bool = False,
+) -> Solver | FlatSolver:
+    if _is_flat_algebra(algebra):
+        return FlatSolver(
+            algebra,
+            pn_projections=pn_projections,
+            budget=budget,
+            cycle_elim=cycle_elim,
+            track_redundant=track_redundant,
+        )
+    return Solver(
+        algebra,
+        pn_projections=pn_projections,
+        record_reasons=False,
+        budget=budget,
+        cycle_elim=cycle_elim,
+        track_redundant=track_redundant,
+    )
+
+
+def _normalize_constraints(constraints: Iterable[tuple]) -> list[tuple]:
+    """Materialize ``(lhs, rhs, annotation-or-None)`` triples."""
+    out: list[tuple] = []
+    for item in constraints:
+        lhs, rhs = item[0], item[1]
+        ann = item[2] if len(item) > 2 else None
+        out.append((lhs, rhs, ann))
+    return out
+
+
+def _constraint_links(
+    lhs: SetExpression, rhs: SetExpression
+) -> Iterator[tuple[Variable, Variable]]:
+    """Variable pairs a constraint connects (for the region graph)."""
+    if isinstance(lhs, Variable) and isinstance(rhs, Variable):
+        yield lhs, rhs
+    elif isinstance(lhs, Constructed) and isinstance(rhs, Variable):
+        for arg in lhs.args:
+            yield arg, rhs
+    elif isinstance(lhs, Variable) and isinstance(rhs, Constructed):
+        for arg in rhs.args:
+            yield lhs, arg
+    elif isinstance(lhs, Constructed) and isinstance(rhs, Constructed):
+        for a in lhs.args:
+            for b in rhs.args:
+                yield a, b
+    elif isinstance(lhs, Projection):
+        if isinstance(rhs, Variable):
+            yield lhs.operand, rhs
+        elif isinstance(rhs, Constructed):
+            for arg in rhs.args:
+                yield lhs.operand, arg
+
+
+def _constraint_vars(
+    lhs: SetExpression, rhs: SetExpression
+) -> Iterator[Variable]:
+    for expr in (lhs, rhs):
+        if isinstance(expr, Variable):
+            yield expr
+        elif isinstance(expr, Constructed):
+            yield from expr.args
+        elif isinstance(expr, Projection):
+            yield expr.operand
+
+
+def identity_quotient(
+    constraints: list[tuple], algebra: Any
+) -> dict[Variable, Variable]:
+    """Quotient the variable graph by identity-annotated SCCs.
+
+    Literally: feed the identity ``u ⊆ v`` constraints to a solver and
+    take its :meth:`collapse_map` — the same complete Kosaraju pass the
+    canonical solved form is defined by.  (Edges drain against empty
+    lower columns, so this costs one pass over the edge list.)
+    """
+    if _is_flat_algebra(algebra):
+        identity: Any = algebra.identity_index
+    else:
+        identity = algebra.identity
+    edges = [
+        (lhs, rhs)
+        for lhs, rhs, ann in constraints
+        if isinstance(lhs, Variable)
+        and isinstance(rhs, Variable)
+        and (ann is None or ann == identity)
+    ]
+    scc = _make_solver(algebra, cycle_elim=False)
+    scc.add_many(edges)
+    return scc.collapse_map()
+
+
+def grow_regions(
+    nodes: list[Variable],
+    weights: dict[Variable, dict[Variable, int]],
+    shards: int,
+) -> dict[Variable, int]:
+    """Deterministically assign quotient nodes to ``shards`` regions.
+
+    Min-cut-ish greedy growth: seeds are the heaviest-degree nodes that
+    are mutually least connected; thereafter the smallest region grows
+    by the unassigned node with the largest edge weight into it (ties
+    broken by name), falling back to the lexicographically smallest
+    unassigned node when the frontier is exhausted (fresh component).
+    Pure function of ``(nodes, weights, shards)``.
+    """
+    if not nodes:
+        return {}
+    shards = max(1, min(shards, len(nodes)))
+    ordered = sorted(nodes, key=lambda v: v.name)
+    if shards == 1:
+        return {v: 0 for v in ordered}
+    degree = {
+        v: sum(weights.get(v, {}).values()) for v in ordered
+    }
+    assignment: dict[Variable, int] = {}
+    # Seeds: start from the heaviest node, then repeatedly pick the
+    # unassigned node least connected to the already-chosen seeds
+    # (preferring heavy, early names on ties) — seeds land in different
+    # regions of the graph, which is what keeps the eventual cut small.
+    by_weight = sorted(ordered, key=lambda v: (-degree[v], v.name))
+    seeds = [by_weight[0]]
+    while len(seeds) < shards:
+        best: Variable | None = None
+        best_key: tuple | None = None
+        chosen = set(seeds)
+        for v in by_weight:
+            if v in chosen:
+                continue
+            attached = sum(
+                w for u, w in weights.get(v, {}).items() if u in chosen
+            )
+            key = (attached, -degree[v], v.name)
+            if best_key is None or key < best_key:
+                best, best_key = v, key
+        assert best is not None
+        seeds.append(best)
+    # Per-shard frontier heaps of (-gain, name) with lazy invalidation.
+    gain: list[dict[Variable, int]] = [dict() for _ in range(shards)]
+    heaps: list[list[tuple[int, str]]] = [[] for _ in range(shards)]
+    sizes = [0] * shards
+    by_name: dict[str, Variable] = {v.name: v for v in ordered}
+
+    def assign(v: Variable, shard: int) -> None:
+        assignment[v] = shard
+        sizes[shard] += 1
+        bucket = gain[shard]
+        heap = heaps[shard]
+        for u, w in weights.get(v, {}).items():
+            if u in assignment:
+                continue
+            g = bucket.get(u, 0) + w
+            bucket[u] = g
+            heapq.heappush(heap, (-g, u.name))
+
+    for index, seed in enumerate(seeds):
+        assign(seed, index)
+    cursor = 0  # over ``ordered`` for the no-frontier fallback
+    remaining = len(ordered) - shards
+    while remaining:
+        shard = min(range(shards), key=lambda i: (sizes[i], i))
+        heap = heaps[shard]
+        bucket = gain[shard]
+        picked: Variable | None = None
+        while heap:
+            neg, name = heapq.heappop(heap)
+            v = by_name[name]
+            if v in assignment or bucket.get(v, 0) != -neg:
+                continue  # stale entry
+            picked = v
+            break
+        if picked is None:
+            while cursor < len(ordered) and ordered[cursor] in assignment:
+                cursor += 1
+            picked = ordered[cursor]
+        assign(picked, shard)
+        remaining -= 1
+    return assignment
+
+
+@dataclass
+class ShardPlan:
+    """A deterministic partition of a constraint batch into regions."""
+
+    shards: int
+    #: Variable name → shard, on quotient representatives *and* their
+    #: members (every variable of the batch resolves here).
+    assignment: dict[str, int]
+    #: Per-constraint home shard, aligned with the normalized batch.
+    constraint_shard: list[int]
+    #: Quotient map (loser name → representative name) the plan used.
+    quotient: dict[str, str]
+    sizes: list[int] = field(default_factory=list)
+
+    def shard_of(self, var: Variable) -> int:
+        return self.assignment.get(var.name, 0)
+
+
+def plan_shards(
+    constraints: list[tuple], algebra: Any, shards: int
+) -> ShardPlan:
+    """Partition a normalized constraint batch into ``shards`` regions."""
+    cmap = identity_quotient(constraints, algebra)
+
+    def rep(v: Variable) -> Variable:
+        return cmap.get(v, v)
+
+    nodes: set[Variable] = set()
+    weights: dict[Variable, dict[Variable, int]] = {}
+    for lhs, rhs, _ann in constraints:
+        for v in _constraint_vars(lhs, rhs):
+            nodes.add(rep(v))
+        for a, b in _constraint_links(lhs, rhs):
+            ra, rb = rep(a), rep(b)
+            if ra == rb:
+                continue
+            weights.setdefault(ra, {})[rb] = weights.get(ra, {}).get(rb, 0) + 1
+            weights.setdefault(rb, {})[ra] = weights.get(rb, {}).get(ra, 0) + 1
+    region = grow_regions(sorted(nodes, key=lambda v: v.name), weights, shards)
+    shards = max(region.values(), default=0) + 1 if region else 1
+
+    def shard_of(v: Variable) -> int:
+        return region.get(rep(v), 0)
+
+    homes: list[int] = []
+    for lhs, rhs, _ann in constraints:
+        if isinstance(lhs, Variable) and isinstance(rhs, Variable):
+            home = shard_of(lhs)  # edge consumes lowers at its source
+        elif isinstance(rhs, Variable):
+            home = shard_of(rhs)  # lower bound lands at rhs
+        elif isinstance(lhs, Projection):
+            home = shard_of(lhs.operand)  # proj consumes lowers at operand
+        elif isinstance(lhs, Variable):
+            home = shard_of(lhs)  # upper bound anchors at lhs
+        else:  # term ⊆ term: a meet, location-free
+            args = list(_constraint_vars(lhs, rhs))
+            home = shard_of(args[0]) if args else 0
+        homes.append(home)
+    assignment = {v.name: region.get(rep(v), 0) for v in cmap} | {
+        v.name: s for v, s in region.items()
+    }
+    sizes = [0] * shards
+    for home in homes:
+        sizes[home] += 1
+    return ShardPlan(
+        shards=shards,
+        assignment=assignment,
+        constraint_shard=homes,
+        quotient={v.name: r.name for v, r in cmap.items() if v != r},
+        sizes=sizes,
+    )
+
+
+# -- cross-process shard workers ------------------------------------------------
+
+
+#: Worker-global compiled algebras, keyed by machine fingerprint — each
+#: pool worker compiles a property machine's monoid once and reuses the
+#: tables for every shard batch it solves.
+_WORKER_ALGEBRAS: dict[str, Any] = {}
+
+
+def _worker_algebra(machine_data: dict, fingerprint: str) -> Any:
+    algebra = _WORKER_ALGEBRAS.get(fingerprint)
+    if algebra is None:
+        from repro.core.annotations import CompiledMonoidAlgebra
+        from repro.core.persist import dfa_from_dict
+
+        algebra = CompiledMonoidAlgebra(dfa_from_dict(machine_data))
+        _WORKER_ALGEBRAS[fingerprint] = algebra
+    return algebra
+
+
+def solve_shard_remote(
+    machine_data: dict,
+    fingerprint: str,
+    constraints: list[tuple],
+    cycle_elim: bool,
+    pn_projections: bool,
+) -> str:
+    """Solve one region in a pool worker; return the flat v3 dump.
+
+    The dump's int-interned columns are the cross-process wire format:
+    the parent reinstalls the solved form without re-closing it
+    (:func:`repro.core.persist.load_solver` settles the columns and
+    marks the lowers drained).
+    """
+    from repro.core.persist import dump_solver
+
+    algebra = _worker_algebra(machine_data, fingerprint)
+    solver = FlatSolver(
+        algebra, pn_projections=pn_projections, cycle_elim=cycle_elim
+    )
+    solver.add_many(constraints)
+    return dump_solver(solver)
+
+
+# -- the stitch fixpoint --------------------------------------------------------
+
+
+def _has_consumers(solver: Solver | FlatSolver, var: Variable) -> bool:
+    """Does any resolution rule in this shard consume lowers at ``var``?"""
+    return (
+        next(solver.edges_from(var), None) is not None
+        or next(solver.upper_bounds(var), None) is not None
+        or next(solver.projection_sinks(var), None) is not None
+    )
+
+
+def _exchange_fixpoint(
+    solvers: list[Solver | FlatSolver],
+) -> tuple[int, int]:
+    """Exchange frontier lower bounds until no shard learns a new fact.
+
+    Returns ``(rounds, facts_imported)``.  Each round scans every
+    shard's solved form, pools the lower bounds per variable name, and
+    imports the ones missing from any shard holding consumer columns at
+    that variable; the shard re-drains on import (difference
+    propagation makes the re-drain proportional to the imported delta,
+    not the whole column).
+    """
+    rounds = 0
+    imported = 0
+    while True:
+        rounds += 1
+        pool: dict[Variable, set[tuple]] = {}
+        consumers: dict[Variable, list[int]] = {}
+        shard_lowers: list[dict[Variable, set[tuple]]] = []
+        for index, solver in enumerate(solvers):
+            lowers: dict[Variable, set[tuple]] = {}
+            for var in sorted(solver.variables(), key=lambda v: v.name):
+                bounds = set(solver.lower_bounds(var))
+                if bounds:
+                    lowers[var] = bounds
+                    pool.setdefault(var, set()).update(bounds)
+                if _has_consumers(solver, var):
+                    consumers.setdefault(var, []).append(index)
+            shard_lowers.append(lowers)
+        batches: list[list[tuple]] = [[] for _ in solvers]
+        for var in sorted(consumers, key=lambda v: v.name):
+            bounds = pool.get(var)
+            if not bounds:
+                continue
+            for index in consumers[var]:
+                have = shard_lowers[index].get(var, set())
+                missing = bounds - have
+                if missing:
+                    batches[index].extend(
+                        (term, var, ann)
+                        for term, ann in sorted(missing, key=repr)
+                    )
+        added = 0
+        for index, batch in enumerate(batches):
+            if batch:
+                solvers[index].add_many(batch)
+                added += len(batch)
+        if not added:
+            return rounds, imported
+        imported += added
+
+
+def _merged_inconsistencies(
+    solvers: list[Solver | FlatSolver],
+) -> list[Inconsistency]:
+    out: list[Inconsistency] = []
+    seen: set[tuple] = set()
+    for solver in solvers:
+        for inc in solver.inconsistencies:
+            key = (repr(inc.source), repr(inc.sink), repr(inc.annotation))
+            if key not in seen:
+                seen.add(key)
+                out.append(inc)
+    return out
+
+
+class ShardedSolution:
+    """The result of a sharded solve: per-region solvers plus a merged view.
+
+    ``merged()`` materializes one solver holding the union solved form
+    (installed via the flat columns, not re-closed — the union is
+    already a fixpoint, see the module docstring); queries and
+    :meth:`canonical_facts` run against it.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        solvers: list[Solver | FlatSolver],
+        algebra: Any,
+        cycle_elim: bool,
+        pn_projections: bool,
+        rounds: int,
+        exchanged: int,
+    ) -> None:
+        self.plan = plan
+        self.solvers = solvers
+        self.algebra = algebra
+        self.cycle_elim = cycle_elim
+        self.pn_projections = pn_projections
+        self.rounds = rounds
+        self.exchanged = exchanged
+        self._merged: Solver | FlatSolver | None = None
+
+    @property
+    def shards(self) -> int:
+        return len(self.solvers)
+
+    def merged(self) -> Solver | FlatSolver:
+        if self._merged is not None:
+            return self._merged
+        if len(self.solvers) == 1:
+            self._merged = self.solvers[0]
+            return self._merged
+        merged = _make_solver(
+            self.algebra,
+            cycle_elim=self.cycle_elim,
+            pn_projections=self.pn_projections,
+        )
+        # A shard's canonical facts are emitted modulo its *own* identity
+        # quotient, which erases the equivalence witness other shards'
+        # facts rely on (they still name the merged-away variables).
+        # Re-installing each shard's quotient as identity 2-cycles
+        # restores it; the merged canonicalization then unifies the
+        # component again and dedupes the overlap.
+        if isinstance(merged, FlatSolver):
+            identity = self.algebra.identity_index
+            for solver in self.solvers:
+                for fact in solver.canonical_facts():
+                    merged._install_fact(fact)
+                cmap = solver.collapse_map()
+                for var in sorted(cmap, key=lambda v: v.name):
+                    rep = cmap[var]
+                    if var != rep:
+                        merged._install_fact(("edge", var, rep, identity))
+                        merged._install_fact(("edge", rep, var, identity))
+            merged._settle_loaded()
+        else:
+            # Object core: canonical facts are all expressible as given
+            # constraints, so the merged form is re-added (meets re-fire,
+            # rediscovering the same inconsistencies).
+            identity = self.algebra.identity
+            batch: list[tuple] = []
+            for solver in self.solvers:
+                for fact in solver.canonical_facts():
+                    batch.append(_fact_to_constraint(fact))
+                cmap = solver.collapse_map()
+                for var in sorted(cmap, key=lambda v: v.name):
+                    rep = cmap[var]
+                    if var != rep:
+                        batch.append((var, rep, identity))
+                        batch.append((rep, var, identity))
+            merged.add_many(batch)
+        merged.inconsistencies = _merged_inconsistencies(
+            self.solvers + ([merged] if merged.inconsistencies else [])
+        )
+        self._merged = merged
+        return merged
+
+    def canonical_facts(self) -> Iterator[FactKey]:
+        return self.merged().canonical_facts()
+
+    def fact_count(self) -> int:
+        return self.merged().fact_count()
+
+    @property
+    def inconsistencies(self) -> list[Inconsistency]:
+        return self.merged().inconsistencies
+
+    @property
+    def is_consistent(self) -> bool:
+        return not self.inconsistencies
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard solved-form sizes and composition counts (bench)."""
+        out = []
+        for index, solver in enumerate(self.solvers):
+            stats = solver.stats
+            facts = solver.fact_count()
+            out.append(
+                {
+                    "shard": index,
+                    "constraints": self.plan.sizes[index]
+                    if index < len(self.plan.sizes)
+                    else 0,
+                    "facts": facts,
+                    "compositions": stats.compositions,
+                    "ratio": round(stats.compositions / facts, 4)
+                    if facts
+                    else 0.0,
+                }
+            )
+        return out
+
+
+def _fact_to_constraint(fact: FactKey) -> tuple:
+    kind = fact[0]
+    if kind == "lower":
+        _tag, var, term, ann = fact
+        return (term, var, ann)
+    if kind == "upper":
+        _tag, var, term, ann = fact
+        return (var, term, ann)
+    if kind == "edge":
+        _tag, src, dst, ann = fact
+        return (src, dst, ann)
+    if kind == "proj":
+        _tag, var, ctor, index, target, ann = fact
+        return (Projection(ctor, index, var), target, ann)
+    raise ConstraintError(f"unknown fact kind {kind!r}")
+
+
+def solve_sharded(
+    constraints: Iterable[tuple],
+    algebra: Any,
+    shards: int = 2,
+    *,
+    cycle_elim: bool = True,
+    pn_projections: bool = False,
+    budget: Budget | None = None,
+    executor: Executor | None = None,
+) -> ShardedSolution:
+    """Partition, solve regions (optionally in parallel), stitch, done.
+
+    ``executor`` runs the per-region initial solves in parallel: a
+    :class:`~concurrent.futures.ProcessPoolExecutor` ships each region's
+    constraints to a pool worker and gets the flat-column v3 dump back
+    (compiled algebras only — the wire format is int columns); any other
+    executor (threads) solves shared-memory solvers concurrently.  The
+    stitch fixpoint always runs in the caller's process: it is a small
+    number of rounds over frontier variables only.
+
+    ``budget`` is threaded through the serial path's shard drains and
+    the stitch (one shared budget across regions); parallel initial
+    solves run unbudgeted.
+    """
+    batch = _normalize_constraints(constraints)
+    if shards <= 1 or len(batch) < 2:
+        solver = _make_solver(
+            algebra,
+            cycle_elim=cycle_elim,
+            pn_projections=pn_projections,
+            budget=budget,
+        )
+        solver.add_many(batch)
+        plan = ShardPlan(
+            shards=1,
+            assignment={},
+            constraint_shard=[0] * len(batch),
+            quotient={},
+            sizes=[len(batch)],
+        )
+        return ShardedSolution(
+            plan, [solver], algebra, cycle_elim, pn_projections, 0, 0
+        )
+    plan = plan_shards(batch, algebra, shards)
+    groups: list[list[tuple]] = [[] for _ in range(plan.shards)]
+    for home, item in zip(plan.constraint_shard, batch):
+        groups[home].append(item)
+
+    use_process = isinstance(executor, ProcessPoolExecutor)
+    if use_process and not _is_flat_algebra(algebra):
+        raise ConstraintError(
+            "process-parallel sharding needs a compiled algebra (the "
+            "flat-column wire format carries int annotations)"
+        )
+    solvers: list[Solver | FlatSolver]
+    if executor is not None and use_process:
+        from repro.core.persist import (
+            dfa_to_dict,
+            load_solver,
+            machine_fingerprint,
+        )
+
+        machine = algebra.machine
+        machine_data = dfa_to_dict(machine)
+        fingerprint = machine_fingerprint(machine)
+        futures = [
+            executor.submit(
+                solve_shard_remote,
+                machine_data,
+                fingerprint,
+                group,
+                cycle_elim,
+                pn_projections,
+            )
+            for group in groups
+        ]
+        solvers = [
+            load_solver(future.result(), expected_fingerprint=fingerprint)
+            for future in futures
+        ]
+    elif executor is not None:
+
+        def _solve_local(group: list[tuple]) -> Solver | FlatSolver:
+            solver = _make_solver(
+                algebra, cycle_elim=cycle_elim, pn_projections=pn_projections
+            )
+            solver.add_many(group)
+            return solver
+
+        solvers = [
+            future.result()
+            for future in [executor.submit(_solve_local, g) for g in groups]
+        ]
+    else:
+        solvers = []
+        for group in groups:
+            solver = _make_solver(
+                algebra,
+                cycle_elim=cycle_elim,
+                pn_projections=pn_projections,
+                budget=budget,
+            )
+            solver.add_many(group)
+            solvers.append(solver)
+    rounds, exchanged = _exchange_fixpoint(solvers)
+    return ShardedSolution(
+        plan, solvers, algebra, cycle_elim, pn_projections, rounds, exchanged
+    )

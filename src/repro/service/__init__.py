@@ -21,7 +21,12 @@ package serves that workload:
   write-ahead journal for hot patch sessions: checksummed records,
   fsync batching, snapshot compaction, typed quarantine on damage;
 * :class:`~repro.service.metrics.Metrics` — request/cache/solver
-  counters surfaced by the ``stats`` operation.
+  counters surfaced by the ``stats`` operation;
+* :class:`~repro.service.dispatch.DispatchPool` — a self-healing
+  process pool of preloaded analysis engines (true CPU parallelism);
+* :class:`~repro.service.frontdoor.AsyncAnalysisServer` — the
+  selectors-based single-thread front door that parses, admits, and
+  governs inline while dispatching solves to the process pool.
 """
 
 from repro.service import protocol
@@ -38,6 +43,8 @@ from repro.service.journal import (
     Quarantined,
     SessionJournal,
 )
+from repro.service.dispatch import DispatchPool
+from repro.service.frontdoor import AsyncAnalysisServer
 from repro.service.metrics import Metrics
 from repro.service.protocol import PROTOCOL_VERSION
 from repro.service.server import AnalysisServer, CircuitBreaker
@@ -45,7 +52,9 @@ from repro.service.server import AnalysisServer, CircuitBreaker
 __all__ = [
     "AnalysisEngine",
     "AnalysisServer",
+    "AsyncAnalysisServer",
     "CircuitBreaker",
+    "DispatchPool",
     "EngineError",
     "JournalLineage",
     "Metrics",

@@ -146,10 +146,18 @@ class AnalysisEngine:
         journal_fsync_every: int = 1,
         journal_compact_every: int = 256,
         recover: bool = True,
+        shards: int = 1,
     ):
         if cache_size < 1:
             raise ValueError("cache_size must be at least 1")
         self.cache_size = cache_size
+        #: Cold solves with ``shards > 1`` partition the constraint
+        #: graph (:mod:`repro.core.partition`) and stitch the regions;
+        #: witness traces degrade to empty (no provenance in the merged
+        #: view).  Snapshot warm-starts are unaffected — a canonical
+        #: solved form is a function of the solution, not of how many
+        #: shards computed it.
+        self.shards = max(1, shards)
         self.snapshot_dir = (
             pathlib.Path(snapshot_dir) if snapshot_dir is not None else None
         )
@@ -508,6 +516,7 @@ class AnalysisEngine:
                 prop,
                 algebra=self._check_algebra(prop, fingerprint),
                 budget=budget,
+                shards=self.shards if not prop.parametric_symbols else 1,
             )
             if snapshot is not None and not prop.parametric_symbols:
                 try:
@@ -786,6 +795,7 @@ class AnalysisEngine:
                 algebra=self._bitvector_algebra(problem.n_bits),
                 flat=True,
                 budget=budget,
+                shards=self.shards,
             )
 
         entry = self._solve(key, build)
@@ -902,6 +912,7 @@ class AnalysisEngine:
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = cache_info
         snapshot["solver"] = aggregate.as_dict()
+        snapshot["shards"] = self.shards
         snapshot["protocol"] = protocol.PROTOCOL_VERSION
         snapshot["uptime_s"] = round(time.monotonic() - self.started_at, 3)
         snapshot["recoveries"] = self.recoveries

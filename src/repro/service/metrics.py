@@ -97,3 +97,42 @@ class Metrics:
                 for name, (count, total) in self._timers.items()
             }
         return {"counters": counters, "gauges": gauges, "timers": timers}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another process's :meth:`snapshot` into these metrics.
+
+        Counters and timers are monotone, so they *add*; gauges are
+        instantaneous levels with no cross-process meaning, so a merged
+        gauge is the per-process level summed over contributors (the
+        caller replaces, not accumulates, each worker's contribution by
+        merging a fresh snapshot set — see
+        :meth:`repro.service.dispatch.DispatchPool.aggregate_metrics`).
+        Malformed sections are ignored: a worker that died mid-snapshot
+        must not take ``stats`` down with it.
+        """
+        counters = snapshot.get("counters")
+        gauges = snapshot.get("gauges")
+        timers = snapshot.get("timers")
+        with self._lock:
+            if isinstance(counters, dict):
+                for name, value in counters.items():
+                    if isinstance(value, int):
+                        self._counters[name] = self._counters.get(name, 0) + value
+            if isinstance(gauges, dict):
+                for name, value in gauges.items():
+                    if isinstance(value, int):
+                        self._gauges[name] = self._gauges.get(name, 0) + value
+            if isinstance(timers, dict):
+                for name, entry in timers.items():
+                    if not isinstance(entry, dict):
+                        continue
+                    count = entry.get("count")
+                    seconds = entry.get("seconds")
+                    if isinstance(count, int) and isinstance(
+                        seconds, (int, float)
+                    ):
+                        have_count, have_total = self._timers.get(name, (0, 0.0))
+                        self._timers[name] = (
+                            have_count + count,
+                            have_total + float(seconds),
+                        )

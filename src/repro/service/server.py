@@ -174,15 +174,24 @@ class AnalysisServer:
     # -- admission -------------------------------------------------------------
 
     def _admit(self, token: CancellationToken) -> bool:
-        """Claim an admission slot; False means shed (queue full)."""
+        """Claim an admission slot; False means shed (queue full).
+
+        The gauges publish *under* the admission lock: a racing
+        admit/release pair publishing outside it can interleave so the
+        stale count lands last, leaving ``queue.depth`` wrong (even
+        clamped negative values showed as 0 while slots were free) until
+        the next request corrects it.
+        """
         with self._admit_lock:
             if self._inflight >= self.workers + self.max_queue:
                 return False
             self._inflight += 1
             self._tokens.add(token)
             inflight = self._inflight
-        self.metrics.set_gauge("requests.inflight", inflight)
-        self.metrics.set_gauge("queue.depth", max(0, inflight - self.workers))
+            self.metrics.set_gauge("requests.inflight", inflight)
+            self.metrics.set_gauge(
+                "queue.depth", max(0, inflight - self.workers)
+            )
         return True
 
     def _release(self, token: CancellationToken) -> None:
@@ -190,8 +199,10 @@ class AnalysisServer:
             self._inflight -= 1
             self._tokens.discard(token)
             inflight = self._inflight
-        self.metrics.set_gauge("requests.inflight", inflight)
-        self.metrics.set_gauge("queue.depth", max(0, inflight - self.workers))
+            self.metrics.set_gauge("requests.inflight", inflight)
+            self.metrics.set_gauge(
+                "queue.depth", max(0, inflight - self.workers)
+            )
 
     # -- request handling ------------------------------------------------------
 

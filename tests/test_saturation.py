@@ -1,0 +1,194 @@
+"""Scale-out saturation smoke: concurrent clients vs process workers.
+
+CI runs this under two ``REPRO_SATURATION_SEED`` values (the seed
+varies every generated program, so each run solves different constraint
+systems).  Two scenarios:
+
+* N concurrent client connections push distinct cold solves through
+  the selectors front door onto M worker processes — every request must
+  come back ``ok`` with a solved-form fact count, and the aggregated
+  ``stats`` must account for all of them;
+* ``kill -9`` of a pool worker *mid-solve* — the in-flight request gets
+  the typed ``unavailable`` refusal (never a hang, never a traceback),
+  and the pool heals itself so later requests succeed.
+"""
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import protocol
+from repro.service.frontdoor import AsyncAnalysisServer
+from repro.synth import PackageSpec, generate_package
+
+SEED = int(os.environ.get("REPRO_SATURATION_SEED", "0"))
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 3
+WORKERS = 2
+
+
+def _program(index: int, lines: int = 400, functions: int = 6) -> str:
+    return generate_package(
+        PackageSpec(
+            f"saturation-{SEED}-{index}",
+            lines,
+            functions,
+            seed=SEED * 31 + index,
+        )
+    )
+
+
+def _rpc(sock, reader, op, params, rid):
+    sock.sendall(
+        (
+            json.dumps({"v": 1, "id": rid, "op": op, "params": params}) + "\n"
+        ).encode()
+    )
+    line = reader.readline()
+    assert line, "server closed the connection"
+    response = json.loads(line)
+    assert response["id"] == rid
+    return response
+
+
+def test_concurrent_clients_saturate_the_pool():
+    server = AsyncAnalysisServer(
+        workers=WORKERS, preload=["full-privilege"], timeout=300.0
+    )
+    host, port = server.start()
+    programs = [
+        _program(i) for i in range(CLIENTS * REQUESTS_PER_CLIENT)
+    ]
+    responses: list[dict] = []
+    lock = threading.Lock()
+    failures: list[BaseException] = []
+
+    def client(client_index: int) -> None:
+        try:
+            sock = socket.create_connection((host, port), timeout=300)
+            reader = sock.makefile("r")
+            for j in range(REQUESTS_PER_CLIENT):
+                index = client_index * REQUESTS_PER_CLIENT + j
+                response = _rpc(
+                    sock,
+                    reader,
+                    "check",
+                    {
+                        "program": programs[index],
+                        "property": "full-privilege",
+                    },
+                    rid=index,
+                )
+                with lock:
+                    responses.append(response)
+            sock.close()
+        except BaseException as exc:  # surfaced after join
+            with lock:
+                failures.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not failures, failures
+        assert len(responses) == CLIENTS * REQUESTS_PER_CLIENT
+        for response in responses:
+            assert response["ok"], response
+            assert response["result"]["facts"] > 0
+        # The aggregate must account for every request across workers.
+        sock = socket.create_connection((host, port), timeout=60)
+        reader = sock.makefile("r")
+        stats = _rpc(sock, reader, "stats", {}, rid="stats")["result"]
+        sock.close()
+        assert stats["pool"]["workers"] == WORKERS
+        assert (
+            stats["counters"]["requests.check"]
+            >= CLIENTS * REQUESTS_PER_CLIENT
+        )
+        assert stats["counters"].get("pool.dispatched", 0) >= (
+            CLIENTS * REQUESTS_PER_CLIENT
+        )
+        assert stats["frontdoor"]["inflight"] == 0
+    finally:
+        server.close()
+
+
+def test_kill_worker_mid_solve_is_typed_and_heals():
+    server = AsyncAnalysisServer(
+        workers=1, preload=["full-privilege"], timeout=300.0
+    )
+    host, port = server.start()
+    sock = socket.create_connection((host, port), timeout=300)
+    reader = sock.makefile("r")
+    # Big enough that the solve is still running when SIGKILL lands.
+    big = _program(999, lines=8_000, functions=40)
+    try:
+        saw_unavailable = False
+        for attempt in range(5):
+            pids = server.pool.worker_pids()
+            sock.sendall(
+                (
+                    json.dumps(
+                        {
+                            "v": 1,
+                            "id": f"kill-{attempt}",
+                            "op": "check",
+                            "params": {
+                                "program": big,
+                                "property": "full-privilege",
+                            },
+                        }
+                    )
+                    + "\n"
+                ).encode()
+            )
+            time.sleep(0.2)  # let the worker pick the solve up
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            response = json.loads(reader.readline())
+            if not response["ok"]:
+                assert (
+                    response["error"]["code"] == protocol.E_UNAVAILABLE
+                ), response
+                saw_unavailable = True
+                break
+            # The solve won the race; try again against the fresh pool.
+        assert saw_unavailable, (
+            "five mid-solve SIGKILLs never surfaced as a typed "
+            "unavailable refusal"
+        )
+        # Self-heal: the pool rebuilt and serves again.
+        deadline = time.time() + 120
+        healed = False
+        index = 0
+        while time.time() < deadline:
+            response = _rpc(
+                sock,
+                reader,
+                "check",
+                {"program": _program(50 + index), "property": "full-privilege"},
+                rid=f"heal-{index}",
+            )
+            index += 1
+            if response["ok"]:
+                healed = True
+                break
+            assert response["error"]["code"] == protocol.E_UNAVAILABLE
+            time.sleep(0.2)
+        assert healed, "pool never healed after the SIGKILL"
+        assert server.pool.rebuilds >= 1
+    finally:
+        sock.close()
+        server.close()
