@@ -254,6 +254,96 @@ def grow_regions(
     return assignment
 
 
+def _frontier_counts(
+    assignment: dict[Variable, int],
+    weights: dict[Variable, dict[Variable, int]],
+    shards: int,
+) -> tuple[int, list[int]]:
+    """Frontier edge count of a region assignment.
+
+    Counts *distinct quotient-graph edges* whose endpoints land in
+    different shards — the quantity that sizes the cross-shard
+    lower-bound exchange (each cut edge is a variable adjacency whose
+    lowers must ship).  Returns ``(total, per_shard)`` where the
+    per-shard figure counts each cut edge at both endpoints (a shard's
+    own frontier, as reported by ``repro check --shards -v``).
+    """
+    total = 0
+    per_shard = [0] * shards
+    for u, neighbors in weights.items():
+        su = assignment.get(u, 0)
+        for v in neighbors:
+            if u.name >= v.name:
+                continue  # count each unordered pair once
+            sv = assignment.get(v, 0)
+            if su != sv:
+                total += 1
+                per_shard[su] += 1
+                per_shard[sv] += 1
+    return total, per_shard
+
+
+def refine_regions(
+    assignment: dict[Variable, int],
+    weights: dict[Variable, dict[Variable, int]],
+    shards: int,
+) -> dict[Variable, int]:
+    """One Fiduccia–Mattheyses-style move pass over a region assignment.
+
+    Scans nodes in name order; a node moves to the neighboring shard
+    with the largest *strictly positive* gain, where gain is counted in
+    distinct cut **edges** (neighbors in the target shard minus
+    neighbors in the home shard).  Because each accepted move strictly
+    reduces the number of cut edges and the count is a non-negative
+    integer, the pass provably leaves the frontier edge count no larger
+    than it started — and strictly smaller whenever any move is
+    accepted.  A balance cap (``ceil(n / shards)`` plus 25% slack)
+    keeps refinement from collapsing everything into one shard, and a
+    shard is never drained below one node.  Ties break toward the
+    lowest shard index; the scan order is name-sorted — the whole pass
+    is a pure function of its inputs, like :func:`grow_regions`.
+    """
+    if shards <= 1 or len(assignment) <= shards:
+        return assignment
+    assignment = dict(assignment)
+    sizes = [0] * shards
+    for shard in assignment.values():
+        sizes[shard] += 1
+    n = len(assignment)
+    cap = -(-n // shards)  # ceil
+    cap += max(1, cap // 4)
+    for v in sorted(assignment, key=lambda node: node.name):
+        neighbors = weights.get(v)
+        if not neighbors:
+            continue
+        home = assignment[v]
+        if sizes[home] <= 1:
+            continue
+        # Distinct-neighbor tallies per shard (edge-pair gain, not
+        # weight gain — the metric being minimized is cut edges).
+        conn = [0] * shards
+        for u in neighbors:
+            conn[assignment.get(u, home)] += 1
+        best_shard = home
+        best_gain = 0
+        for shard in range(shards):
+            if shard == home or sizes[shard] >= cap:
+                continue
+            gain = conn[shard] - conn[home]
+            if gain > best_gain:
+                best_gain = gain
+                best_shard = shard
+        if best_shard != home:
+            assignment[v] = best_shard
+            sizes[home] -= 1
+            sizes[best_shard] += 1
+    return assignment
+
+
+#: Recognized partitioning strategies (the CLI exposes these).
+PARTITION_STRATEGIES = ("greedy", "roundrobin")
+
+
 @dataclass
 class ShardPlan:
     """A deterministic partition of a constraint batch into regions."""
@@ -267,15 +357,39 @@ class ShardPlan:
     #: Quotient map (loser name → representative name) the plan used.
     quotient: dict[str, str]
     sizes: list[int] = field(default_factory=list)
+    #: Strategy that produced the assignment ("greedy" or "roundrobin").
+    partition: str = "greedy"
+    #: Distinct quotient-graph edges crossing shards (the exchange load).
+    frontier_edges: int = 0
+    #: Per-shard frontier, counting each cut edge at both endpoints.
+    frontier_per_shard: list[int] = field(default_factory=list)
 
     def shard_of(self, var: Variable) -> int:
         return self.assignment.get(var.name, 0)
 
 
 def plan_shards(
-    constraints: list[tuple], algebra: Any, shards: int
+    constraints: list[tuple],
+    algebra: Any,
+    shards: int,
+    partition: str = "greedy",
 ) -> ShardPlan:
-    """Partition a normalized constraint batch into ``shards`` regions."""
+    """Partition a normalized constraint batch into ``shards`` regions.
+
+    ``partition`` picks the strategy: ``"greedy"`` (default) grows
+    locality-aware regions and runs one FM refinement pass over the cut
+    (:func:`grow_regions` + :func:`refine_regions`); ``"roundrobin"``
+    deals quotient nodes out cyclically in name order — the locality
+    baseline the bench gate compares against.  Both are deterministic,
+    and both yield the same canonical solved form (partitioning affects
+    only *where* constraints are homed, never what is derived — the
+    equivalence suite asserts this per strategy).
+    """
+    if partition not in PARTITION_STRATEGIES:
+        raise ConstraintError(
+            f"unknown partition strategy {partition!r}; "
+            f"expected one of {PARTITION_STRATEGIES}"
+        )
     cmap = identity_quotient(constraints, algebra)
 
     def rep(v: Variable) -> Variable:
@@ -292,8 +406,17 @@ def plan_shards(
                 continue
             weights.setdefault(ra, {})[rb] = weights.get(ra, {}).get(rb, 0) + 1
             weights.setdefault(rb, {})[ra] = weights.get(rb, {}).get(ra, 0) + 1
-    region = grow_regions(sorted(nodes, key=lambda v: v.name), weights, shards)
+    ordered_nodes = sorted(nodes, key=lambda v: v.name)
+    if partition == "roundrobin":
+        region = {v: i % shards for i, v in enumerate(ordered_nodes)}
+    else:
+        region = grow_regions(ordered_nodes, weights, shards)
     shards = max(region.values(), default=0) + 1 if region else 1
+    if partition == "greedy" and shards > 1:
+        region = refine_regions(region, weights, shards)
+    frontier_edges, frontier_per_shard = _frontier_counts(
+        region, weights, shards
+    )
 
     def shard_of(v: Variable) -> int:
         return region.get(rep(v), 0)
@@ -324,6 +447,9 @@ def plan_shards(
         constraint_shard=homes,
         quotient={v.name: r.name for v, r in cmap.items() if v != r},
         sizes=sizes,
+        partition=partition,
+        frontier_edges=frontier_edges,
+        frontier_per_shard=frontier_per_shard,
     )
 
 
@@ -336,13 +462,27 @@ def plan_shards(
 _WORKER_ALGEBRAS: dict[str, Any] = {}
 
 
-def _worker_algebra(machine_data: dict, fingerprint: str) -> Any:
+def _worker_algebra(
+    machine_data: dict, fingerprint: str, arena_name: str | None = None
+) -> Any:
     algebra = _WORKER_ALGEBRAS.get(fingerprint)
     if algebra is None:
-        from repro.core.annotations import CompiledMonoidAlgebra
-        from repro.core.persist import dfa_from_dict
+        if arena_name is not None:
+            # Zero-copy path: index the parent's published composition
+            # tables instead of recompiling the monoid in this worker.
+            try:
+                from repro.core import shm
 
-        algebra = CompiledMonoidAlgebra(dfa_from_dict(machine_data))
+                algebra, _arena = shm.attach_algebra(
+                    arena_name, expected_fingerprint=fingerprint
+                )
+            except Exception:
+                algebra = None
+        if algebra is None:
+            from repro.core.annotations import CompiledMonoidAlgebra
+            from repro.core.persist import dfa_from_dict
+
+            algebra = CompiledMonoidAlgebra(dfa_from_dict(machine_data))
         _WORKER_ALGEBRAS[fingerprint] = algebra
     return algebra
 
@@ -353,22 +493,42 @@ def solve_shard_remote(
     constraints: list[tuple],
     cycle_elim: bool,
     pn_projections: bool,
-) -> str:
-    """Solve one region in a pool worker; return the flat v3 dump.
+    arena_name: str | None = None,
+    want_shm: bool = False,
+) -> dict:
+    """Solve one region in a pool worker; return a transfer envelope.
 
-    The dump's int-interned columns are the cross-process wire format:
-    the parent reinstalls the solved form without re-closing it
+    When ``want_shm`` is set and shared memory is usable, the solved
+    columns are published as a named segment and only its handle crosses
+    the process boundary: ``{"shm": name, "resident_bytes": n,
+    "wire_bytes": small}``.  Otherwise the envelope carries the flat v3
+    dump — ``{"dump": json, "wire_bytes": len(json)}`` — whose
+    int-interned columns the parent reinstalls without re-closing
     (:func:`repro.core.persist.load_solver` settles the columns and
     marks the lowers drained).
     """
-    from repro.core.persist import dump_solver
-
-    algebra = _worker_algebra(machine_data, fingerprint)
+    algebra = _worker_algebra(machine_data, fingerprint, arena_name)
     solver = FlatSolver(
         algebra, pn_projections=pn_projections, cycle_elim=cycle_elim
     )
     solver.add_many(constraints)
-    return dump_solver(solver)
+    if want_shm:
+        try:
+            from repro.core import shm
+
+            if shm.shm_available():
+                name, resident = shm.publish_columns(solver, fingerprint)
+                return {
+                    "shm": name,
+                    "resident_bytes": resident,
+                    "wire_bytes": len(name),
+                }
+        except Exception:
+            pass  # fall through to the pickle-compatible dump
+    from repro.core.persist import dump_solver
+
+    dump = dump_solver(solver)
+    return {"dump": dump, "wire_bytes": len(dump)}
 
 
 # -- the stitch fixpoint --------------------------------------------------------
@@ -467,6 +627,7 @@ class ShardedSolution:
         pn_projections: bool,
         rounds: int,
         exchanged: int,
+        transfer: dict | None = None,
     ) -> None:
         self.plan = plan
         self.solvers = solvers
@@ -475,6 +636,15 @@ class ShardedSolution:
         self.pn_projections = pn_projections
         self.rounds = rounds
         self.exchanged = exchanged
+        #: How solved columns crossed the process boundary: mode is
+        #: "local" (no boundary), "shm" (segment handles), or "pickle";
+        #: bytes counts wire traffic (dump text, or handle names on shm).
+        self.transfer = transfer or {
+            "mode": "local",
+            "bytes": 0,
+            "shm_attaches": 0,
+            "pickle_fallbacks": 0,
+        }
         self._merged: Solver | FlatSolver | None = None
 
     @property
@@ -563,6 +733,9 @@ class ShardedSolution:
                     "ratio": round(stats.compositions / facts, 4)
                     if facts
                     else 0.0,
+                    "frontier_edges": self.plan.frontier_per_shard[index]
+                    if index < len(self.plan.frontier_per_shard)
+                    else 0,
                 }
             )
         return out
@@ -594,16 +767,26 @@ def solve_sharded(
     pn_projections: bool = False,
     budget: Budget | None = None,
     executor: Executor | None = None,
+    partition: str = "greedy",
+    transfer: str | None = None,
 ) -> ShardedSolution:
     """Partition, solve regions (optionally in parallel), stitch, done.
 
     ``executor`` runs the per-region initial solves in parallel: a
     :class:`~concurrent.futures.ProcessPoolExecutor` ships each region's
-    constraints to a pool worker and gets the flat-column v3 dump back
-    (compiled algebras only — the wire format is int columns); any other
-    executor (threads) solves shared-memory solvers concurrently.  The
-    stitch fixpoint always runs in the caller's process: it is a small
-    number of rounds over frontier variables only.
+    constraints to a pool worker and gets solved columns back — as a
+    shared-memory segment handle when :mod:`repro.core.shm` is usable
+    (zero-copy: the parent maps the worker's bytes), else as the flat
+    v3 dump (compiled algebras only — the wire format is int columns);
+    any other executor (threads) solves shared-memory solvers
+    concurrently.  The stitch fixpoint always runs in the caller's
+    process: it is a small number of rounds over frontier variables
+    only.
+
+    ``partition`` selects the placement strategy (see
+    :func:`plan_shards`).  ``transfer`` forces the process-pool result
+    path: ``"pickle"`` disables shm publication, ``"shm"``/``None``
+    prefer it when available.
 
     ``budget`` is threaded through the serial path's shard drains and
     the stitch (one shared budget across regions); parallel initial
@@ -624,11 +807,12 @@ def solve_sharded(
             constraint_shard=[0] * len(batch),
             quotient={},
             sizes=[len(batch)],
+            partition=partition,
         )
         return ShardedSolution(
             plan, [solver], algebra, cycle_elim, pn_projections, 0, 0
         )
-    plan = plan_shards(batch, algebra, shards)
+    plan = plan_shards(batch, algebra, shards, partition=partition)
     groups: list[list[tuple]] = [[] for _ in range(plan.shards)]
     for home, item in zip(plan.constraint_shard, batch):
         groups[home].append(item)
@@ -640,7 +824,9 @@ def solve_sharded(
             "flat-column wire format carries int annotations)"
         )
     solvers: list[Solver | FlatSolver]
+    transfer_stats: dict | None = None
     if executor is not None and use_process:
+        from repro.core import shm
         from repro.core.persist import (
             dfa_to_dict,
             load_solver,
@@ -650,6 +836,16 @@ def solve_sharded(
         machine = algebra.machine
         machine_data = dfa_to_dict(machine)
         fingerprint = machine_fingerprint(machine)
+        want_shm = transfer != "pickle" and shm.shm_available()
+        arena_name: str | None = None
+        if want_shm:
+            try:
+                # Published once per fingerprint and kept for the process
+                # lifetime (publish_algebra dedupes) — every worker maps
+                # these composition tables instead of recompiling.
+                arena_name = shm.publish_algebra(algebra, fingerprint).name
+            except Exception:
+                arena_name = None
         futures = [
             executor.submit(
                 solve_shard_remote,
@@ -658,13 +854,32 @@ def solve_sharded(
                 group,
                 cycle_elim,
                 pn_projections,
+                arena_name,
+                want_shm,
             )
             for group in groups
         ]
-        solvers = [
-            load_solver(future.result(), expected_fingerprint=fingerprint)
-            for future in futures
-        ]
+        solvers = []
+        transfer_stats = {
+            "mode": "shm" if want_shm else "pickle",
+            "bytes": 0,
+            "shm_attaches": 0,
+            "pickle_fallbacks": 0,
+        }
+        for future in futures:
+            envelope = future.result()
+            transfer_stats["bytes"] += envelope.get("wire_bytes", 0)
+            if "shm" in envelope:
+                solvers.append(shm.attach_columns(envelope["shm"], algebra))
+                transfer_stats["shm_attaches"] += 1
+            else:
+                solvers.append(
+                    load_solver(
+                        envelope["dump"], expected_fingerprint=fingerprint
+                    )
+                )
+                if want_shm:
+                    transfer_stats["pickle_fallbacks"] += 1
     elif executor is not None:
 
         def _solve_local(group: list[tuple]) -> Solver | FlatSolver:
@@ -691,5 +906,12 @@ def solve_sharded(
             solvers.append(solver)
     rounds, exchanged = _exchange_fixpoint(solvers)
     return ShardedSolution(
-        plan, solvers, algebra, cycle_elim, pn_projections, rounds, exchanged
+        plan,
+        solvers,
+        algebra,
+        cycle_elim,
+        pn_projections,
+        rounds,
+        exchanged,
+        transfer=transfer_stats,
     )

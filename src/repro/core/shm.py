@@ -1,0 +1,870 @@
+"""Shared-memory arenas: zero-copy transfer of compiled tables and columns.
+
+The multi-process tier (``repro.service.dispatch``,
+``repro.core.partition``) used to move everything through pickle: each
+pool worker recompiled its own copy of the Section-8 composition tables
+at startup, and every shard result crossed the process boundary as a
+JSON dump the parent re-interned fact by fact.  This module replaces
+both copies with ``multiprocessing.shared_memory`` segments that all
+processes on the machine *map*, never duplicate:
+
+* :func:`publish_algebra` / :func:`attach_algebra` — a compiled
+  annotation algebra's dense composition table, liveness/acceptance
+  predicates and element (representative-function) table as read-only
+  flat int64/byte buffers, keyed by machine fingerprint.  The attached
+  :class:`~repro.core.annotations.CompiledMonoidAlgebra` indexes
+  memoryview rows of the arena instead of owning tuples; the numpy
+  backend views the same bytes via ``frombuffer``.
+* :func:`publish_columns` / :func:`attach_columns` — a
+  :class:`~repro.core.flatcore.FlatSolver` solved form as its raw
+  int-interned parallel columns (the flat core's native layout) plus
+  the variable/term intern tables.  The attach path hands the column
+  views straight to :meth:`FlatSolver.attach_columns`, which keeps them
+  *frozen* (copy-on-write: a column is materialized only if a later
+  fact actually mutates it).
+
+Segment layout reuses the persist v3 conventions — a versioned ASCII
+header carrying a full-payload sha256 and an explicit size::
+
+    #repro-shm v1 sha256=<64 hex> size=<20 digits>\\n   (112 bytes)
+    <8-byte LE meta length> <meta JSON, space-padded to 8-byte multiple>
+    <binary sections, each padded to an 8-byte multiple>
+
+``meta["sections"]`` maps section names to ``[offset, length]`` within
+the binary area, so every consumer slices (never parses) its data.  The
+header is fixed-width so the binary area is always 8-byte aligned for
+``memoryview.cast("q")`` and ``numpy.frombuffer``.
+
+Lifecycle.  Segments are named ``repro_shm.<owner pid>.<seq>.<nonce>``;
+the registry refcounts per-process attachments (:meth:`Arena.incref` /
+:meth:`Arena.decref` — the owner's final decref unlinks).  Column
+segments are created by a worker, adopted by the parent, and unlinked
+immediately after attach (the mapping outlives the name).  A process
+that dies holding segments — ``kill -9`` mid-solve — leaves orphans
+whose owner pid is embedded in the name; :func:`cleanup_stale` unlinks
+any segment whose owner is no longer alive, and runs at pool startup
+and on every pool self-heal (see RECOVERY.md).
+
+Availability.  Everything degrades to the existing pickle path:
+:func:`shm_available` is false when the platform lacks POSIX shared
+memory or when ``REPRO_SHM_DISABLE`` is set to a non-empty value other
+than ``0`` (the CI saturation matrix forces both sides).  Callers are
+expected to try the arena and fall back, counting the outcome in the
+``transfer.shm_attaches`` / ``transfer.pickle_fallbacks`` metrics.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import os
+import threading
+import weakref
+from array import array
+from typing import Any, Iterable
+
+from repro.core.errors import SnapshotCorrupt
+
+__all__ = [
+    "Arena",
+    "DISABLE_ENV",
+    "algebra_fingerprint",
+    "attach",
+    "attach_algebra",
+    "attach_columns",
+    "cleanup_stale",
+    "publish_algebra",
+    "publish_columns",
+    "shm_available",
+]
+
+SHM_MAGIC = "#repro-shm"
+SHM_VERSION = 1
+#: Set to any non-empty value other than ``"0"`` to force the pickle
+#: fallback everywhere (the CI saturation matrix exercises both sides).
+DISABLE_ENV = "REPRO_SHM_DISABLE"
+
+#: Segment name prefix; the dot-separated second field is the owner pid
+#: (:func:`cleanup_stale` parses it to find orphans).
+_PREFIX = "repro_shm."
+
+#: Fixed header width: ``#repro-shm v1 sha256=`` (21) + 64 hex + ``
+#: size=`` (6) + 20 digits + newline — 112 bytes, a multiple of 8 so
+#: the payload area is int64-aligned.
+_HEADER_LEN = 112
+
+_LOCK = threading.Lock()
+_SEQ = 0
+#: name -> Arena, every segment this process currently has mapped *and*
+#: still named (unlinked arenas drop out so they die with their owner).
+_REGISTRY: dict[str, "Arena"] = {}
+#: publish key (fingerprint) -> segment name, for publish deduping.
+_PUBLISHED: dict[str, str] = {}
+#: Weak view of every arena ever mapped, for exit-time disarming (a
+#: weak set so an unlinked arena is collected with the solver using it).
+_ALL: "weakref.WeakSet[Arena]" = weakref.WeakSet()
+_PROBED: bool | None = None
+
+
+def _disabled() -> bool:
+    value = os.environ.get(DISABLE_ENV, "")
+    return bool(value) and value != "0"
+
+
+def _shared_memory_cls() -> Any:
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory
+
+
+def _untrack(shm: Any) -> None:
+    """Detach a segment from the resource tracker.
+
+    The tracker unlinks every registered segment when its process
+    exits, which is wrong for both sides of our protocol: a recycled
+    pool worker must not destroy the arena the parent and its siblings
+    still map, and a worker's result segment must survive until the
+    parent adopts it.  Lifecycle is owned by the registry refcounts
+    plus :func:`cleanup_stale` instead.
+    """
+    try:  # pragma: no cover - tracker internals vary across versions
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _unlink_segment(shm: Any) -> None:
+    """Unlink a segment's name without touching the resource tracker.
+
+    ``SharedMemory.unlink`` also unregisters from the tracker — but we
+    already unregistered at open (:func:`_untrack`), and a second
+    unregister makes the tracker process log a KeyError at shutdown.
+    Go straight to ``shm_unlink`` where the helper module exists.
+    """
+    try:
+        import _posixshmem
+
+        _posixshmem.shm_unlink(shm._name)
+    except FileNotFoundError:
+        pass
+    except (ImportError, AttributeError, OSError):  # pragma: no cover
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def _open_segment(name: str, create: bool = False, size: int = 0) -> Any:
+    cls = _shared_memory_cls()
+    try:  # Python >= 3.13 supports opting out of the tracker directly.
+        shm = cls(name=name, create=create, size=size, track=False)
+    except TypeError:
+        shm = cls(name=name, create=create, size=size)
+        _untrack(shm)
+    return shm
+
+
+def shm_available() -> bool:
+    """Can this process publish/attach shared-memory arenas right now?
+
+    The environment gate is consulted on every call (tests flip it);
+    the platform probe — create, write, reopen, unlink one tiny
+    segment — runs once per process.
+    """
+    if _disabled():
+        return False
+    global _PROBED
+    if _PROBED is None:
+        try:
+            probe = _open_segment(_new_name("probe"), create=True, size=16)
+            try:
+                probe.buf[0] = 42
+                ok = probe.buf[0] == 42
+            finally:
+                probe.close()
+                _unlink_segment(probe)
+            _PROBED = bool(ok)
+        except Exception:
+            _PROBED = False
+    return _PROBED
+
+
+def _new_name(tag: str) -> str:
+    global _SEQ
+    with _LOCK:
+        _SEQ += 1
+        seq = _SEQ
+    return f"{_PREFIX}{os.getpid()}.{seq}.{os.urandom(3).hex()}.{tag}"
+
+
+def _pad8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+class Arena:
+    """One mapped shared-memory segment: header, meta, binary sections.
+
+    Refcounted per process: :func:`attach` on an already-mapped name
+    returns the same object with its count bumped; :meth:`decref`
+    closes the mapping at zero and — when this process owns the
+    segment — unlinks the name.  ``meta`` is the decoded JSON header;
+    :meth:`section`/:meth:`ints` return zero-copy views of the binary
+    sections.
+    """
+
+    __slots__ = (
+        "name",
+        "meta",
+        "owner",
+        "refs",
+        "size",
+        "_shm",
+        "_body",
+        "_closed",
+        "__weakref__",
+    )
+
+    def __init__(self, shm: Any, meta: dict, body: memoryview, size: int, owner: bool):
+        self.name: str = shm.name
+        self.meta = meta
+        self.owner = owner
+        self.refs = 1
+        #: Total segment payload bytes (header + meta + sections) — the
+        #: figure transfer accounting reports as resident, not moved.
+        self.size = size
+        self._shm = shm
+        self._body = body
+        self._closed = False
+        _ALL.add(self)
+
+    @property
+    def kind(self) -> str:
+        return self.meta.get("kind", "")
+
+    def section(self, name: str) -> memoryview:
+        """Zero-copy byte view of one named section."""
+        offset, length = self.meta["sections"][name]
+        return self._body[offset : offset + length]
+
+    def ints(self, name: str) -> memoryview:
+        """Zero-copy int64 view of one named section."""
+        return self.section(name).cast("q")
+
+    def incref(self) -> "Arena":
+        with _LOCK:
+            self.refs += 1
+        return self
+
+    def decref(self) -> None:
+        """Drop one reference; the last one closes (and owner-unlinks)."""
+        with _LOCK:
+            self.refs -= 1
+            if self.refs > 0 or self._closed:
+                return
+            self._closed = True
+            _REGISTRY.pop(self.name, None)
+            for key, name in list(_PUBLISHED.items()):
+                if name == self.name:
+                    del _PUBLISHED[key]
+        self._release(unlink=self.owner)
+
+    def unlink(self) -> None:
+        """Remove the segment's *name* now; existing mappings survive.
+
+        The parent calls this right after adopting a worker's column
+        segment: the data stays readable through the attached views,
+        but a crash after this point can no longer orphan the name.
+        The arena also drops out of the process registry — nameless, it
+        is private to whoever holds it and garbage-collects with them.
+        """
+        _unlink_segment(self._shm)
+        self.owner = False  # nothing left to unlink at decref time
+        with _LOCK:
+            _REGISTRY.pop(self.name, None)
+            for key, name in list(_PUBLISHED.items()):
+                if name == self.name:
+                    del _PUBLISHED[key]
+
+    def _release(self, unlink: bool) -> None:
+        if unlink:
+            _unlink_segment(self._shm)
+        try:
+            self._body.release()
+        except BufferError:
+            pass  # views handed to a solver/algebra still pin it
+        try:
+            self._shm.close()
+        except BufferError:
+            # Exported views keep the mapping alive; disarm the stdlib
+            # object so its __del__ doesn't retry (and log) at exit.
+            # The fd can close now — the mapping survives it — and the
+            # OS reclaims the memory when the last view is collected.
+            shm = self._shm
+            fd = getattr(shm, "_fd", -1)
+            if fd is not None and fd >= 0:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+                shm._fd = -1
+            shm._mmap = None
+            shm._buf = None
+
+
+def _pack_payload(meta: dict, sections: dict[str, Any]) -> tuple[dict, list[Any], int]:
+    """Compute section offsets; return (meta, ordered chunks, body length)."""
+    offsets: dict[str, list[int]] = {}
+    chunks: list[Any] = []
+    cursor = 0
+    for name, data in sections.items():
+        blob = data.tobytes() if isinstance(data, array) else bytes(data)
+        offsets[name] = [cursor, len(blob)]
+        padded = _pad8(len(blob))
+        if padded != len(blob):
+            blob = blob + b"\0" * (padded - len(blob))
+        chunks.append(blob)
+        cursor += padded
+    meta = dict(meta)
+    meta["version"] = SHM_VERSION
+    meta["sections"] = offsets
+    return meta, chunks, cursor
+
+
+def _create(meta: dict, sections: dict[str, Any], tag: str) -> Arena:
+    """Create, fill, checksum and register a new owned segment."""
+    meta, chunks, body_len = _pack_payload(meta, sections)
+    meta_blob = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    meta_padded = _pad8(len(meta_blob))
+    meta_blob = meta_blob + b" " * (meta_padded - len(meta_blob))
+    payload_len = 8 + meta_padded + body_len
+    shm = _open_segment(_new_name(tag), create=True, size=_HEADER_LEN + payload_len)
+    try:
+        buf = shm.buf
+        digest = hashlib.sha256()
+        cursor = _HEADER_LEN
+        for blob in ((len(meta_blob)).to_bytes(8, "little"), meta_blob, *chunks):
+            buf[cursor : cursor + len(blob)] = blob
+            digest.update(blob)
+            cursor += len(blob)
+        header = (
+            f"{SHM_MAGIC} v{SHM_VERSION} sha256={digest.hexdigest()} "
+            f"size={payload_len:020d}\n"
+        ).encode("ascii")
+        if len(header) != _HEADER_LEN:  # pragma: no cover - format invariant
+            raise AssertionError(f"header width {len(header)} != {_HEADER_LEN}")
+        buf[:_HEADER_LEN] = header
+        body = buf[_HEADER_LEN + 8 + meta_padded : cursor]
+    except Exception:  # pragma: no cover - don't orphan a half-built segment
+        shm.close()
+        _unlink_segment(shm)
+        raise
+    arena = Arena(shm, meta, body, _HEADER_LEN + payload_len, owner=True)
+    with _LOCK:
+        _REGISTRY[arena.name] = arena
+    return arena
+
+
+def attach(name: str, expected_kind: str | None = None) -> Arena:
+    """Map an existing segment, verify its checksum, return the arena.
+
+    Re-attaching a name this process already maps bumps the refcount
+    and returns the shared object.  Header or checksum mismatches raise
+    :class:`~repro.core.errors.SnapshotCorrupt` (same contract as the
+    persist snapshot loader).
+    """
+    with _LOCK:
+        cached = _REGISTRY.get(name)
+    if cached is not None:
+        if expected_kind is not None and cached.kind != expected_kind:
+            raise SnapshotCorrupt(
+                name,
+                f"arena holds {cached.kind!r}, expected {expected_kind!r}",
+            )
+        return cached.incref()
+    shm = _open_segment(name)
+    payload: memoryview | None = None
+    body: memoryview | None = None
+    try:
+        buf = shm.buf
+        header = bytes(buf[:_HEADER_LEN]).decode("ascii", "replace")
+        fields = header.split()
+        if (
+            len(fields) != 4
+            or fields[0] != SHM_MAGIC
+            or fields[1] != f"v{SHM_VERSION}"
+            or not fields[2].startswith("sha256=")
+            or not fields[3].startswith("size=")
+        ):
+            raise SnapshotCorrupt(name, "segment has no valid repro-shm header")
+        stored = fields[2][len("sha256=") :]
+        payload_len = int(fields[3][len("size=") :])
+        if _HEADER_LEN + payload_len > len(buf):
+            raise SnapshotCorrupt(
+                name,
+                f"truncated: header claims {payload_len} payload bytes, "
+                f"{len(buf) - _HEADER_LEN} present",
+            )
+        payload = buf[_HEADER_LEN : _HEADER_LEN + payload_len]
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != stored:
+            raise SnapshotCorrupt(
+                name,
+                f"checksum mismatch: header says {stored[:12]}…, "
+                f"payload hashes to {actual[:12]}…",
+            )
+        meta_len = int.from_bytes(bytes(buf[_HEADER_LEN : _HEADER_LEN + 8]), "little")
+        meta = json.loads(
+            bytes(buf[_HEADER_LEN + 8 : _HEADER_LEN + 8 + meta_len]).decode("utf-8")
+        )
+        if expected_kind is not None and meta.get("kind") != expected_kind:
+            raise SnapshotCorrupt(
+                name,
+                f"arena holds {meta.get('kind')!r}, "
+                f"expected {expected_kind!r}",
+            )
+        # Meta is space-padded to the next 8-byte boundary; sections
+        # start right after the padding.
+        body = buf[_HEADER_LEN + 8 + _pad8(meta_len) : _HEADER_LEN + payload_len]
+        arena = Arena(shm, meta, body, _HEADER_LEN + payload_len, owner=False)
+    except Exception:
+        # The slices taken above pin the mapping (and the raised
+        # traceback keeps them alive as frame locals) — release them
+        # before closing, else close() itself raises BufferError.
+        for view in (body, payload):
+            if view is not None:
+                view.release()
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - belt and braces
+            try:
+                os.close(shm._fd)
+            except OSError:
+                pass
+            shm._fd = -1
+            shm._mmap = None
+            shm._buf = None
+        raise
+    with _LOCK:
+        existing = _REGISTRY.get(name)
+        if existing is not None:  # lost a race; share the winner
+            arena._release(unlink=False)
+            return existing.incref()
+        _REGISTRY[name] = arena
+    return arena
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def cleanup_stale() -> int:
+    """Unlink segments whose owner process is dead; return the count.
+
+    Owner pids are embedded in segment names, so a ``kill -9`` victim's
+    orphans are identifiable without attaching.  Runs at dispatch-pool
+    startup and on every pool self-heal; a no-op on platforms without a
+    listable ``/dev/shm``.
+    """
+    base = "/dev/shm"
+    if not os.path.isdir(base):
+        return 0
+    removed = 0
+    me = os.getpid()
+    try:
+        entries = os.listdir(base)
+    except OSError:
+        return 0
+    for entry in entries:
+        if not entry.startswith(_PREFIX):
+            continue
+        parts = entry.split(".")
+        try:
+            pid = int(parts[1])
+        except (IndexError, ValueError):
+            continue
+        if pid == me or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(base, entry))
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def _cleanup_at_exit() -> None:  # pragma: no cover - exercised at interpreter exit
+    """Unlink owned segments and disarm every mapping before shutdown.
+
+    Covers attached (non-owned) and already-unlinked arenas too — that
+    is what keeps the stdlib ``SharedMemory.__del__`` from logging
+    ``BufferError`` at interpreter teardown when solver views still pin
+    a mapping.
+    """
+    with _LOCK:
+        arenas = [a for a in _ALL if not a._closed]
+        _REGISTRY.clear()
+        _PUBLISHED.clear()
+    for arena in arenas:
+        arena._closed = True
+        arena._release(unlink=arena.owner)
+
+
+atexit.register(_cleanup_at_exit)
+
+
+# -- compiled algebra arenas ---------------------------------------------------
+
+
+def algebra_fingerprint(algebra: Any) -> str:
+    """The publish/dedupe key of a compiled algebra.
+
+    Monoid algebras key by their property-machine fingerprint (the same
+    key the service caches use); gen/kill algebras by width plus the
+    one-bit machine's fingerprint.
+    """
+    from repro.core.persist import machine_fingerprint
+
+    machine = getattr(algebra, "machine", None)
+    if machine is not None:
+        return machine_fingerprint(machine)
+    bit = getattr(algebra, "bit", None)
+    n_bits = getattr(algebra, "n_bits", None)
+    if bit is not None and n_bits is not None:
+        return f"genkill-{n_bits}-{machine_fingerprint(bit.machine)}"
+    raise TypeError(f"cannot fingerprint algebra {type(algebra).__name__}")
+
+
+def publish_algebra(algebra: Any, fingerprint: str | None = None) -> Arena:
+    """Publish a compiled algebra's tables once; idempotent per process.
+
+    Returns the owned arena (already-published fingerprints return the
+    existing one with a fresh reference).  The caller holds the
+    reference for the consumers' lifetime — typically until pool
+    shutdown — and :meth:`Arena.decref` unlinks.
+    """
+    from repro.core.annotations import (
+        CompiledGenKillAlgebra,
+        CompiledMonoidAlgebra,
+    )
+    from repro.core.persist import _encode_symbol, dfa_to_dict
+
+    if fingerprint is None:
+        fingerprint = algebra_fingerprint(algebra)
+    with _LOCK:
+        name = _PUBLISHED.get(fingerprint)
+        cached = _REGISTRY.get(name) if name is not None else None
+    if cached is not None:
+        return cached.incref()
+    if isinstance(algebra, CompiledGenKillAlgebra):
+        # Invert the one-bit symbol table so non-default gen/kill symbol
+        # names survive the round trip.
+        by_index = {index: sym for sym, index in algebra.bit._symbols.items()}
+        meta = {
+            "kind": "algebra",
+            "algebra": "genkill",
+            "fingerprint": fingerprint,
+            "n_bits": algebra.n_bits,
+            "machine": dfa_to_dict(algebra.bit.machine),
+            "gen": _encode_symbol(by_index[algebra._gen]),
+            "kill": _encode_symbol(by_index[algebra._kill]),
+        }
+        arena = _create(meta, {}, tag="alg")
+    elif isinstance(algebra, CompiledMonoidAlgebra):
+        n = algebra.size()
+        n_states = algebra.machine.n_states
+        table = array("q")
+        for row in algebra._table:
+            table.extend(row)
+        elements = array("q")
+        for fn in algebra.elements:
+            mapping = fn.mapping
+            if len(mapping) != n_states:  # pragma: no cover - shape invariant
+                raise ValueError("element mapping width != machine states")
+            elements.extend(mapping)
+        meta = {
+            "kind": "algebra",
+            "algebra": "monoid",
+            "fingerprint": fingerprint,
+            "n": n,
+            "n_states": n_states,
+            "identity_index": algebra.identity_index,
+            "machine": dfa_to_dict(algebra.machine),
+            "symbols": [
+                [_encode_symbol(sym), index]
+                for sym, index in sorted(
+                    algebra._symbols.items(), key=lambda kv: kv[1]
+                )
+            ],
+        }
+        sections = {
+            "table": table,
+            "elements": elements,
+            "state_after": array("q", algebra._state_after),
+            "live": bytes(bytearray(1 if x else 0 for x in algebra._live)),
+            "accepting": bytes(
+                bytearray(1 if x else 0 for x in algebra._accepting)
+            ),
+        }
+        arena = _create(meta, sections, tag="alg")
+    else:
+        raise TypeError(
+            f"cannot publish algebra {type(algebra).__name__}; only the "
+            "compiled (int-annotation) algebras have flat tables"
+        )
+    with _LOCK:
+        _PUBLISHED[fingerprint] = arena.name
+    return arena
+
+
+def attach_algebra(
+    name: str, expected_fingerprint: str | None = None
+) -> tuple[Any, Arena]:
+    """Rebuild a compiled algebra over an arena's tables, zero-copy.
+
+    The returned :class:`CompiledMonoidAlgebra` owns *no* composition
+    table: ``_table`` rows are int64 memoryviews of the arena, the
+    liveness/acceptance predicates are byte views, and the numpy batch
+    backend (when numpy is present) is a ``frombuffer`` view of the
+    same bytes.  Only the element objects (representative functions,
+    needed for ``encode``/``decode`` and persistence) and the symbol
+    map are materialized — both tiny relative to the n² table.  The
+    algebra keeps the arena referenced via ``_arena``.
+    """
+    from repro.core.annotations import (
+        HAVE_NUMPY,
+        CompiledGenKillAlgebra,
+        CompiledMonoidAlgebra,
+    )
+    from repro.core.persist import _decode_symbol, dfa_from_dict
+    from repro.dfa.monoid import RepresentativeFunction
+
+    arena = attach(name, expected_kind="algebra")
+    try:
+        meta = arena.meta
+        if (
+            expected_fingerprint is not None
+            and meta.get("fingerprint") != expected_fingerprint
+        ):
+            raise SnapshotCorrupt(
+                name,
+                f"publishes algebra {meta.get('fingerprint')!r}, "
+                f"expected {expected_fingerprint!r}",
+            )
+        if meta.get("algebra") == "genkill":
+            algebra: Any = CompiledGenKillAlgebra(
+                meta["n_bits"],
+                bit_machine=dfa_from_dict(meta["machine"]),
+                gen=_decode_symbol(meta["gen"]),
+                kill=_decode_symbol(meta["kill"]),
+            )
+            algebra._arena = arena
+            return algebra, arena
+        n = meta["n"]
+        n_states = meta["n_states"]
+        machine = dfa_from_dict(meta["machine"])
+        algebra = CompiledMonoidAlgebra.__new__(CompiledMonoidAlgebra)
+        algebra.machine = machine
+        #: No enumerated monoid behind an attached algebra — the tables
+        #: *are* the specialization.  ``dump_solver`` and friends read
+        #: ``algebra.machine``, never the monoid.
+        algebra.monoid = None
+        elements_view = arena.ints("elements")
+        algebra.elements = tuple(
+            RepresentativeFunction(
+                tuple(elements_view[i * n_states : (i + 1) * n_states])
+            )
+            for i in range(n)
+        )
+        table_view = arena.ints("table")
+        algebra._table = [table_view[i * n : (i + 1) * n] for i in range(n)]
+        algebra._index = {fn: i for i, fn in enumerate(algebra.elements)}
+        algebra.identity = meta["identity_index"]
+        algebra.identity_index = meta["identity_index"]
+        algebra._live = arena.section("live")
+        algebra._accepting = arena.section("accepting")
+        algebra._state_after = arena.ints("state_after")
+        algebra._symbols = {
+            _decode_symbol(sym): index for sym, index in meta["symbols"]
+        }
+        algebra._np_table = None
+        if HAVE_NUMPY:
+            import numpy as np
+
+            algebra._np_table = np.frombuffer(
+                arena.section("table"), dtype=np.int64
+            ).reshape(n, n)
+        else:
+            algebra.then_many = None  # type: ignore[assignment]
+        algebra._arena = arena
+        return algebra, arena
+    except Exception:
+        arena.decref()
+        raise
+
+
+# -- flat-column arenas ---------------------------------------------------------
+
+
+def _flatten_columns(
+    cols: Iterable[Any], anns: Iterable[Any]
+) -> tuple[array, array, array]:
+    """Prefix offsets + concatenated value/annotation columns."""
+    offsets = array("q", [0])
+    values = array("q")
+    annotations = array("q")
+    for col, ann in zip(cols, anns):
+        if col:
+            values.extend(col)
+            annotations.extend(ann)
+        offsets.append(len(values))
+    return offsets, values, annotations
+
+
+def publish_columns(solver: Any, fingerprint: str) -> tuple[str, int]:
+    """Publish a FlatSolver's solved form as one column segment.
+
+    Returns ``(segment name, resident bytes)``.  The segment is closed
+    locally after writing — the creating worker keeps no mapping — and
+    deliberately left registered under the worker's pid for the parent
+    to adopt (:func:`attach_columns` unlinks it on arrival); a worker
+    killed before the hand-off leaves an orphan :func:`cleanup_stale`
+    reaps.  Raises on interrupted solves (non-empty worklist): the wire
+    format carries fixpoints only, checkpoints stay on the pickle path.
+    """
+    from repro.core.persist import _encode_constructor
+
+    if solver.pending_count():
+        raise ValueError("cannot publish an interrupted solve; dump it instead")
+    span = getattr(solver, "_span", 1 << 62)
+    if span > (1 << 62):
+        raise ValueError("annotation span exceeds the int64 wire lanes")
+    n_vars = len(solver._vars)
+    names = "\n".join(v.name for v in solver._vars).encode("utf-8")
+    term_ctor = array("q", solver._term_ctor)
+    term_off = array("q", [0])
+    term_args = array("q")
+    for args in solver._term_args:
+        term_args.extend(args)
+        term_off.append(len(term_args))
+    low_off, low_src, low_ann = _flatten_columns(solver._low_src, solver._low_ann)
+    up_off, up_snk, up_ann = _flatten_columns(solver._up_snk, solver._up_ann)
+    succ_off, succ_dst, succ_ann = _flatten_columns(
+        solver._succ_dst, solver._succ_ann
+    )
+    proj_off = array("q", [0])
+    proj_rows = array("q")
+    for rows in solver._proj_rows:
+        if rows:
+            for ctor, index, target, ann in rows:
+                proj_rows.extend((ctor, index, target, ann))
+        proj_off.append(len(proj_rows) // 4)
+    ufp = array("q")
+    for loser, winner in sorted(solver._ufp.items()):
+        ufp.extend((loser, winner))
+    term_index = solver._term_ids
+    meta = {
+        "kind": "columns",
+        "fingerprint": fingerprint,
+        "n_vars": n_vars,
+        "n_terms": len(solver._terms),
+        "pn_projections": solver.pn_projections,
+        "prune_dead": solver.prune_dead,
+        "cycle_elim": solver.cycle_elim,
+        "ctors": [_encode_constructor(c) for c in solver._ctors],
+        "incons": [
+            [term_index[inc.source], term_index[inc.sink], inc.annotation]
+            for inc in solver.inconsistencies
+            if inc.source in term_index and inc.sink in term_index
+        ],
+        "met": [list(triple) for triple in sorted(solver._met)],
+    }
+    sections = {
+        "varnames": names,
+        "term_ctor": term_ctor,
+        "term_off": term_off,
+        "term_args": term_args,
+        "low_off": low_off,
+        "low_src": low_src,
+        "low_ann": low_ann,
+        "up_off": up_off,
+        "up_snk": up_snk,
+        "up_ann": up_ann,
+        "succ_off": succ_off,
+        "succ_dst": succ_dst,
+        "succ_ann": succ_ann,
+        "proj_off": proj_off,
+        "proj_rows": proj_rows,
+        "ufp": ufp,
+    }
+    arena = _create(meta, sections, tag="col")
+    size = arena.size
+    name = arena.name
+    # Hand-off: drop our mapping but keep the name alive for the
+    # adopter.  Pull it out of the registry first so a same-process
+    # attach (thread executors, tests) maps it fresh instead of sharing
+    # a closed arena.
+    with _LOCK:
+        _REGISTRY.pop(name, None)
+    arena.owner = False  # the adopter unlinks
+    arena._closed = True
+    arena._release(unlink=False)
+    return name, size
+
+
+def attach_columns(
+    name_or_arena: str | Arena,
+    algebra: Any,
+    *,
+    unlink: bool = True,
+    budget: Any = None,
+) -> Any:
+    """Reconstruct a FlatSolver over a column segment, zero-copy.
+
+    The solver's lower/upper/successor columns are int64 memoryviews of
+    the arena (frozen copy-on-write — see
+    :meth:`FlatSolver.attach_columns`); variables, terms and projection
+    rows are materialized eagerly (they are object-shaped and small
+    next to the fact columns).  With ``unlink`` (the default, for the
+    worker→parent hand-off) the segment name is removed immediately:
+    the mapping survives, a later crash cannot orphan it.
+    """
+    from repro.core.flatcore import FlatSolver
+    from repro.core.persist import _decode_symbol  # noqa: F401 (doc link)
+
+    arena = (
+        attach(name_or_arena, expected_kind="columns")
+        if isinstance(name_or_arena, str)
+        else name_or_arena.incref()
+    )
+    try:
+        meta = arena.meta
+        expected = algebra_fingerprint(algebra)
+        if meta.get("fingerprint") != expected:
+            raise SnapshotCorrupt(
+                arena.name,
+                f"columns were solved against {meta.get('fingerprint')!r} "
+                f"but algebra {expected!r} was supplied",
+            )
+        solver = FlatSolver(
+            algebra,
+            pn_projections=meta.get("pn_projections", False),
+            prune_dead=meta.get("prune_dead", True),
+            cycle_elim=meta.get("cycle_elim", True),
+            budget=budget,
+        )
+        solver.attach_columns(arena)
+        if unlink:
+            arena.unlink()
+        return solver
+    except Exception:
+        arena.decref()
+        raise

@@ -167,11 +167,13 @@ class AnnotatedChecker:
         track_redundant: bool = False,
         shards: int = 1,
         shard_executor: Any | None = None,
+        partition: str = "greedy",
     ):
         self.cfg = cfg
         self.property = prop
         self._shards = max(1, shards)
         self._shard_executor = shard_executor
+        self._partition = partition
         #: The :class:`repro.core.partition.ShardedSolution` when the
         #: encoding was solved with ``shards > 1`` (None otherwise).
         self.sharded: Any | None = None
@@ -299,6 +301,7 @@ class AnnotatedChecker:
                 cycle_elim=self._shard_cycle_elim,
                 budget=self._shard_budget,
                 executor=self._shard_executor,
+                partition=self._partition,
             )
             self.solver = self.sharded.merged()
             return

@@ -1,0 +1,417 @@
+"""Shared-memory arena tests (:mod:`repro.core.shm`).
+
+The contract under test: publishing compiled algebra tables or solved
+flat columns to a shared-memory segment and attaching them elsewhere is
+*invisible* to every consumer — identical composition results, identical
+canonical solved forms, identical behavior after further edits (the
+copy-on-write thaw) — while moving only a segment name across process
+boundaries.  Lifecycle: refcounted arenas, checksum-verified attach,
+stale-orphan reaping after ``kill -9``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import shm
+from repro.core.annotations import CompiledGenKillAlgebra
+from repro.core.errors import SnapshotCorrupt
+from repro.core.flatcore import FlatSolver
+from repro.core.solver import Solver
+from repro.core.terms import Variable, constant
+from tests.test_flatcore import (
+    _canonical,
+    _genkill_algebra,
+    _privilege_algebra,
+    _random_constraints,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="no usable shared memory on this platform"
+)
+
+
+def _solved_flat(algebra, constraints, cycle_elim=True):
+    solver = FlatSolver(algebra, cycle_elim=cycle_elim)
+    solver.add_many(constraints)
+    return solver
+
+
+# -- arena plumbing ------------------------------------------------------------
+
+
+class TestArenaLifecycle:
+    def test_publish_is_idempotent_per_fingerprint(self):
+        # A fingerprint nothing else in the suite publishes: arenas
+        # dedupe process-wide, so asserting the final decref unlinks
+        # needs a refcount that provably starts at zero.
+        algebra = CompiledGenKillAlgebra(5)
+        one = shm.publish_algebra(algebra)
+        two = shm.publish_algebra(algebra)
+        try:
+            assert one is two
+            assert two.refs >= 2
+        finally:
+            two.decref()
+            one.decref()
+        assert not os.path.exists(f"/dev/shm/{one.name}")
+
+    def test_publish_dedupes_against_resident_arenas(self):
+        # The suite-wide case: an arena another subsystem already
+        # published (e.g. the dispatch preload) is returned as-is, and
+        # balanced decrefs leave the prior holder's mapping intact.
+        algebra = _privilege_algebra()
+        one = shm.publish_algebra(algebra)
+        baseline = one.refs - 1
+        two = shm.publish_algebra(algebra)
+        try:
+            assert one is two
+            assert two.refs == baseline + 2
+        finally:
+            two.decref()
+            one.decref()
+        assert one.refs == baseline
+        if baseline:
+            assert os.path.exists(f"/dev/shm/{one.name}")
+
+    def test_reattach_shares_the_mapping(self):
+        algebra = _privilege_algebra()
+        owned = shm.publish_algebra(algebra)
+        try:
+            again = shm.attach(owned.name)
+            assert again is owned
+            again.decref()
+        finally:
+            owned.decref()
+
+    def test_corrupt_payload_is_rejected(self):
+        # Unique fingerprint: this test flips bytes in (and unlinks)
+        # the segment, which must never hit an arena another test is
+        # still attached to via the process-wide dedupe.
+        algebra = CompiledGenKillAlgebra(6)
+        owned = shm.publish_algebra(algebra)
+        name = owned.name
+        try:
+            # Flip one payload byte behind the checksum's back.
+            seg = shm._open_segment(name)
+            try:
+                offset = shm._HEADER_LEN + 16
+                seg.buf[offset] = seg.buf[offset] ^ 0xFF
+            finally:
+                seg.close()
+            # The registry would short-circuit to the live mapping;
+            # drop it so attach verifies bytes like a fresh process.
+            with shm._LOCK:
+                shm._REGISTRY.pop(name, None)
+            with pytest.raises(SnapshotCorrupt):
+                shm.attach(name)
+        finally:
+            owned.unlink()
+
+    def test_env_var_disables_publication(self, monkeypatch):
+        monkeypatch.setenv(shm.DISABLE_ENV, "1")
+        assert not shm.shm_available()
+        monkeypatch.setenv(shm.DISABLE_ENV, "0")
+        assert shm.shm_available()
+
+    def test_cleanup_stale_reaps_dead_owner(self):
+        child = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(300)"]
+        )
+        try:
+            pid = child.pid
+        finally:
+            child.kill()
+            child.wait()
+        name = f"{shm._PREFIX}{pid}.1.{os.urandom(3).hex()}.orphan"
+        seg = shm._open_segment(name, create=True, size=64)
+        seg.close()
+        assert os.path.exists(f"/dev/shm/{name}")
+        assert shm.cleanup_stale() >= 1
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_cleanup_stale_spares_live_owners(self):
+        algebra = _privilege_algebra()
+        owned = shm.publish_algebra(algebra)
+        try:
+            shm.cleanup_stale()
+            assert os.path.exists(f"/dev/shm/{owned.name}")
+        finally:
+            owned.decref()
+
+
+# -- compiled algebras over the arena -------------------------------------------
+
+
+class TestAlgebraAttach:
+    def test_monoid_tables_are_identical(self):
+        original = _privilege_algebra()
+        owned = shm.publish_algebra(original)
+        try:
+            attached, arena = shm.attach_algebra(owned.name)
+            n = original.size()
+            assert attached.size() == n
+            for a in range(n):
+                for b in range(n):
+                    assert attached.then(a, b) == original.then(a, b)
+            for i in range(n):
+                assert attached.is_live(i) == original.is_live(i)
+                assert attached.is_accepting(i) == original.is_accepting(i)
+                assert attached.state_after(i) == original.state_after(i)
+                assert attached.decode(i) == original.decode(i)
+            assert attached.identity_index == original.identity_index
+            arena.decref()
+        finally:
+            owned.decref()
+
+    def test_monoid_then_many_matches(self):
+        original = _privilege_algebra()
+        if original.then_many is None:
+            pytest.skip("numpy batch backend not present")
+        owned = shm.publish_algebra(original)
+        try:
+            attached, arena = shm.attach_algebra(owned.name)
+            n = original.size()
+            column = list(range(n)) * 2
+            for second in range(n):
+                assert attached.then_many(
+                    column, len(column), second
+                ) == original.then_many(column, len(column), second)
+            arena.decref()
+        finally:
+            owned.decref()
+
+    def test_genkill_roundtrip(self):
+        original = _genkill_algebra()
+        owned = shm.publish_algebra(original)
+        try:
+            attached, arena = shm.attach_algebra(owned.name)
+            assert attached.n_bits == original.n_bits
+            a = original.of_effect([0, 2], [1])
+            b = original.of_effect([3], [0])
+            assert attached.then(a, b) == original.then(a, b)
+            assert attached.identity_index == original.identity_index
+            arena.decref()
+        finally:
+            owned.decref()
+
+    def test_fingerprint_mismatch_is_rejected(self):
+        owned = shm.publish_algebra(_privilege_algebra())
+        try:
+            with pytest.raises(SnapshotCorrupt):
+                shm.attach_algebra(owned.name, expected_fingerprint="nope")
+        finally:
+            owned.decref()
+
+    def test_attached_algebra_solves_identically(self):
+        algebra, constraints = _random_constraints(11, genkill=False)
+        owned = shm.publish_algebra(algebra)
+        try:
+            attached, arena = shm.attach_algebra(owned.name)
+            assert _canonical(_solved_flat(algebra, constraints)) == _canonical(
+                _solved_flat(attached, constraints)
+            )
+            arena.decref()
+        finally:
+            owned.decref()
+
+
+# -- solved columns over the arena ----------------------------------------------
+
+
+class TestColumnTransfer:
+    def _roundtrip(self, algebra, constraints, cycle_elim=True):
+        solved = _solved_flat(algebra, constraints, cycle_elim)
+        fingerprint = shm.algebra_fingerprint(algebra)
+        name, resident = shm.publish_columns(solved, fingerprint)
+        assert resident > 0
+        attached = shm.attach_columns(name, algebra)
+        return solved, attached
+
+    def test_canonical_forms_match(self):
+        algebra, constraints = _random_constraints(5, genkill=False)
+        solved, attached = self._roundtrip(algebra, constraints)
+        assert _canonical(attached) == _canonical(solved)
+        assert attached.fact_count() == solved.fact_count()
+
+    def test_segment_name_is_unlinked_on_adoption(self):
+        algebra, constraints = _random_constraints(5, genkill=False)
+        solved = _solved_flat(algebra, constraints)
+        name, _ = shm.publish_columns(
+            solved, shm.algebra_fingerprint(algebra)
+        )
+        assert os.path.exists(f"/dev/shm/{name}")
+        shm.attach_columns(name, algebra)
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_post_attach_edits_thaw_frozen_columns(self):
+        algebra, constraints = _random_constraints(9, genkill=False)
+        solved, attached = self._roundtrip(algebra, constraints)
+        extra = [
+            (constant("fresh"), Variable("v0"), algebra.identity_index),
+            (Variable("v0"), Variable("v1"), algebra.identity_index),
+            (Variable("v1"), Variable("v0"), algebra.identity_index),
+        ]
+        solved.add_many(extra)
+        attached.add_many(extra)
+        assert _canonical(attached) == _canonical(solved)
+
+    def test_wrong_algebra_is_rejected(self):
+        algebra, constraints = _random_constraints(5, genkill=False)
+        solved = _solved_flat(algebra, constraints)
+        name, _ = shm.publish_columns(
+            solved, shm.algebra_fingerprint(algebra)
+        )
+        try:
+            with pytest.raises(SnapshotCorrupt):
+                shm.attach_columns(name, _genkill_algebra())
+        finally:
+            arena = shm.attach(name)
+            arena.unlink()
+            arena.decref()
+
+    def test_interrupted_solve_refuses_publication(self):
+        from repro.core.budget import Budget
+        from repro.core.errors import SolverInterrupted
+
+        algebra, constraints = _random_constraints(23, genkill=False)
+        solver = FlatSolver(algebra, budget=Budget(max_steps=2))
+        with pytest.raises(SolverInterrupted):
+            solver.add_many(constraints)
+        assert solver.pending_count()
+        with pytest.raises(ValueError):
+            shm.publish_columns(solver, shm.algebra_fingerprint(algebra))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        genkill=st.booleans(),
+        cycle_elim=st.booleans(),
+    )
+    def test_object_equals_flat_equals_shm_flat(
+        self, seed, genkill, cycle_elim
+    ):
+        """The tentpole equivalence: object ≡ flat ≡ shm-flat."""
+        algebra, constraints = _random_constraints(seed, genkill)
+        obj = Solver(
+            algebra, record_reasons=False, cycle_elim=cycle_elim
+        )
+        obj.add_many(constraints)
+        flat = _solved_flat(algebra, constraints, cycle_elim)
+        assert _canonical(flat) == _canonical(obj), seed
+
+        # ... through an shm-published algebra ...
+        owned = shm.publish_algebra(algebra)
+        try:
+            attached_algebra, arena = shm.attach_algebra(owned.name)
+            over_arena = _solved_flat(
+                attached_algebra, constraints, cycle_elim
+            )
+            assert _canonical(over_arena) == _canonical(obj), seed
+            arena.decref()
+        finally:
+            owned.decref()
+
+        # ... and through shm-transferred columns.
+        name, _ = shm.publish_columns(
+            flat, shm.algebra_fingerprint(algebra)
+        )
+        adopted = shm.attach_columns(name, algebra)
+        assert _canonical(adopted) == _canonical(obj), seed
+
+
+# -- sharded transfer + pool leak behavior ---------------------------------------
+
+
+class TestShardedTransfer:
+    def test_process_pool_prefers_shm_and_pickle_forces_fallback(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.core.partition import solve_sharded
+
+        algebra, constraints = _random_constraints(42, genkill=False)
+        serial = solve_sharded(constraints, algebra, shards=2)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            fast = solve_sharded(
+                constraints, algebra, shards=2, executor=pool
+            )
+            slow = solve_sharded(
+                constraints,
+                algebra,
+                shards=2,
+                executor=pool,
+                transfer="pickle",
+            )
+        assert set(fast.canonical_facts()) == set(serial.canonical_facts())
+        assert set(slow.canonical_facts()) == set(serial.canonical_facts())
+        assert fast.transfer["mode"] == "shm"
+        assert fast.transfer["shm_attaches"] == fast.shards
+        assert fast.transfer["pickle_fallbacks"] == 0
+        assert slow.transfer["mode"] == "pickle"
+        assert slow.transfer["shm_attaches"] == 0
+        # The acceptance bar: handles are >=10x smaller than dumps.
+        assert fast.transfer["bytes"] * 10 <= slow.transfer["bytes"]
+
+    def test_disable_env_falls_back_to_pickle(self, monkeypatch):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.core.partition import solve_sharded
+
+        monkeypatch.setenv(shm.DISABLE_ENV, "1")
+        algebra, constraints = _random_constraints(42, genkill=False)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            solution = solve_sharded(
+                constraints, algebra, shards=2, executor=pool
+            )
+        assert solution.transfer["mode"] == "pickle"
+        assert solution.transfer["shm_attaches"] == 0
+
+    def test_orphaned_arena_reaped_on_pool_heal(self):
+        """A ``kill -9`` orphan disappears when the pool self-heals."""
+        from repro.service.dispatch import DispatchPool
+        from repro.service.engine import EngineError
+
+        program = "int main() { open(\"f\"); close(\"f\"); return 0; }"
+        with DispatchPool(workers=1, preload=["file-state"]) as pool:
+            pool.execute(
+                "check", {"program": program, "property": "file-state"}
+            )
+            # Forge the orphan: a segment owned by an already-dead pid,
+            # exactly what a worker killed mid-hand-off leaves behind.
+            child = subprocess.Popen(
+                [sys.executable, "-c", "import time; time.sleep(300)"]
+            )
+            dead_pid = child.pid
+            child.kill()
+            child.wait()
+            orphan = (
+                f"{shm._PREFIX}{dead_pid}.7.{os.urandom(3).hex()}.columns"
+            )
+            seg = shm._open_segment(orphan, create=True, size=128)
+            seg.close()
+            assert os.path.exists(f"/dev/shm/{orphan}")
+
+            (worker_pid,) = pool.worker_pids()
+            os.kill(worker_pid, signal.SIGKILL)
+            deadline = time.time() + 60
+            healed = False
+            while time.time() < deadline:
+                try:
+                    pool.execute(
+                        "check",
+                        {"program": program, "property": "file-state"},
+                    )
+                    if healed:
+                        break
+                except EngineError:
+                    healed = True
+                time.sleep(0.1)
+            assert pool.rebuilds >= 1
+            assert not os.path.exists(f"/dev/shm/{orphan}")
+            assert pool.metrics.get("shm.stale_reaped") >= 1
